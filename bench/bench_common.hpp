@@ -1,0 +1,142 @@
+// Shared driver for the paper-reproduction experiment benches.
+//
+// Each bench binary reproduces one table/figure: it sweeps a parameter
+// (SDN fraction, recompute delay, MRAI, clique size), runs N seeded trials
+// per point, and prints the same boxplot rows the paper's figures show.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "framework/experiment.hpp"
+#include "framework/stats.hpp"
+#include "framework/trial.hpp"
+#include "topology/generators.hpp"
+
+namespace bgpsdn::bench {
+
+/// Scenario injected after the network converged; returns the virtual time
+/// of injection.
+enum class Event { kWithdrawal, kFailover, kAnnouncement };
+
+inline const char* to_string(Event e) {
+  switch (e) {
+    case Event::kWithdrawal: return "withdrawal";
+    case Event::kFailover: return "failover";
+    case Event::kAnnouncement: return "announcement";
+  }
+  return "?";
+}
+
+struct ScenarioParams {
+  std::size_t clique_size{16};
+  std::size_t sdn_count{0};
+  Event event{Event::kWithdrawal};
+  framework::ExperimentConfig config{};
+};
+
+/// One trial: build the hybrid clique (AS 1 is always legacy; members are
+/// taken from the top AS numbers), converge, inject the event, and return
+/// the convergence time in seconds.
+///
+/// Scenario shapes:
+///  * kWithdrawal — AS 1 originates 10.0.0.0/16 and withdraws it; the
+///    classic Tdown path-hunting experiment (paper Fig. 2).
+///  * kFailover — a dual-homed stub (AS 100) originates the prefix with a
+///    primary link to AS 1 and a backup path via AS 101 -> the highest
+///    clique AS; the primary link fails (Tlong: hunt to a valid, longer
+///    backup).
+///  * kAnnouncement — after convergence AS 1 announces a fresh prefix
+///    (Tup: a single propagation wave, no hunting).
+inline double run_convergence_trial(const ScenarioParams& params,
+                                    std::uint64_t seed) {
+  framework::ExperimentConfig cfg = params.config;
+  cfg.seed = seed;
+  auto spec = topology::clique(params.clique_size);
+  const core::AsNumber stub{100}, mid{101};
+  const core::AsNumber primary{1};
+  const core::AsNumber backup_attach{
+      static_cast<std::uint32_t>(params.clique_size)};
+  if (params.event == Event::kFailover) {
+    spec.add_as(stub);
+    spec.add_as(mid);
+    spec.add_link(stub, primary);
+    spec.add_link(stub, mid);
+    spec.add_link(mid, backup_attach);
+  }
+  std::set<core::AsNumber> members;
+  for (std::size_t i = 0; i < params.sdn_count; ++i) {
+    members.insert(core::AsNumber{
+        static_cast<std::uint32_t>(params.clique_size - i)});
+  }
+  framework::Experiment exp{spec, members, cfg};
+  const core::AsNumber origin =
+      params.event == Event::kFailover ? stub : primary;
+  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
+  exp.announce_prefix(origin, pfx);
+  if (!exp.start()) {
+    std::fprintf(stderr, "trial failed to start (seed %llu)\n",
+                 static_cast<unsigned long long>(seed));
+    return -1.0;
+  }
+
+  const auto t0 = exp.loop().now();
+  switch (params.event) {
+    case Event::kWithdrawal:
+      exp.withdraw_prefix(origin, pfx);
+      break;
+    case Event::kFailover:
+      exp.fail_link(stub, primary);
+      break;
+    case Event::kAnnouncement:
+      exp.announce_prefix(origin, *net::Prefix::parse("10.200.0.0/16"));
+      break;
+  }
+  const auto quiet = cfg.timers.mrai * 2 + core::Duration::seconds(1);
+  const auto conv = exp.wait_converged(quiet, core::Duration::seconds(3600));
+  return (conv - t0).to_seconds();
+}
+
+/// Print a full SDN-fraction sweep as boxplot rows.
+inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs,
+                          const framework::ExperimentConfig& base_config) {
+  std::printf("# %s convergence time [s] on a %zu-AS clique vs SDN fraction\n",
+              to_string(event), clique_size);
+  std::printf("# boxplots over %zu runs (paper: %s)\n", runs,
+              event == Event::kWithdrawal
+                  ? "Fig. 2"
+                  : "SS4 prose result, smaller reductions than Fig. 2");
+  std::printf("%s\n", framework::boxplot_header("sdn_frac").c_str());
+  for (std::size_t k = 0; k < clique_size; ++k) {
+    ScenarioParams params;
+    params.clique_size = clique_size;
+    params.sdn_count = k;
+    params.event = event;
+    params.config = base_config;
+    framework::TrialRunner runner{runs, 1000};
+    const auto summary = runner.run(
+        [&](std::uint64_t seed) { return run_convergence_trial(params, seed); });
+    char label[32];
+    std::snprintf(label, sizeof label, "%zu/%zu", k, clique_size);
+    std::printf("%s\n", framework::boxplot_row(label, summary).c_str());
+    std::fflush(stdout);
+  }
+}
+
+/// Paper-faithful timer defaults (Quagga eBGP profile).
+inline framework::ExperimentConfig paper_config() {
+  framework::ExperimentConfig cfg;
+  // Defaults in bgp::Timers already match (MRAI 30 s, keepalive 30 s,
+  // hold 90 s); recompute delay 2 s.
+  return cfg;
+}
+
+/// Trial count: 10 as in the paper; BGPSDN_QUICK=1 drops to 3 for smoke runs.
+inline std::size_t default_runs() {
+  const char* quick = std::getenv("BGPSDN_QUICK");
+  return (quick != nullptr && quick[0] == '1') ? 3 : 10;
+}
+
+}  // namespace bgpsdn::bench

@@ -1,0 +1,210 @@
+// Framework micro-benchmarks (google-benchmark).
+//
+// Supports the paper's "rapid prototyping" positioning versus ONOS: the
+// whole emulation is cheap enough that a 10-run, 16-fraction Fig. 2 sweep
+// takes seconds of wall time. These benches pin down where the cycles go:
+// event loop, BGP codec, decision process, FIB lookups, controller graph
+// work, and a full hybrid-experiment bring-up.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/message.hpp"
+#include "controller/as_topology.hpp"
+#include "controller/dijkstra.hpp"
+#include "core/event_loop.hpp"
+#include "framework/experiment.hpp"
+#include "net/lpm.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace bgpsdn;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    core::EventLoop loop;
+    for (std::int64_t i = 0; i < n; ++i) {
+      loop.schedule(core::Duration::nanos(i), [] {});
+    }
+    benchmark::DoNotOptimize(loop.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EventLoopCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    core::EventLoop loop;
+    std::vector<core::TimerId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(loop.schedule(core::Duration::nanos(i), [] {}));
+    }
+    for (const auto id : ids) loop.cancel(id);
+    loop.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopCancel);
+
+bgp::UpdateMessage sample_update(int nlri) {
+  bgp::UpdateMessage u;
+  u.attributes.origin = bgp::Origin::kIgp;
+  u.attributes.as_path = bgp::AsPath{{core::AsNumber{65001}, core::AsNumber{3},
+                                      core::AsNumber{2}, core::AsNumber{1}}};
+  u.attributes.next_hop = *net::Ipv4Addr::parse("172.16.0.1");
+  u.attributes.communities = {1, 2, 3};
+  for (int i = 0; i < nlri; ++i) {
+    u.nlri.push_back(net::Prefix{
+        net::Ipv4Addr{(10u << 24) | (static_cast<std::uint32_t>(i) << 8)}, 24});
+  }
+  return u;
+}
+
+void BM_BgpEncode(benchmark::State& state) {
+  const auto u = sample_update(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::encode(u));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BgpEncode)->Arg(1)->Arg(64);
+
+void BM_BgpDecode(benchmark::State& state) {
+  const auto wire = bgp::encode(sample_update(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::decode(wire));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BgpDecode)->Arg(1)->Arg(64);
+
+void BM_DecisionProcess(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::vector<bgp::Route> routes;
+  for (std::int64_t i = 0; i < n; ++i) {
+    bgp::Route r;
+    r.prefix = *net::Prefix::parse("10.0.0.0/16");
+    std::vector<core::AsNumber> hops;
+    for (std::int64_t h = 0; h <= i % 7; ++h) {
+      hops.emplace_back(static_cast<std::uint32_t>(100 + h));
+    }
+    r.attributes.as_path = bgp::AsPath{std::move(hops)};
+    r.attributes.local_pref = 100;
+    r.peer_bgp_id = net::Ipv4Addr{static_cast<std::uint32_t>(i + 1)};
+    r.learned_from = core::SessionId{static_cast<std::uint32_t>(i)};
+    routes.push_back(std::move(r));
+  }
+  std::vector<const bgp::Route*> cands;
+  for (const auto& r : routes) cands.push_back(&r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::select_best(cands));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DecisionProcess)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_LpmLookup(benchmark::State& state) {
+  net::LpmTable<int> table;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    table.insert(net::Prefix{net::Ipv4Addr{(10u << 24) | (i << 12)}, 20},
+                 static_cast<int>(i));
+  }
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(
+        table.lookup(net::Ipv4Addr{(10u << 24) | (x % (1000u << 12))}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpmLookup);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  controller::AdjacencyList g;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      if (i != j) g[i].push_back({j, 1});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller::shortest_paths(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dijkstra)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_AsTopologyDecide(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  controller::SwitchGraph graph;
+  speaker::ClusterBgpSpeaker speaker;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    graph.add_switch(i, core::AsNumber{static_cast<std::uint32_t>(100 + i)});
+  }
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    graph.add_link(i, core::PortId{1}, i + 1, core::PortId{2});
+  }
+  std::vector<controller::ExternalRoute> routes;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    speaker::Peering p;
+    p.cluster_as = core::AsNumber{static_cast<std::uint32_t>(100 + i)};
+    p.border_dpid = i;
+    p.switch_external_port = core::PortId{0};
+    p.expected_peer_as = core::AsNumber{static_cast<std::uint32_t>(500 + i)};
+    speaker.add_peering(core::PortId{static_cast<std::uint32_t>(i)}, p);
+    controller::ExternalRoute r;
+    r.peering = static_cast<speaker::PeeringId>(i);
+    r.attributes.as_path =
+        bgp::AsPath{{core::AsNumber{static_cast<std::uint32_t>(500 + i)},
+                     core::AsNumber{999}}};
+    routes.push_back(std::move(r));
+  }
+  controller::AsTopologyGraph topo{graph, speaker};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.decide(routes, std::nullopt));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AsTopologyDecide)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HybridExperimentBringup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    framework::ExperimentConfig cfg;
+    cfg.timers.mrai = core::Duration::millis(500);
+    cfg.recompute_delay = core::Duration::millis(200);
+    const auto spec = topology::clique(n);
+    std::set<core::AsNumber> members;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      members.insert(core::AsNumber{static_cast<std::uint32_t>(n - i)});
+    }
+    framework::Experiment exp{spec, members, cfg};
+    exp.announce_prefix(core::AsNumber{1}, *net::Prefix::parse("10.0.0.0/16"));
+    const bool ok = exp.start();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_HybridExperimentBringup)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WithdrawalConvergenceWallTime(benchmark::State& state) {
+  // Wall-clock cost of one full Fig.-2 data point (virtual minutes of BGP
+  // hunting) — the "rapid prototyping" claim in one number.
+  for (auto _ : state) {
+    bench::ScenarioParams params;
+    params.clique_size = 16;
+    params.sdn_count = static_cast<std::size_t>(state.range(0));
+    params.event = bench::Event::kWithdrawal;
+    params.config = bench::paper_config();
+    benchmark::DoNotOptimize(bench::run_convergence_trial(params, 1234));
+  }
+}
+BENCHMARK(BM_WithdrawalConvergenceWallTime)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, test, smoke-run benches and examples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+# Quick (3-run) versions of every experiment bench.
+for b in build/bench/bench_*; do
+  echo "===== $b"
+  BGPSDN_QUICK=1 "$b"
+done
+
+# Examples and scenario scripts must run cleanly.
+for e in quickstart internet_like video_stream subclusters; do
+  echo "===== examples/$e"
+  "./build/examples/$e" > /dev/null
+done
+./build/examples/withdrawal_clique 8 > /dev/null
+for s in scenarios/*.bgpsdn; do
+  echo "===== $s"
+  ./build/tools/bgpsdn_run "$s" > /dev/null
+done
+echo "ALL CHECKS PASSED"

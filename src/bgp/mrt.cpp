@@ -1,0 +1,91 @@
+#include "bgp/mrt.hpp"
+
+#include "bgp/wire.hpp"
+
+namespace bgpsdn::bgp {
+
+namespace {
+// RFC 6396 type/subtype for BGP4MP with 4-byte AS numbers.
+constexpr std::uint16_t kTypeBgp4mp = 16;
+constexpr std::uint16_t kSubtypeMessageAs4 = 4;
+constexpr std::uint16_t kAfiIpv4 = 1;
+}  // namespace
+
+std::vector<std::byte> write_mrt(const std::vector<MrtRecord>& records) {
+  ByteWriter w;
+  for (const auto& rec : records) {
+    w.u32(rec.timestamp_s);
+    w.u16(kTypeBgp4mp);
+    w.u16(kSubtypeMessageAs4);
+    // Body: peer AS(4) local AS(4) ifindex(2) AFI(2) peer IP(4) local
+    // IP(4) + message.
+    w.u32(static_cast<std::uint32_t>(20 + rec.bgp_message.size()));
+    w.u32(rec.peer_as.value());
+    w.u32(rec.local_as.value());
+    w.u16(0);  // interface index
+    w.u16(kAfiIpv4);
+    w.addr(rec.peer_ip);
+    w.addr(rec.local_ip);
+    w.bytes(rec.bgp_message);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<MrtRecord>> read_mrt(const std::vector<std::byte>& data) {
+  std::vector<MrtRecord> out;
+  ByteReader r{data};
+  while (r.remaining() > 0) {
+    const std::uint32_t ts = r.u32();
+    const std::uint16_t type = r.u16();
+    const std::uint16_t subtype = r.u16();
+    const std::uint32_t len = r.u32();
+    ByteReader body = r.sub(len);
+    if (!r.ok()) return std::nullopt;
+    if (type != kTypeBgp4mp || subtype != kSubtypeMessageAs4) continue;
+    MrtRecord rec;
+    rec.timestamp_s = ts;
+    rec.peer_as = core::AsNumber{body.u32()};
+    rec.local_as = core::AsNumber{body.u32()};
+    body.u16();  // interface index
+    const std::uint16_t afi = body.u16();
+    if (afi != kAfiIpv4) continue;  // IPv4-only framework
+    rec.peer_ip = body.addr();
+    rec.local_ip = body.addr();
+    rec.bgp_message = body.bytes(body.remaining());
+    if (!body.ok()) return std::nullopt;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<MrtRecord> collector_to_mrt(const std::vector<RouteObservation>& tape,
+                                        net::Ipv4Addr collector_ip,
+                                        core::AsNumber collector_as) {
+  std::vector<MrtRecord> out;
+  out.reserve(tape.size());
+  for (const auto& obs : tape) {
+    UpdateMessage update;
+    if (obs.announce) {
+      update.attributes.as_path = obs.as_path;
+      update.attributes.origin = Origin::kIgp;
+      update.nlri.push_back(obs.prefix);
+    } else {
+      update.withdrawn.push_back(obs.prefix);
+    }
+    MrtRecord rec;
+    rec.timestamp_s = static_cast<std::uint32_t>(obs.when.to_seconds());
+    rec.peer_as = obs.peer_as;
+    rec.local_as = collector_as;
+    rec.local_ip = collector_ip;
+    // The tape does not retain the peer's interface address; derive a
+    // stable synthetic one from the AS number (documented MRT-export
+    // convention of this framework).
+    rec.peer_ip = net::Ipv4Addr{(198u << 24) | (18u << 16) |
+                                (obs.peer_as.value() & 0xffffu)};
+    rec.bgp_message = encode(update);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace bgpsdn::bgp

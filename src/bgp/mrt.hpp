@@ -1,0 +1,48 @@
+// MRT export/import (RFC 6396, BGP4MP_MESSAGE_AS4 subset).
+//
+// Real route collectors publish their update streams as MRT dumps that
+// tools like bgpdump consume. The framework's RouteCollector does the
+// same: its observation tape (re-encoded through the RFC 4271 codec)
+// serializes to standard BGP4MP_MESSAGE_AS4 records, and the reader loads
+// such dumps back — a round-trippable interchange format for traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/collector.hpp"
+#include "bgp/message.hpp"
+#include "net/ip.hpp"
+
+namespace bgpsdn::bgp {
+
+/// One BGP4MP_MESSAGE_AS4 record: who spoke to whom, when, and the raw
+/// BGP message.
+struct MrtRecord {
+  /// Seconds since the epoch of the trace (virtual time in our dumps).
+  std::uint32_t timestamp_s{0};
+  core::AsNumber peer_as;
+  core::AsNumber local_as;
+  net::Ipv4Addr peer_ip;
+  net::Ipv4Addr local_ip;
+  std::vector<std::byte> bgp_message;
+};
+
+/// Serialize records into an MRT byte stream.
+std::vector<std::byte> write_mrt(const std::vector<MrtRecord>& records);
+
+/// Parse an MRT byte stream; unknown record types are skipped, malformed
+/// framing returns nullopt.
+std::optional<std::vector<MrtRecord>> read_mrt(const std::vector<std::byte>& data);
+
+/// Convert a collector's observation tape into MRT records (updates are
+/// re-encoded through the wire codec; the collector itself is the "local"
+/// side of every record).
+std::vector<MrtRecord> collector_to_mrt(
+    const std::vector<RouteObservation>& tape,
+    net::Ipv4Addr collector_ip = net::Ipv4Addr{192, 0, 2, 1},
+    core::AsNumber collector_as = core::AsNumber{64512});
+
+}  // namespace bgpsdn::bgp

@@ -1,0 +1,65 @@
+#include "bgp/path_attributes.hpp"
+
+namespace bgpsdn::bgp {
+
+const char* to_string(Origin o) {
+  switch (o) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+const char* to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+    case Relationship::kProvider: return "provider";
+  }
+  return "?";
+}
+
+AsPath AsPath::prepend(core::AsNumber as) const {
+  std::vector<core::AsNumber> hops;
+  hops.reserve(hops_.size() + 1);
+  hops.push_back(as);
+  hops.insert(hops.end(), hops_.begin(), hops_.end());
+  return AsPath{std::move(hops)};
+}
+
+bool AsPath::contains(core::AsNumber as) const {
+  for (const auto h : hops_) {
+    if (h == as) return true;
+  }
+  return false;
+}
+
+std::optional<core::AsNumber> AsPath::first() const {
+  if (hops_.empty()) return std::nullopt;
+  return hops_.front();
+}
+
+std::optional<core::AsNumber> AsPath::origin_as() const {
+  if (hops_.empty()) return std::nullopt;
+  return hops_.back();
+}
+
+std::string AsPath::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0) s += ' ';
+    s += std::to_string(hops_[i].value());
+  }
+  return s;
+}
+
+std::string PathAttributes::to_string() const {
+  std::string s = "path=[" + as_path.to_string() + "] nh=" + next_hop.to_string() +
+                  " origin=" + bgpsdn::bgp::to_string(origin);
+  if (local_pref) s += " lp=" + std::to_string(*local_pref);
+  if (med) s += " med=" + std::to_string(*med);
+  return s;
+}
+
+}  // namespace bgpsdn::bgp

@@ -1,0 +1,112 @@
+#include "bgp/rib.hpp"
+
+namespace bgpsdn::bgp {
+
+void AdjRibIn::put(const Route& route) {
+  by_prefix_[route.prefix][route.learned_from] = route;
+}
+
+bool AdjRibIn::erase(const net::Prefix& prefix, core::SessionId session) {
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) return false;
+  const bool erased = it->second.erase(session) > 0;
+  if (it->second.empty()) by_prefix_.erase(it);
+  return erased;
+}
+
+std::vector<net::Prefix> AdjRibIn::erase_session(core::SessionId session) {
+  std::vector<net::Prefix> affected;
+  for (auto it = by_prefix_.begin(); it != by_prefix_.end();) {
+    if (it->second.erase(session) > 0) affected.push_back(it->first);
+    if (it->second.empty()) {
+      it = by_prefix_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return affected;
+}
+
+const Route* AdjRibIn::find(const net::Prefix& prefix,
+                            core::SessionId session) const {
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) return nullptr;
+  const auto rit = it->second.find(session);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+std::vector<const Route*> AdjRibIn::candidates(const net::Prefix& prefix) const {
+  std::vector<const Route*> out;
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [sid, route] : it->second) out.push_back(&route);
+  return out;
+}
+
+std::size_t AdjRibIn::route_count() const {
+  std::size_t n = 0;
+  for (const auto& [p, m] : by_prefix_) n += m.size();
+  return n;
+}
+
+std::vector<net::Prefix> AdjRibIn::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(by_prefix_.size());
+  for (const auto& [p, m] : by_prefix_) out.push_back(p);
+  return out;
+}
+
+bool LocRib::install(const Route& route) {
+  auto it = routes_.find(route.prefix);
+  if (it != routes_.end() && it->second.attributes == route.attributes &&
+      it->second.learned_from == route.learned_from) {
+    return false;
+  }
+  routes_[route.prefix] = route;
+  ++generation_;
+  return true;
+}
+
+bool LocRib::remove(const net::Prefix& prefix) {
+  if (routes_.erase(prefix) == 0) return false;
+  ++generation_;
+  return true;
+}
+
+const Route* LocRib::find(const net::Prefix& prefix) const {
+  const auto it = routes_.find(prefix);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> LocRib::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(routes_.size());
+  for (const auto& [p, r] : routes_) out.push_back(p);
+  return out;
+}
+
+bool AdjRibOut::advertise(const net::Prefix& prefix, const PathAttributes& attrs) {
+  const auto it = advertised_.find(prefix);
+  if (it != advertised_.end() && it->second == attrs) return false;
+  advertised_[prefix] = attrs;
+  return true;
+}
+
+bool AdjRibOut::withdraw(const net::Prefix& prefix) {
+  return advertised_.erase(prefix) > 0;
+}
+
+const PathAttributes* AdjRibOut::advertised(const net::Prefix& prefix) const {
+  const auto it = advertised_.find(prefix);
+  return it == advertised_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> AdjRibOut::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(advertised_.size());
+  for (const auto& [p, a] : advertised_) out.push_back(p);
+  return out;
+}
+
+}  // namespace bgpsdn::bgp

@@ -1,0 +1,104 @@
+// Routing Information Bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+//
+// Mirrors the Quagga/RFC 4271 structure: per-peer inbound tables feed the
+// decision process, the Loc-RIB holds winners, and per-peer outbound tables
+// record what was advertised so update generation can be delta-based.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "bgp/path_attributes.hpp"
+#include "net/ip.hpp"
+
+namespace bgpsdn::bgp {
+
+/// One candidate route for one prefix.
+struct Route {
+  net::Prefix prefix;
+  PathAttributes attributes;
+  /// Session the route was learned from; invalid for locally-originated.
+  core::SessionId learned_from{core::SessionId::invalid()};
+  /// Decision-process tiebreak inputs.
+  net::Ipv4Addr peer_bgp_id;
+  net::Ipv4Addr peer_address;
+  core::TimePoint installed_at;
+
+  bool is_local() const { return !learned_from.is_valid(); }
+};
+
+/// Inbound routes, indexed prefix-first so the decision process can see all
+/// candidates for a prefix at once. Keyed by session within a prefix with an
+/// ordered map so iteration order (and thus any residual tie behaviour) is
+/// deterministic.
+class AdjRibIn {
+ public:
+  /// Insert/replace the route from one peer (implicit withdraw semantics).
+  void put(const Route& route);
+
+  /// Remove the route for (prefix, session). Returns true if present.
+  bool erase(const net::Prefix& prefix, core::SessionId session);
+
+  /// Drop everything learned from a session (session reset). Returns the
+  /// affected prefixes.
+  std::vector<net::Prefix> erase_session(core::SessionId session);
+
+  const Route* find(const net::Prefix& prefix, core::SessionId session) const;
+
+  /// All candidates for one prefix, deterministic order.
+  std::vector<const Route*> candidates(const net::Prefix& prefix) const;
+
+  std::size_t route_count() const;
+  std::vector<net::Prefix> prefixes() const;
+
+ private:
+  std::unordered_map<net::Prefix, std::map<core::SessionId, Route>> by_prefix_;
+};
+
+/// The selected best route per prefix.
+class LocRib {
+ public:
+  /// Install/replace the best route. Returns true if this changed the entry.
+  bool install(const Route& route);
+
+  /// Remove the entry. Returns true if present.
+  bool remove(const net::Prefix& prefix);
+
+  const Route* find(const net::Prefix& prefix) const;
+  std::size_t size() const { return routes_.size(); }
+  std::vector<net::Prefix> prefixes() const;
+  const std::unordered_map<net::Prefix, Route>& all() const { return routes_; }
+
+  /// Bumped on every change; convergence checks compare generations.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::unordered_map<net::Prefix, Route> routes_;
+  std::uint64_t generation_{0};
+};
+
+/// What has been advertised to one peer, for delta-based update generation.
+class AdjRibOut {
+ public:
+  /// Record an advertisement; returns false if identical attributes were
+  /// already advertised (update suppressed).
+  bool advertise(const net::Prefix& prefix, const PathAttributes& attrs);
+
+  /// Record a withdrawal; returns false if nothing was advertised.
+  bool withdraw(const net::Prefix& prefix);
+
+  const PathAttributes* advertised(const net::Prefix& prefix) const;
+  std::size_t size() const { return advertised_.size(); }
+  void clear() { advertised_.clear(); }
+  std::vector<net::Prefix> prefixes() const;
+
+ private:
+  std::unordered_map<net::Prefix, PathAttributes> advertised_;
+};
+
+}  // namespace bgpsdn::bgp

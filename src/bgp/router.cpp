@@ -1,0 +1,455 @@
+#include "bgp/router.hpp"
+
+#include <algorithm>
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "core/random.hpp"
+#include "net/network.hpp"
+
+namespace bgpsdn::bgp {
+
+namespace {
+/// Locally-originated routes always win the decision process.
+constexpr std::uint32_t kLocalRoutePref = 1000;
+}  // namespace
+
+core::SessionId allocate_session_id() {
+  static std::uint32_t next = 0;
+  return core::SessionId{next++};
+}
+
+void BgpRouter::add_peer(core::PortId port, PeerConfig peer_config) {
+  SessionConfig sc;
+  sc.id = allocate_session_id();
+  sc.local_as = config_.asn;
+  sc.local_id = config_.router_id;
+  sc.local_address = peer_config.local_address;
+  sc.remote_address = peer_config.remote_address;
+  sc.expected_peer_as = peer_config.expected_peer_as;
+  sc.timers = config_.timers;
+
+  auto [it, fresh] = peers_.try_emplace(port);
+  Peer& peer = it->second;
+  peer.port = port;
+  peer.config = std::move(peer_config);
+  peer.session = std::make_unique<Session>(*this, sc);
+  peers_by_session_[sc.id.value()] = &peer;
+  if (started_) peer.session->start();
+}
+
+void BgpRouter::attach_host(core::PortId port, const net::Prefix& prefix) {
+  host_ports_[prefix] = port;
+  fib_.insert(prefix, port);
+  originate(prefix);
+}
+
+void BgpRouter::originate(const net::Prefix& prefix) {
+  local_prefixes_.emplace(prefix, loop().now());
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "origin_announce", prefix.to_string());
+  recompute(prefix);
+}
+
+void BgpRouter::withdraw_origin(const net::Prefix& prefix) {
+  if (local_prefixes_.erase(prefix) == 0) return;
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "origin_withdraw", prefix.to_string());
+  recompute(prefix);
+}
+
+void BgpRouter::start() {
+  started_ = true;
+  for (auto& [port, peer] : peers_) peer.session->start();
+}
+
+void BgpRouter::handle_packet(core::PortId ingress, const net::Packet& packet) {
+  if (packet.proto == net::Protocol::kBgp) {
+    Peer* peer = peer_on(ingress);
+    if (peer != nullptr) peer->session->receive(packet.payload);
+    return;
+  }
+  forward_data(packet);
+}
+
+void BgpRouter::forward_data(const net::Packet& packet) {
+  const auto hit = fib_.lookup(packet.dst);
+  if (!hit) {
+    ++counters_.packets_no_route;
+    return;
+  }
+  ++counters_.packets_forwarded;
+  send(*hit->second, packet);
+}
+
+void BgpRouter::on_link_state(core::PortId port, bool up) {
+  Peer* peer = peer_on(port);
+  if (peer == nullptr) return;
+  if (up) {
+    peer->session->start();
+  } else {
+    peer->session->stop("link down");
+  }
+}
+
+// --- SessionHost ----------------------------------------------------------
+
+void BgpRouter::session_transmit(Session& session, std::vector<std::byte> wire) {
+  Peer* peer = peer_of(session);
+  if (peer == nullptr) return;
+  net::Packet pkt;
+  pkt.src = peer->config.local_address;
+  pkt.dst = peer->config.remote_address;
+  pkt.proto = net::Protocol::kBgp;
+  pkt.payload = std::move(wire);
+  send(peer->port, std::move(pkt));
+}
+
+void BgpRouter::session_established(Session& session) {
+  Peer* peer = peer_of(session);
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "session_up", "peer " + session.peer_as().to_string());
+  if (config_.timers.mrai_style == MraiStyle::kPeriodicQuagga &&
+      peer_mrai(*peer) > core::Duration::zero()) {
+    // Initial table transfer goes out promptly; afterwards the
+    // free-running advertisement timer paces everything.
+    for (const auto& prefix : loc_rib_.prefixes()) peer->pending.insert(prefix);
+    flush_peer(*peer);
+    arm_mrai(*peer);
+  } else {
+    for (const auto& prefix : loc_rib_.prefixes()) {
+      schedule_peer_update(*peer, prefix);
+    }
+  }
+}
+
+void BgpRouter::session_down(Session& session, const std::string& reason) {
+  Peer* peer = peer_of(session);
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "session_down",
+               "peer " + session.peer_as().to_string() + ": " + reason);
+  ++peer->epoch;
+  peer->rib_out.clear();
+  peer->pending.clear();
+  if (peer->mrai_timer.is_valid()) loop().cancel(peer->mrai_timer);
+  peer->mrai_running = false;
+  dampener_.clear_session(session.id());
+  for (const auto& prefix : adj_rib_in_.erase_session(session.id())) {
+    recompute(prefix);
+  }
+}
+
+void BgpRouter::session_update(Session& session, const UpdateMessage& update) {
+  Peer* peer = peer_of(session);
+  ++counters_.updates_rx;
+  logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
+               "update_rx",
+               "from " + session.peer_as().to_string() + " " + update.to_string());
+  const auto routes = update.nlri.size() + update.withdrawn.size();
+  const auto cost = config_.processing.per_update +
+                    config_.processing.per_route * static_cast<std::int64_t>(routes);
+  const auto epoch = peer->epoch;
+  enqueue_work(cost, [this, peer, epoch, update] {
+    if (peer->epoch != epoch || !peer->session->established()) return;
+    process_update(*peer, update);
+  });
+}
+
+core::EventLoop& BgpRouter::session_loop() { return loop(); }
+core::Rng& BgpRouter::session_rng() { return rng(); }
+core::Logger& BgpRouter::session_logger() { return logger(); }
+std::string BgpRouter::session_log_name() const {
+  return "bgp." + (name().empty() ? config_.asn.to_string() : name());
+}
+
+// --- update processing ------------------------------------------------------
+
+void BgpRouter::process_update(Peer& peer, const UpdateMessage& update) {
+  const auto sid = peer.session->id();
+  for (const auto& prefix : update.withdrawn) {
+    if (adj_rib_in_.erase(prefix, sid)) {
+      note_flap(sid, prefix, /*withdrawal=*/true);
+      recompute(prefix);
+    }
+  }
+  for (const auto& prefix : update.nlri) {
+    PathAttributes attrs = update.attributes;
+    if (attrs.as_path.contains(config_.asn)) {
+      ++counters_.routes_rejected_loop;
+      if (adj_rib_in_.erase(prefix, sid)) recompute(prefix);
+      continue;
+    }
+    if (!PolicyEngine::apply_import(peer.config.policy, prefix, attrs)) {
+      ++counters_.routes_rejected_policy;
+      if (adj_rib_in_.erase(prefix, sid)) recompute(prefix);
+      continue;
+    }
+    Route route;
+    route.prefix = prefix;
+    route.attributes = attrs;
+    route.learned_from = sid;
+    route.peer_bgp_id = peer.session->peer_bgp_id();
+    route.peer_address = peer.config.remote_address;
+    route.installed_at = loop().now();
+    // Re-announcements with unchanged attributes keep their age (the
+    // decision process prefers older routes) and do not count as flaps.
+    const Route* existing = adj_rib_in_.find(prefix, sid);
+    if (existing != nullptr && existing->attributes == attrs) {
+      route.installed_at = existing->installed_at;
+    } else if (existing != nullptr || dampener_.has_history(sid, prefix)) {
+      // Attribute change or re-advertisement after a withdrawal: a flap.
+      note_flap(sid, prefix, /*withdrawal=*/false);
+    }
+    adj_rib_in_.put(route);
+    recompute(prefix);
+  }
+}
+
+void BgpRouter::note_flap(core::SessionId session, const net::Prefix& prefix,
+                          bool withdrawal) {
+  const auto verdict =
+      dampener_.record_flap(session, prefix, withdrawal, loop().now());
+  if (!verdict.suppressed) return;
+  ++counters_.routes_suppressed;
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "route_damped",
+               prefix.to_string() + " penalty " +
+                   std::to_string(static_cast<int>(verdict.penalty)));
+  // Re-evaluate once the penalty decays to the reuse threshold.
+  loop().schedule(verdict.reuse_after + core::Duration::millis(1),
+                  [this, prefix] { recompute(prefix); });
+}
+
+void BgpRouter::recompute(const net::Prefix& prefix) {
+  std::vector<const Route*> candidates = adj_rib_in_.candidates(prefix);
+  if (config_.damping.enabled) {
+    std::erase_if(candidates, [&](const Route* r) {
+      return dampener_.is_suppressed(r->learned_from, prefix, loop().now());
+    });
+  }
+  Route local;  // storage for the locally-originated candidate
+  if (const auto it = local_prefixes_.find(prefix); it != local_prefixes_.end()) {
+    local.prefix = prefix;
+    local.attributes.origin = Origin::kIgp;
+    local.attributes.local_pref = kLocalRoutePref;
+    local.installed_at = it->second;
+    candidates.push_back(&local);
+  }
+
+  const Route* best = select_best(candidates);
+  const Route* current = loc_rib_.find(prefix);
+
+  if (best == nullptr) {
+    if (current == nullptr) return;
+    loc_rib_.remove(prefix);
+    if (host_ports_.count(prefix) == 0) fib_.erase(prefix);
+    ++counters_.best_changes;
+    logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+                 "best_lost", prefix.to_string());
+  } else {
+    const bool changed = current == nullptr ||
+                         current->attributes != best->attributes ||
+                         current->learned_from != best->learned_from;
+    if (!changed) return;
+    loc_rib_.install(*best);
+    if (best->is_local()) {
+      // Delivered locally (to the attached host if any).
+      if (const auto it = host_ports_.find(prefix); it != host_ports_.end()) {
+        fib_.insert(prefix, it->second);
+      } else {
+        fib_.erase(prefix);
+      }
+    } else {
+      fib_.insert(prefix, peers_by_session_.at(best->learned_from.value())->port);
+    }
+    ++counters_.best_changes;
+    logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+                 "best_changed",
+                 prefix.to_string() + " via [" +
+                     best->attributes.as_path.to_string() + "]");
+  }
+
+  for (auto& [port, peer] : peers_) schedule_peer_update(peer, prefix);
+}
+
+// --- advertisement / MRAI ---------------------------------------------------
+
+std::optional<Relationship> BgpRouter::relationship_of_best(const Route& best) {
+  if (best.is_local()) return std::nullopt;
+  return peers_by_session_.at(best.learned_from.value())
+      ->config.policy.relationship;
+}
+
+BgpRouter::ExportAction BgpRouter::evaluate_export(Peer& peer,
+                                                   const net::Prefix& prefix,
+                                                   PathAttributes& out_attrs) {
+  const Route* best = loc_rib_.find(prefix);
+  if (best == nullptr) return ExportAction::kWithdraw;
+  if (config_.split_horizon && best->learned_from == peer.session->id()) {
+    return ExportAction::kWithdraw;
+  }
+  PathAttributes attrs = best->attributes;
+  if (!PolicyEngine::apply_export(peer.config.policy, relationship_of_best(*best),
+                                  prefix, attrs, config_.asn)) {
+    return ExportAction::kWithdraw;
+  }
+  attrs.as_path = attrs.as_path.prepend(config_.asn);
+  attrs.next_hop = peer.config.local_address;
+  out_attrs = std::move(attrs);
+  return ExportAction::kAnnounce;
+}
+
+core::Duration BgpRouter::peer_mrai(const Peer& peer) const {
+  return peer.config.mrai.value_or(config_.timers.mrai);
+}
+
+void BgpRouter::schedule_peer_update(Peer& peer, const net::Prefix& prefix) {
+  if (!peer.session->established()) return;
+  PathAttributes attrs;
+  const ExportAction action = evaluate_export(peer, prefix, attrs);
+  const bool announce = action == ExportAction::kAnnounce;
+  const bool gated = (announce || config_.timers.mrai_applies_to_withdrawals) &&
+                     peer_mrai(peer) > core::Duration::zero();
+  if (!gated) {
+    // Ungated (withdrawal, or MRAI disabled): send right away, leaving any
+    // MRAI-gated announcements queued.
+    peer.pending.erase(prefix);
+    UpdateMessage msg;
+    if (announce) {
+      if (!peer.rib_out.advertise(prefix, attrs)) return;  // duplicate
+      msg.attributes = std::move(attrs);
+      msg.nlri.push_back(prefix);
+    } else {
+      if (!peer.rib_out.withdraw(prefix)) return;  // never advertised
+      msg.withdrawn.push_back(prefix);
+    }
+    ++counters_.updates_tx;
+    logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
+                 "update_tx",
+                 "to " + peer.session->peer_as().to_string() + " " +
+                     msg.to_string());
+    peer.session->send_update(msg);
+    return;
+  }
+  peer.pending.insert(prefix);
+  if (config_.timers.mrai_style == MraiStyle::kPeriodicQuagga) {
+    // The free-running advertisement timer (armed at session
+    // establishment) will flush this at its next tick.
+    return;
+  }
+  if (!peer.mrai_running) {
+    flush_peer(peer);
+    arm_mrai(peer);
+  }
+}
+
+void BgpRouter::flush_peer(Peer& peer) {
+  if (!peer.session->established()) {
+    peer.pending.clear();
+    return;
+  }
+  std::vector<net::Prefix> withdrawals;
+  // Announcement groups keyed by attribute bundle (one bundle per UPDATE).
+  std::vector<std::pair<PathAttributes, std::vector<net::Prefix>>> groups;
+  for (const auto& prefix : peer.pending) {
+    PathAttributes attrs;
+    if (evaluate_export(peer, prefix, attrs) == ExportAction::kAnnounce) {
+      if (!peer.rib_out.advertise(prefix, attrs)) continue;  // unchanged
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const auto& g) { return g.first == attrs; });
+      if (it == groups.end()) {
+        groups.push_back({std::move(attrs), {prefix}});
+      } else {
+        it->second.push_back(prefix);
+      }
+    } else {
+      if (peer.rib_out.withdraw(prefix)) withdrawals.push_back(prefix);
+    }
+  }
+  peer.pending.clear();
+
+  std::vector<UpdateMessage> messages;
+  for (auto& [attrs, nlri] : groups) {
+    UpdateMessage m;
+    m.attributes = std::move(attrs);
+    m.nlri = std::move(nlri);
+    messages.push_back(std::move(m));
+  }
+  if (!withdrawals.empty()) {
+    if (messages.empty()) messages.emplace_back();
+    messages.front().withdrawn = std::move(withdrawals);
+  }
+  for (auto& m : messages) {
+    ++counters_.updates_tx;
+    logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
+                 "update_tx",
+                 "to " + peer.session->peer_as().to_string() + " " + m.to_string());
+    peer.session->send_update(m);
+  }
+}
+
+void BgpRouter::arm_mrai(Peer& peer) {
+  const auto mrai = peer_mrai(peer);
+  if (mrai <= core::Duration::zero()) return;
+  peer.mrai_running = true;
+  const auto delay =
+      rng().jittered(mrai, config_.timers.jitter_low, config_.timers.jitter_high);
+  const auto epoch = peer.epoch;
+  Peer* p = &peer;
+  if (config_.timers.mrai_style == MraiStyle::kPeriodicQuagga) {
+    // Free-running tick: flush pending (if any) and always re-arm.
+    peer.mrai_timer = loop().schedule(delay, [this, p, epoch] {
+      if (p->epoch != epoch || !p->session->established()) return;
+      if (!p->pending.empty()) flush_peer(*p);
+      arm_mrai(*p);
+    });
+    return;
+  }
+  peer.mrai_timer = loop().schedule(delay, [this, p, epoch] {
+    if (p->epoch != epoch) return;
+    p->mrai_running = false;
+    if (!p->pending.empty()) {
+      flush_peer(*p);
+      arm_mrai(*p);
+    }
+  });
+}
+
+// --- misc -------------------------------------------------------------------
+
+void BgpRouter::enqueue_work(core::Duration cost, std::function<void()> fn) {
+  const auto now = loop().now();
+  if (busy_until_ < now) busy_until_ = now;
+  busy_until_ += cost;
+  loop().schedule_at(busy_until_, std::move(fn));
+}
+
+BgpRouter::Peer* BgpRouter::peer_on(core::PortId port) {
+  const auto it = peers_.find(port);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+BgpRouter::Peer* BgpRouter::peer_of(const Session& session) {
+  const auto it = peers_by_session_.find(session.id().value());
+  return it == peers_by_session_.end() ? nullptr : it->second;
+}
+
+const Session* BgpRouter::session_on(core::PortId port) const {
+  const auto it = peers_.find(port);
+  return it == peers_.end() ? nullptr : it->second.session.get();
+}
+
+std::vector<const Session*> BgpRouter::sessions() const {
+  std::vector<const Session*> out;
+  out.reserve(peers_.size());
+  for (const auto& [port, peer] : peers_) out.push_back(peer.session.get());
+  return out;
+}
+
+std::optional<core::PortId> BgpRouter::fib_lookup(net::Ipv4Addr dst) const {
+  const auto hit = fib_.lookup(dst);
+  if (!hit) return std::nullopt;
+  return *hit->second;
+}
+
+}  // namespace bgpsdn::bgp

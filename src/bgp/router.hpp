@@ -1,0 +1,182 @@
+// BgpRouter — one emulated AS border router (the Quagga bgpd substitute).
+//
+// "To isolate the effects of inter-domain from intra-domain routing every AS
+// is emulated by a single network device": a BgpRouter is that device. It
+// terminates eBGP sessions on its ports, runs the RFC 4271 decision process
+// over Adj-RIB-In, programs its FIB from the Loc-RIB, applies per-peer
+// policy on import/export, and rate-limits advertisements with per-peer
+// MRAI timers — the mechanism behind BGP path exploration, which the
+// paper's experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/damping.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/session.hpp"
+#include "bgp/types.hpp"
+#include "net/lpm.hpp"
+#include "net/node.hpp"
+
+namespace bgpsdn::bgp {
+
+/// Allocates router-unique session ids (process-wide counter; the emulation
+/// is single-threaded).
+core::SessionId allocate_session_id();
+
+struct RouterConfig {
+  core::AsNumber asn;
+  net::Ipv4Addr router_id;
+  Timers timers;
+  ProcessingModel processing;
+  /// When false (Quagga behaviour), the best route is advertised even to
+  /// the peer it was learned from; the receiver rejects it via AS_PATH
+  /// loop detection — at MRAI pace, which is part of BGP's convergence
+  /// dynamics. When true, such advertisements become immediate
+  /// withdrawals instead (Cisco-like sender-side suppression).
+  bool split_horizon{false};
+  /// Route-flap damping (RFC 2439); disabled by default like Quagga.
+  DampingConfig damping{};
+};
+
+/// Configuration of one peering, bound to a local port.
+struct PeerConfig {
+  PeerPolicy policy;
+  net::Ipv4Addr local_address;
+  net::Ipv4Addr remote_address;
+  /// Expected peer AS (0 = accept any).
+  core::AsNumber expected_peer_as{0};
+  /// Per-peer MRAI override (e.g. 0 towards a route collector).
+  std::optional<core::Duration> mrai;
+};
+
+struct RouterCounters {
+  std::uint64_t updates_rx{0};
+  std::uint64_t updates_tx{0};
+  std::uint64_t routes_rejected_loop{0};
+  std::uint64_t routes_rejected_policy{0};
+  std::uint64_t best_changes{0};
+  std::uint64_t routes_suppressed{0};
+  std::uint64_t packets_forwarded{0};
+  std::uint64_t packets_no_route{0};
+};
+
+class BgpRouter : public net::Node, public SessionHost {
+ public:
+  explicit BgpRouter(RouterConfig config)
+      : config_{std::move(config)}, dampener_{config_.damping} {}
+
+  // --- configuration (before or after start) ---------------------------
+
+  /// Declare a peering on `port`. Creates the session; it begins connecting
+  /// at start() (or immediately if the router already started).
+  void add_peer(core::PortId port, PeerConfig peer_config);
+
+  /// Attach a host subnet reachable out of `port`; the prefix is originated
+  /// into BGP and delivered locally.
+  void attach_host(core::PortId port, const net::Prefix& prefix);
+
+  /// Originate a prefix (no attached host; traffic to it terminates here).
+  void originate(const net::Prefix& prefix);
+
+  /// Stop originating; propagates withdrawals.
+  void withdraw_origin(const net::Prefix& prefix);
+
+  // --- Node -------------------------------------------------------------
+  void start() override;
+  void handle_packet(core::PortId ingress, const net::Packet& packet) override;
+  void on_link_state(core::PortId port, bool up) override;
+
+  // --- SessionHost --------------------------------------------------------
+  void session_transmit(Session& session, std::vector<std::byte> wire) override;
+  void session_established(Session& session) override;
+  void session_down(Session& session, const std::string& reason) override;
+  void session_update(Session& session, const UpdateMessage& update) override;
+  core::EventLoop& session_loop() override;
+  core::Rng& session_rng() override;
+  core::Logger& session_logger() override;
+  std::string session_log_name() const override;
+
+  // --- introspection ------------------------------------------------------
+  core::AsNumber asn() const { return config_.asn; }
+  const RouterConfig& config() const { return config_; }
+  const LocRib& loc_rib() const { return loc_rib_; }
+  const AdjRibIn& adj_rib_in() const { return adj_rib_in_; }
+  const RouterCounters& counters() const { return counters_; }
+  const Session* session_on(core::PortId port) const;
+  std::vector<const Session*> sessions() const;
+  /// FIB egress port for a destination, if any.
+  std::optional<core::PortId> fib_lookup(net::Ipv4Addr dst) const;
+  bool originates(const net::Prefix& prefix) const {
+    return local_prefixes_.count(prefix) > 0;
+  }
+  const FlapDampener& dampener() const { return dampener_; }
+
+ private:
+  struct Peer {
+    core::PortId port;
+    PeerConfig config;
+    std::unique_ptr<Session> session;
+    AdjRibOut rib_out;
+    /// Prefixes whose export state must be re-evaluated at next flush.
+    std::set<net::Prefix> pending;
+    bool mrai_running{false};
+    core::TimerId mrai_timer{core::TimerId::invalid()};
+    std::uint64_t epoch{0};
+  };
+
+  Peer* peer_on(core::PortId port);
+  Peer* peer_of(const Session& session);
+
+  /// Serialized-CPU work model: runs `fn` after queued processing cost.
+  void enqueue_work(core::Duration cost, std::function<void()> fn);
+
+  void process_update(Peer& peer, const UpdateMessage& update);
+  /// Re-run the decision process for one prefix; on change, update Loc-RIB +
+  /// FIB and queue advertisements. Damping-suppressed candidates are
+  /// excluded.
+  void recompute(const net::Prefix& prefix);
+  /// Record a flap with the dampener; on suppression, schedules the
+  /// reuse-time re-evaluation.
+  void note_flap(core::SessionId session, const net::Prefix& prefix,
+                 bool withdrawal);
+  /// Queue (or immediately send) the current state of `prefix` to `peer`.
+  void schedule_peer_update(Peer& peer, const net::Prefix& prefix);
+  /// Evaluate export policy: the UPDATE content for `prefix` towards `peer`
+  /// right now (announce with attrs / withdraw / nothing).
+  enum class ExportAction { kAnnounce, kWithdraw, kNone };
+  ExportAction evaluate_export(Peer& peer, const net::Prefix& prefix,
+                               PathAttributes& out_attrs);
+  /// Send everything pending for the peer; groups NLRI by attribute bundle.
+  void flush_peer(Peer& peer);
+  void arm_mrai(Peer& peer);
+  core::Duration peer_mrai(const Peer& peer) const;
+
+  void forward_data(const net::Packet& packet);
+  std::optional<Relationship> relationship_of_best(const Route& best);
+
+  RouterConfig config_;
+  bool started_{false};
+  std::map<core::PortId, Peer> peers_;
+  std::unordered_map<std::uint32_t, Peer*> peers_by_session_;
+  AdjRibIn adj_rib_in_;
+  LocRib loc_rib_;
+  /// Locally-originated prefixes and when they were originated.
+  std::map<net::Prefix, core::TimePoint> local_prefixes_;
+  /// Host delivery: local prefix -> port of the attached host.
+  std::map<net::Prefix, core::PortId> host_ports_;
+  net::LpmTable<core::PortId> fib_;
+  core::TimePoint busy_until_{};
+  FlapDampener dampener_;
+  RouterCounters counters_;
+};
+
+}  // namespace bgpsdn::bgp

@@ -1,0 +1,264 @@
+#include "bgp/session.hpp"
+
+#include <algorithm>
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "core/random.hpp"
+
+namespace bgpsdn::bgp {
+
+namespace {
+// NOTIFICATION error codes (RFC 4271 §4.5).
+constexpr std::uint8_t kErrMessageHeader = 1;
+constexpr std::uint8_t kErrOpen = 2;
+constexpr std::uint8_t kErrUpdate = 3;
+constexpr std::uint8_t kErrHoldTimer = 4;
+constexpr std::uint8_t kErrFsm = 5;
+constexpr std::uint8_t kErrCease = 6;
+}  // namespace
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kConnect: return "Connect";
+    case SessionState::kOpenSent: return "OpenSent";
+    case SessionState::kOpenConfirm: return "OpenConfirm";
+    case SessionState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+void Session::log(const std::string& event, const std::string& detail) {
+  host_.session_logger().log(host_.session_loop().now(), core::LogLevel::kDebug,
+                             host_.session_log_name() + ".s" +
+                                 std::to_string(config_.id.value()),
+                             event, detail);
+}
+
+void Session::start() {
+  if (state_ != SessionState::kIdle) return;
+  state_ = SessionState::kConnect;
+  const auto delay = host_.session_rng().uniform_duration(
+      config_.connect_delay_min, config_.connect_delay_max);
+  const auto my_epoch = epoch_;
+  connect_timer_ = host_.session_loop().schedule(delay, [this, my_epoch] {
+    if (epoch_ != my_epoch || state_ != SessionState::kConnect) return;
+    // "TCP" is up: send OPEN.
+    OpenMessage open;
+    open.my_as = config_.local_as;
+    open.hold_time_s =
+        static_cast<std::uint16_t>(config_.timers.hold.to_seconds());
+    open.bgp_id = config_.local_id;
+    open.four_octet_as = true;
+    transmit(open);
+    state_ = SessionState::kOpenSent;
+    reset_hold_timer();
+    log("open_sent", "to " + config_.remote_address.to_string());
+  });
+}
+
+void Session::stop(const std::string& reason, bool auto_restart) {
+  const bool was_established = established();
+  cancel_timers();
+  ++epoch_;
+  state_ = SessionState::kIdle;
+  if (was_established) {
+    ++counters_.flaps;
+    log("session_down", reason);
+    host_.session_down(*this, reason);
+  }
+  if (auto_restart) {
+    const auto delay = host_.session_rng().jittered(config_.timers.connect_retry,
+                                                    0.75, 1.25);
+    const auto my_epoch = epoch_;
+    connect_timer_ = host_.session_loop().schedule(delay, [this, my_epoch] {
+      if (epoch_ != my_epoch || state_ != SessionState::kIdle) return;
+      start();
+    });
+  }
+}
+
+void Session::fail(std::uint8_t code, std::uint8_t subcode,
+                   const std::string& reason) {
+  NotificationMessage n;
+  n.code = code;
+  n.subcode = subcode;
+  transmit(n);
+  ++counters_.notifications_tx;
+  stop(reason, /*auto_restart=*/true);
+}
+
+void Session::transmit(const Message& m) {
+  // OPEN must be readable before negotiation; only UPDATE uses the
+  // negotiated AS width, and it is only sent when established.
+  host_.session_transmit(*this, encode(m, codec_));
+  if (type_of(m) == MessageType::kKeepalive) ++counters_.keepalives_tx;
+}
+
+void Session::receive(const std::vector<std::byte>& wire) {
+  if (state_ == SessionState::kIdle) {
+    // Passive open: a fresh OPEN from the peer wakes an idle session (the
+    // TCP-accept path of a real speaker). Anything else is stale bytes.
+    const auto peek = decode(wire, CodecOptions{});
+    if (!peek || type_of(*peek) != MessageType::kOpen) return;
+    state_ = SessionState::kConnect;
+  }
+  const auto msg = decode(wire, codec_);
+  if (!msg) {
+    ++counters_.decode_errors;
+    fail(kErrMessageHeader, 0, "decode error");
+    return;
+  }
+  switch (type_of(*msg)) {
+    case MessageType::kOpen:
+      ++counters_.opens_rx;
+      on_open(std::get<OpenMessage>(*msg));
+      break;
+    case MessageType::kKeepalive:
+      ++counters_.keepalives_rx;
+      on_keepalive();
+      break;
+    case MessageType::kUpdate:
+      ++counters_.updates_rx;
+      on_update(std::get<UpdateMessage>(*msg));
+      break;
+    case MessageType::kNotification:
+      ++counters_.notifications_rx;
+      on_notification(std::get<NotificationMessage>(*msg));
+      break;
+  }
+}
+
+void Session::on_open(const OpenMessage& m) {
+  if (state_ == SessionState::kEstablished ||
+      state_ == SessionState::kOpenConfirm) {
+    // The peer restarted and opened a fresh "connection": tear the old
+    // session down and accept the new OPEN (collision-resolution spirit of
+    // RFC 4271 §6.8).
+    stop("peer re-opened");
+    state_ = SessionState::kConnect;
+  }
+  // Accept OPEN in Connect too (peer's OPEN can beat our connect timer).
+  if (state_ != SessionState::kOpenSent && state_ != SessionState::kConnect) {
+    fail(kErrFsm, 0, "OPEN in " + std::string{to_string(state_)});
+    return;
+  }
+  if (m.version != 4) {
+    fail(kErrOpen, 1, "bad version");
+    return;
+  }
+  if (config_.expected_peer_as.value() != 0 && m.my_as != config_.expected_peer_as) {
+    fail(kErrOpen, 2, "unexpected peer AS " + m.my_as.to_string());
+    return;
+  }
+  if (m.hold_time_s != 0 && m.hold_time_s < 3) {
+    fail(kErrOpen, 6, "unacceptable hold time");
+    return;
+  }
+  peer_as_ = m.my_as;
+  peer_id_ = m.bgp_id;
+  peer_four_octet_ = m.four_octet_as;
+  codec_.four_octet_as = peer_four_octet_;  // we always offer it
+  negotiated_hold_s_ = std::min<std::uint16_t>(
+      static_cast<std::uint16_t>(config_.timers.hold.to_seconds()), m.hold_time_s);
+
+  if (state_ == SessionState::kConnect) {
+    // Simultaneous open: our OPEN has not gone out yet; send it now.
+    if (connect_timer_.is_valid()) host_.session_loop().cancel(connect_timer_);
+    OpenMessage open;
+    open.my_as = config_.local_as;
+    open.hold_time_s =
+        static_cast<std::uint16_t>(config_.timers.hold.to_seconds());
+    open.bgp_id = config_.local_id;
+    open.four_octet_as = true;
+    transmit(open);
+  }
+  transmit(KeepaliveMessage{});
+  state_ = SessionState::kOpenConfirm;
+  reset_hold_timer();
+  log("open_rx", "peer " + peer_as_.to_string());
+}
+
+void Session::on_keepalive() {
+  switch (state_) {
+    case SessionState::kOpenConfirm:
+      enter_established();
+      break;
+    case SessionState::kEstablished:
+      reset_hold_timer();
+      break;
+    default:
+      fail(kErrFsm, 0, "KEEPALIVE in " + std::string{to_string(state_)});
+  }
+}
+
+void Session::on_update(const UpdateMessage& m) {
+  if (state_ != SessionState::kEstablished) {
+    fail(kErrFsm, 0, "UPDATE in " + std::string{to_string(state_)});
+    return;
+  }
+  reset_hold_timer();
+  host_.session_update(*this, m);
+}
+
+void Session::on_notification(const NotificationMessage& m) {
+  stop("NOTIFICATION code=" + std::to_string(m.code) +
+           " sub=" + std::to_string(m.subcode),
+       /*auto_restart=*/true);
+}
+
+void Session::enter_established() {
+  state_ = SessionState::kEstablished;
+  reset_hold_timer();
+  arm_keepalive_timer();
+  log("session_up", "peer " + peer_as_.to_string());
+  host_.session_established(*this);
+}
+
+void Session::send_update(const UpdateMessage& update) {
+  if (!established()) return;
+  // Honour the RFC 4271 4096-byte message cap: oversized updates are split
+  // transparently (one attribute bundle per NLRI piece).
+  for (const auto& piece : split_update(update, codec_)) {
+    ++counters_.updates_tx;
+    transmit(piece);
+  }
+}
+
+void Session::reset_hold_timer() {
+  if (hold_timer_.is_valid()) host_.session_loop().cancel(hold_timer_);
+  if (negotiated_hold_s_ == 0 && state_ == SessionState::kEstablished) return;
+  const auto hold = negotiated_hold_s_ > 0
+                        ? core::Duration::seconds(negotiated_hold_s_)
+                        : config_.timers.hold;
+  const auto my_epoch = epoch_;
+  hold_timer_ = host_.session_loop().schedule(hold, [this, my_epoch] {
+    if (epoch_ != my_epoch) return;
+    fail(kErrHoldTimer, 0, "hold timer expired");
+  });
+}
+
+void Session::arm_keepalive_timer() {
+  const auto base = negotiated_hold_s_ > 0
+                        ? core::Duration::seconds(negotiated_hold_s_ / 3)
+                        : config_.timers.keepalive;
+  const auto delay = host_.session_rng().jittered(base, config_.timers.jitter_low,
+                                                  config_.timers.jitter_high);
+  const auto my_epoch = epoch_;
+  keepalive_timer_ = host_.session_loop().schedule(delay, [this, my_epoch] {
+    if (epoch_ != my_epoch || state_ != SessionState::kEstablished) return;
+    transmit(KeepaliveMessage{});
+    arm_keepalive_timer();
+  });
+}
+
+void Session::cancel_timers() {
+  auto& loop = host_.session_loop();
+  if (connect_timer_.is_valid()) loop.cancel(connect_timer_);
+  if (hold_timer_.is_valid()) loop.cancel(hold_timer_);
+  if (keepalive_timer_.is_valid()) loop.cancel(keepalive_timer_);
+  connect_timer_ = hold_timer_ = keepalive_timer_ = core::TimerId::invalid();
+}
+
+}  // namespace bgpsdn::bgp

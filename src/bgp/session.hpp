@@ -1,0 +1,150 @@
+// BGP session finite state machine (RFC 4271 §8, emulation subset).
+//
+// One Session object lives on each side of a peering link, owned by the
+// speaker node (router, collector, cluster speaker). TCP is abstracted as a
+// short jittered connect delay; everything above it — OPEN exchange,
+// capability negotiation, keepalive/hold timers, NOTIFICATION on error —
+// is real and runs over the emulated network in wire format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "bgp/message.hpp"
+#include "bgp/types.hpp"
+#include "net/ip.hpp"
+
+namespace bgpsdn::core {
+class EventLoop;
+class Logger;
+class Rng;
+}  // namespace bgpsdn::core
+
+namespace bgpsdn::bgp {
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kConnect,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+const char* to_string(SessionState s);
+
+class Session;
+
+/// The node hosting a session implements this to supply transport, timers
+/// and route handling.
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+
+  /// Transmit wire bytes towards the peer (the host wraps them in a Packet
+  /// and picks the right port).
+  virtual void session_transmit(Session& session, std::vector<std::byte> wire) = 0;
+
+  virtual void session_established(Session& session) = 0;
+  virtual void session_down(Session& session, const std::string& reason) = 0;
+  virtual void session_update(Session& session, const UpdateMessage& update) = 0;
+
+  virtual core::EventLoop& session_loop() = 0;
+  virtual core::Rng& session_rng() = 0;
+  virtual core::Logger& session_logger() = 0;
+  virtual std::string session_log_name() const = 0;
+};
+
+struct SessionConfig {
+  core::SessionId id;
+  core::AsNumber local_as;
+  net::Ipv4Addr local_id;
+  net::Ipv4Addr local_address;
+  net::Ipv4Addr remote_address;
+  /// Expected peer AS (0 = accept any, collector style).
+  core::AsNumber expected_peer_as{0};
+  Timers timers;
+  /// Abstracted TCP connection setup bounds.
+  core::Duration connect_delay_min{core::Duration::millis(10)};
+  core::Duration connect_delay_max{core::Duration::millis(100)};
+};
+
+struct SessionCounters {
+  std::uint64_t opens_rx{0};
+  std::uint64_t updates_rx{0};
+  std::uint64_t updates_tx{0};
+  std::uint64_t keepalives_rx{0};
+  std::uint64_t keepalives_tx{0};
+  std::uint64_t notifications_rx{0};
+  std::uint64_t notifications_tx{0};
+  std::uint64_t decode_errors{0};
+  std::uint64_t flaps{0};  // established -> down transitions
+};
+
+class Session {
+ public:
+  Session(SessionHost& host, SessionConfig config)
+      : host_{host}, config_{std::move(config)} {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Begin connecting (Idle -> Connect). Safe to call repeatedly.
+  void start();
+
+  /// Administrative or link-driven stop; sends no messages (the link is
+  /// presumed dead). If the session was established the host gets
+  /// session_down(). With `auto_restart`, the session re-enters Connect
+  /// after a jittered connect-retry delay (protocol failures recover this
+  /// way; link-down stops wait for the link-up event instead).
+  void stop(const std::string& reason, bool auto_restart = false);
+
+  /// Feed received wire bytes into the FSM.
+  void receive(const std::vector<std::byte>& wire);
+
+  /// Send an UPDATE (only valid when established).
+  void send_update(const UpdateMessage& update);
+
+  SessionState state() const { return state_; }
+  bool established() const { return state_ == SessionState::kEstablished; }
+  const SessionConfig& config() const { return config_; }
+  core::SessionId id() const { return config_.id; }
+  /// Peer AS learned from the OPEN (valid once past OpenSent).
+  core::AsNumber peer_as() const { return peer_as_; }
+  net::Ipv4Addr peer_bgp_id() const { return peer_id_; }
+  const SessionCounters& counters() const { return counters_; }
+  /// Negotiated codec (4-octet AS iff both sides advertised it).
+  const CodecOptions& codec() const { return codec_; }
+
+ private:
+  void transmit(const Message& m);
+  void on_open(const OpenMessage& m);
+  void on_keepalive();
+  void on_update(const UpdateMessage& m);
+  void on_notification(const NotificationMessage& m);
+  void enter_established();
+  void fail(std::uint8_t code, std::uint8_t subcode, const std::string& reason);
+  void reset_hold_timer();
+  void arm_keepalive_timer();
+  void cancel_timers();
+  void log(const std::string& event, const std::string& detail);
+
+  SessionHost& host_;
+  SessionConfig config_;
+  SessionState state_{SessionState::kIdle};
+  core::AsNumber peer_as_{0};
+  net::Ipv4Addr peer_id_;
+  bool peer_four_octet_{false};
+  CodecOptions codec_{};
+  SessionCounters counters_;
+  core::TimerId connect_timer_{core::TimerId::invalid()};
+  core::TimerId hold_timer_{core::TimerId::invalid()};
+  core::TimerId keepalive_timer_{core::TimerId::invalid()};
+  /// Negotiated hold time (min of both sides), seconds.
+  std::uint16_t negotiated_hold_s_{0};
+  /// Guards stale timer callbacks after resets.
+  std::uint64_t epoch_{0};
+};
+
+}  // namespace bgpsdn::bgp

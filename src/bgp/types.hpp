@@ -1,0 +1,82 @@
+// Common BGP value types and protocol constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace bgpsdn::bgp {
+
+/// ORIGIN attribute values (RFC 4271 §5.1.1); lower is preferred.
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+const char* to_string(Origin o);
+
+/// Business relationship of a peer, Gao-Rexford style. Drives both the
+/// import local-preference and the export filter.
+enum class Relationship : std::uint8_t {
+  kCustomer,  // peer is our customer
+  kPeer,      // settlement-free peer
+  kProvider,  // peer is our provider
+};
+
+const char* to_string(Relationship r);
+
+/// The relationship seen from the other side of the link.
+constexpr Relationship reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+/// Default import local-preference per relationship: prefer customer routes
+/// over peer routes over provider routes (standard operator practice).
+constexpr std::uint32_t default_local_pref(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return 130;
+    case Relationship::kPeer: return 100;
+    case Relationship::kProvider: return 70;
+  }
+  return 100;
+}
+
+/// How the Minimum Route Advertisement Interval paces updates.
+enum class MraiStyle : std::uint8_t {
+  /// Quagga's behaviour: a free-running per-peer advertisement timer fires
+  /// every (jittered) MRAI and flushes whatever changes are pending. A
+  /// change waits for the next tick — on average half an interval.
+  kPeriodicQuagga,
+  /// Cisco-style: the first change after an idle interval is sent
+  /// immediately, then the peer is gated for one MRAI.
+  kImmediateThenGate,
+};
+
+/// Protocol timer defaults. MRAI and keepalive follow Quagga's eBGP
+/// defaults; jitter fraction matches BGP implementations (75%-100%).
+struct Timers {
+  core::Duration hold{core::Duration::seconds(90)};
+  core::Duration keepalive{core::Duration::seconds(30)};
+  core::Duration connect_retry{core::Duration::seconds(5)};
+  /// Minimum Route Advertisement Interval (per peer). The dominant clock of
+  /// BGP path exploration and therefore of the paper's experiments.
+  core::Duration mrai{core::Duration::seconds(30)};
+  MraiStyle mrai_style{MraiStyle::kPeriodicQuagga};
+  /// Whether withdrawals are also MRAI-limited (RFC 4271 leaves this to the
+  /// implementation; Quagga does not rate-limit withdrawals by default).
+  bool mrai_applies_to_withdrawals{false};
+  double jitter_low{0.75};
+  double jitter_high{1.0};
+};
+
+/// Per-update processing cost, modelling Quagga's work per UPDATE.
+struct ProcessingModel {
+  core::Duration per_update{core::Duration::micros(500)};
+  core::Duration per_route{core::Duration::micros(50)};
+};
+
+}  // namespace bgpsdn::bgp

@@ -1,0 +1,201 @@
+#include "controller/as_topology.hpp"
+
+#include <limits>
+#include <set>
+
+namespace bgpsdn::controller {
+
+namespace {
+/// Node id encoding for the transformed graph: switches keep their dpid,
+/// the virtual destination gets an id above any dpid.
+constexpr std::uint64_t kDestNode = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+bool AsTopologyGraph::crosses_cluster(const bgp::AsPath& path) const {
+  for (const auto as : path.hops()) {
+    if (switches_.switch_of(as).has_value()) return true;
+  }
+  return false;
+}
+
+PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
+                                       std::optional<sdn::Dpid> origin_switch) const {
+  PrefixDecision decision;
+
+  // Component index per switch: needed by the sub-cluster rule below.
+  std::map<sdn::Dpid, std::size_t> component_of;
+  {
+    const auto comps = switches_.components();
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      for (const auto dpid : comps[i]) component_of[dpid] = i;
+    }
+  }
+
+  // Base reversed graph: Dijkstra runs from the virtual destination, so
+  // every edge points *away* from it. Intra-cluster links are symmetric.
+  AdjacencyList graph;
+  graph[kDestNode];
+  for (const auto& sw : switches_.all_switches()) {
+    auto& edges = graph[sw.dpid];
+    for (const auto& adj : switches_.neighbors(sw.dpid)) {
+      edges.push_back(Edge{adj.peer, 1});
+    }
+  }
+
+  // Egress bookkeeping: best (weight, peering) per border switch.
+  struct EgressChoice {
+    std::uint32_t weight{0};
+    speaker::PeeringId peering{0};
+    const ExternalRoute* route{nullptr};
+  };
+  std::map<sdn::Dpid, EgressChoice> egress;
+  const auto consider_egress = [&](const ExternalRoute& r) {
+    const speaker::Peering* info = speaker_.peering(r.peering);
+    if (info == nullptr) return;
+    const auto weight =
+        static_cast<std::uint32_t>(1 + r.attributes.as_path.length());
+    const auto it = egress.find(info->border_dpid);
+    // Deterministic preference: lower weight, then lower peering id.
+    if (it == egress.end() || weight < it->second.weight ||
+        (weight == it->second.weight && r.peering < it->second.peering)) {
+      egress[info->border_dpid] = EgressChoice{weight, r.peering, &r};
+    }
+  };
+
+  // --- Pass 1: routes that never re-enter the cluster -------------------
+  std::vector<const ExternalRoute*> crossing;
+  for (const auto& r : routes) {
+    if (crosses_cluster(r.attributes.as_path)) {
+      crossing.push_back(&r);
+    } else {
+      consider_egress(r);
+    }
+  }
+  const auto build_dest_edges = [&] {
+    auto& dest = graph[kDestNode];
+    dest.clear();
+    for (const auto& [dpid, choice] : egress) {
+      dest.push_back(Edge{dpid, choice.weight});
+    }
+    if (origin_switch) dest.push_back(Edge{*origin_switch, 0});
+  };
+  build_dest_edges();
+  DijkstraResult res = shortest_paths(graph, kDestNode);
+
+  // --- Pass 2: the sub-cluster rule --------------------------------------
+  // "We want to support disjoint AS sub-clusters controlled by the same
+  // controller, so that an intra-cluster link failure does not isolate the
+  // controlled ASes: paths over the legacy Internet could still connect
+  // the sub-clusters."
+  //
+  // A route whose AS_PATH contains cluster members is admissible only for
+  // a border switch that pass 1 left unreachable, and only when every
+  // crossed member (a) sits in a *different* component than that border
+  // switch and (b) was itself reached in pass 1 without crossing the
+  // cluster. Such traffic exits to the legacy world and re-enters a
+  // sub-cluster whose forwarding never points back at the unreached one —
+  // loop-free by construction. Everything else is pruned (the paper's
+  // "naive BGP loop avoidance is not enough" insight).
+  // Iterate to a fixpoint: each pass may admit routes whose crossed
+  // members were all settled by *earlier* passes. A pass-k component only
+  // forwards through components of pass < k, so the pass order is a
+  // topological order and no forwarding cycle can form.
+  std::vector<const ExternalRoute*> pending(crossing.begin(), crossing.end());
+  std::size_t admitted_total = 0;
+  bool progress = allow_bridging_;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<const ExternalRoute*> still_pending;
+    std::vector<const ExternalRoute*> admitted;
+    for (const ExternalRoute* r : pending) {
+      const speaker::Peering* info = speaker_.peering(r->peering);
+      if (info == nullptr) continue;
+      const sdn::Dpid border = info->border_dpid;
+      if (res.dist.count(border) > 0) continue;  // already safely routed
+      bool safe = true;
+      for (const auto as : r->attributes.as_path.hops()) {
+        const auto crossed = switches_.switch_of(as);
+        if (!crossed) continue;
+        if (component_of.at(*crossed) == component_of.at(border) ||
+            res.dist.count(*crossed) == 0) {
+          safe = false;
+          break;
+        }
+      }
+      if (safe) {
+        admitted.push_back(r);
+      } else {
+        still_pending.push_back(r);
+      }
+    }
+    if (!admitted.empty()) {
+      for (const ExternalRoute* r : admitted) consider_egress(*r);
+      admitted_total += admitted.size();
+      build_dest_edges();
+      res = shortest_paths(graph, kDestNode);
+      progress = true;
+    }
+    pending = std::move(still_pending);
+  }
+  decision.pruned_routes += crossing.size() - admitted_total;
+
+  // --- Translate predecessors into per-switch hops ----------------------
+  // prev[s] is the node after s on the path s -> destination (the Dijkstra
+  // ran on reversed edges).
+  for (const auto& sw : switches_.all_switches()) {
+    const auto dit = res.dist.find(sw.dpid);
+    if (dit == res.dist.end()) continue;  // unreachable
+    PrefixDecision::Hop hop;
+    hop.distance = dit->second;
+    const std::uint64_t next = res.prev.at(sw.dpid);
+    if (next == kDestNode) {
+      if (origin_switch && *origin_switch == sw.dpid &&
+          (egress.count(sw.dpid) == 0 || dit->second == 0)) {
+        hop.kind = PrefixDecision::HopKind::kLocalOrigin;
+      } else {
+        hop.kind = PrefixDecision::HopKind::kEgress;
+        hop.egress = egress.at(sw.dpid).peering;
+      }
+    } else {
+      hop.kind = PrefixDecision::HopKind::kNextSwitch;
+      hop.next_switch = next;
+    }
+    decision.hops[sw.dpid] = hop;
+  }
+
+  // --- Compose AS-level paths --------------------------------------------
+  // Walk the hop chain, then append the external route's path at the
+  // egress (or stop at the origin switch).
+  for (const auto& [dpid, hop] : decision.hops) {
+    std::vector<core::AsNumber> hops_out;
+    bgp::Origin origin = bgp::Origin::kIgp;
+    sdn::Dpid cur = dpid;
+    bool ok = true;
+    while (true) {
+      const auto owner = switches_.owner_of(cur);
+      if (!owner) {
+        ok = false;
+        break;
+      }
+      hops_out.push_back(*owner);
+      const auto& h = decision.hops.at(cur);
+      if (h.kind == PrefixDecision::HopKind::kLocalOrigin) break;
+      if (h.kind == PrefixDecision::HopKind::kEgress) {
+        const auto& choice = egress.at(cur);
+        for (const auto as : choice.route->attributes.as_path.hops()) {
+          hops_out.push_back(as);
+        }
+        origin = choice.route->attributes.origin;
+        break;
+      }
+      cur = h.next_switch;
+    }
+    if (!ok) continue;
+    decision.as_paths[dpid] = bgp::AsPath{std::move(hops_out)};
+    decision.origins[dpid] = origin;
+  }
+
+  return decision;
+}
+
+}  // namespace bgpsdn::controller

@@ -1,0 +1,102 @@
+// AsTopologyGraph — the per-prefix transformation of the switch graph.
+//
+// The paper's key design insight: the controller "can not naively use the
+// same loop avoidance mechanism as BGP, due to the differences between the
+// distributed path selection of BGP and the centralized routing control of
+// SDN". For each destination prefix the switch graph is restructured into
+// an AS topology graph:
+//
+//   * nodes: cluster switches plus one virtual destination node;
+//   * intra-cluster links become weight-1 edges;
+//   * every usable external route learned on a border peering becomes an
+//     edge border-switch -> destination weighted by its AS-path length
+//     (+1 for the egress hop), so legacy paths compete fairly with paths
+//     that stay inside the cluster;
+//   * a cluster-originated prefix becomes a weight-0 edge from its origin
+//     switch to the destination.
+//
+// Loop avoidance across the legacy/SDN boundary: an external route whose
+// AS_PATH contains any cluster-member AS re-enters the cluster, and naively
+// using it could forward traffic back to a switch that would send it out
+// again. Such routes are pruned, with one carefully-scoped exception
+// implementing the paper's sub-cluster goal ("an intra-cluster link failure
+// does not isolate the controlled ASes: paths over the legacy Internet
+// could still connect the sub-clusters"): a cluster-crossing route is
+// admitted for a border switch that would otherwise be unreachable, when
+// every crossed member belongs to a different connected component and that
+// component already routes the prefix without crossing the cluster — then
+// the re-entered sub-cluster provably never forwards back.
+//
+// Dijkstra from the virtual destination over reversed edges yields, per
+// switch, the distance and the next hop towards the destination — either a
+// neighbor switch, one of the switch's own border peerings, or local
+// delivery at the origin switch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/path_attributes.hpp"
+#include "controller/dijkstra.hpp"
+#include "controller/switch_graph.hpp"
+#include "speaker/cluster_speaker.hpp"
+
+namespace bgpsdn::controller {
+
+/// One external route for the prefix under decision.
+struct ExternalRoute {
+  speaker::PeeringId peering{0};
+  bgp::PathAttributes attributes;
+};
+
+/// The controller's routing decision for one prefix.
+struct PrefixDecision {
+  enum class HopKind : std::uint8_t { kNextSwitch, kEgress, kLocalOrigin };
+  struct Hop {
+    HopKind kind{HopKind::kNextSwitch};
+    sdn::Dpid next_switch{0};           // kNextSwitch
+    speaker::PeeringId egress{0};       // kEgress
+    std::uint32_t distance{0};
+  };
+  /// Switches that can reach the destination.
+  std::map<sdn::Dpid, Hop> hops;
+  /// AS-level path from each reachable switch to the destination, starting
+  /// with that switch's own AS (used to compose legacy announcements).
+  std::map<sdn::Dpid, bgp::AsPath> as_paths;
+  /// Origin attribute propagated from the chosen external route (or IGP for
+  /// cluster-originated prefixes), per switch.
+  std::map<sdn::Dpid, bgp::Origin> origins;
+  /// Routes pruned by the loop-avoidance rule (for diagnostics/tests).
+  std::size_t pruned_routes{0};
+
+  bool reachable(sdn::Dpid dpid) const { return hops.count(dpid) > 0; }
+};
+
+class AsTopologyGraph {
+ public:
+  /// `allow_subcluster_bridging` enables pass 2 (legacy bridges between
+  /// disjoint sub-clusters); disabling it reproduces the naive
+  /// prune-everything rule for ablation.
+  AsTopologyGraph(const SwitchGraph& switches,
+                  const speaker::ClusterBgpSpeaker& speaker,
+                  bool allow_subcluster_bridging = true)
+      : switches_{switches},
+        speaker_{speaker},
+        allow_bridging_{allow_subcluster_bridging} {}
+
+  /// Build the transformed graph for one prefix and run Dijkstra.
+  /// `origin_switch`: set when a cluster member originates the prefix.
+  PrefixDecision decide(const std::vector<ExternalRoute>& routes,
+                        std::optional<sdn::Dpid> origin_switch) const;
+
+ private:
+  bool crosses_cluster(const bgp::AsPath& path) const;
+
+  const SwitchGraph& switches_;
+  const speaker::ClusterBgpSpeaker& speaker_;
+  bool allow_bridging_;
+};
+
+}  // namespace bgpsdn::controller

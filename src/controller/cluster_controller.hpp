@@ -1,0 +1,39 @@
+// ClusterController — the interface every cluster routing application
+// implements.
+//
+// Two implementations exist: IdrController (the paper's contribution —
+// centralized Dijkstra on the AS topology graph) and RouteFlowController
+// (the related-work baseline — a mirrored virtual network running legacy
+// BGP). The experiment framework builds either behind this interface, so
+// benches can compare them on identical scenarios.
+#pragma once
+
+#include <optional>
+
+#include "controller/switch_graph.hpp"
+#include "sdn/controller_base.hpp"
+#include "speaker/cluster_speaker.hpp"
+
+namespace bgpsdn::controller {
+
+class ClusterController : public sdn::ControllerBase,
+                          public speaker::SpeakerListener {
+ public:
+  /// The physical cluster topology; the experiment builder populates it.
+  virtual SwitchGraph& switch_graph() = 0;
+
+  /// Wire up the cluster BGP speaker (registers this controller as its
+  /// listener).
+  virtual void bind_speaker(speaker::ClusterBgpSpeaker& speaker) = 0;
+
+  /// Originate / withdraw a prefix at a member switch.
+  virtual void originate(sdn::Dpid origin, const net::Prefix& prefix,
+                         std::optional<core::PortId> host_port) = 0;
+  virtual void withdraw_origin(const net::Prefix& prefix) = 0;
+
+  /// Called once by the builder after every switch, link and peering has
+  /// been declared (implementations that precompute state hook in here).
+  virtual void finalize() {}
+};
+
+}  // namespace bgpsdn::controller

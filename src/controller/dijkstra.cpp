@@ -1,0 +1,53 @@
+#include "controller/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace bgpsdn::controller {
+
+DijkstraResult shortest_paths(const AdjacencyList& graph, std::uint64_t source) {
+  DijkstraResult res;
+  using Item = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>;  // dist, node, via
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0, source, source});
+  while (!heap.empty()) {
+    const auto [d, u, via] = heap.top();
+    heap.pop();
+    const auto it = res.dist.find(u);
+    if (it != res.dist.end()) {
+      // Already settled; apply the deterministic tiebreak on equal distance.
+      if (it->second == d && u != source) {
+        auto& p = res.prev[u];
+        if (via < p) p = via;
+      }
+      continue;
+    }
+    res.dist[u] = d;
+    if (u != source) res.prev[u] = via;
+    const auto adj = graph.find(u);
+    if (adj == graph.end()) continue;
+    for (const auto& e : adj->second) {
+      if (res.dist.count(e.to) == 0) heap.push({d + e.weight, e.to, u});
+    }
+  }
+  return res;
+}
+
+std::vector<std::uint64_t> path_to(const DijkstraResult& result,
+                                   std::uint64_t source, std::uint64_t target) {
+  if (result.dist.count(target) == 0) return {};
+  std::vector<std::uint64_t> path;
+  std::uint64_t cur = target;
+  path.push_back(cur);
+  while (cur != source) {
+    const auto it = result.prev.find(cur);
+    if (it == result.prev.end()) return {};  // defensive: broken chain
+    cur = it->second;
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace bgpsdn::controller

@@ -1,0 +1,35 @@
+// Deterministic Dijkstra over small integer-keyed graphs.
+//
+// "Best path calculations are based on the Dijkstra algorithm, running on
+// the AS topology graph." Ties are broken towards the lower node id so that
+// repeated runs (and therefore installed flow rules) are stable — route
+// stability is one of the controller's design goals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace bgpsdn::controller {
+
+struct Edge {
+  std::uint64_t to{0};
+  std::uint32_t weight{1};
+};
+
+using AdjacencyList = std::map<std::uint64_t, std::vector<Edge>>;
+
+struct DijkstraResult {
+  /// Distance from the source; absent = unreachable.
+  std::map<std::uint64_t, std::uint32_t> dist;
+  /// Predecessor on the shortest path from the source; absent for source.
+  std::map<std::uint64_t, std::uint64_t> prev;
+};
+
+DijkstraResult shortest_paths(const AdjacencyList& graph, std::uint64_t source);
+
+/// Nodes from source to target inclusive; empty if unreachable.
+std::vector<std::uint64_t> path_to(const DijkstraResult& result,
+                                   std::uint64_t source, std::uint64_t target);
+
+}  // namespace bgpsdn::controller

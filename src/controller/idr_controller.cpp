@@ -1,0 +1,255 @@
+#include "controller/idr_controller.hpp"
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "net/network.hpp"
+
+namespace bgpsdn::controller {
+
+void IdrController::bind_speaker(speaker::ClusterBgpSpeaker& speaker) {
+  speaker_ = &speaker;
+  speaker.set_listener(this);
+}
+
+void IdrController::originate(sdn::Dpid origin, const net::Prefix& prefix,
+                              std::optional<core::PortId> host_port) {
+  origins_[prefix] = OriginInfo{origin, host_port};
+  logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(),
+               "origin_announce",
+               prefix.to_string() + " at dpid " + std::to_string(origin));
+  mark_dirty(prefix);
+}
+
+void IdrController::withdraw_origin(const net::Prefix& prefix) {
+  if (origins_.erase(prefix) == 0) return;
+  logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(),
+               "origin_withdraw", prefix.to_string());
+  mark_dirty(prefix);
+}
+
+// --- speaker input ----------------------------------------------------------
+
+void IdrController::on_peer_established(const speaker::Peering&) {
+  // Announce the current table to the fresh peer (and re-derive everything:
+  // a new egress may change best paths).
+  mark_all_dirty();
+}
+
+void IdrController::on_peer_down(const speaker::Peering& peering,
+                                 const std::string&) {
+  for (auto& [prefix, routes] : external_routes_) {
+    if (routes.erase(peering.id) > 0) mark_dirty(prefix);
+  }
+}
+
+void IdrController::on_route_update(const speaker::Peering& peering,
+                                    const bgp::UpdateMessage& update) {
+  for (const auto& prefix : update.withdrawn) {
+    auto it = external_routes_.find(prefix);
+    if (it != external_routes_.end() && it->second.erase(peering.id) > 0) {
+      mark_dirty(prefix);
+    }
+  }
+  for (const auto& prefix : update.nlri) {
+    auto& slot = external_routes_[prefix][peering.id];
+    if (slot == update.attributes) continue;  // duplicate announcement
+    slot = update.attributes;
+    mark_dirty(prefix);
+  }
+}
+
+// --- switch input -----------------------------------------------------------
+
+void IdrController::on_switch_connected(const sdn::SwitchChannel&) {
+  mark_all_dirty();
+}
+
+void IdrController::on_packet_in(const sdn::SwitchChannel& channel,
+                                 const sdn::OfPacketIn& in) {
+  // Reactive repair: if we already decided a route for this destination,
+  // reinstall the rule and forward the packet along it.
+  const net::Ipv4Addr dst = in.packet.dst;
+  const net::Prefix* best_prefix = nullptr;
+  for (const auto& [prefix, actions] : installed_) {
+    if (!prefix.contains(dst)) continue;
+    if (best_prefix == nullptr || prefix.length() > best_prefix->length()) {
+      best_prefix = &prefix;
+    }
+  }
+  if (best_prefix == nullptr) return;  // no route: drop
+  const auto& actions = installed_.at(*best_prefix);
+  const auto it = actions.find(channel.dpid);
+  if (it == actions.end()) return;
+  sdn::OfFlowMod mod;
+  mod.command = sdn::FlowModCommand::kAdd;
+  mod.match.dst = *best_prefix;
+  mod.priority = kDataRulePriority;
+  mod.action = it->second;
+  send_flow_mod(channel.dpid, mod);
+  if (it->second.type == sdn::ActionType::kOutput) {
+    send_packet_out(channel.dpid, it->second.port, in.packet);
+  }
+}
+
+void IdrController::on_port_status(const sdn::SwitchChannel& channel,
+                                   const sdn::OfPortStatus& status) {
+  // Intra-cluster link?
+  if (graph_.set_port_state(channel.dpid, status.port, status.up)) {
+    logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(),
+                 "cluster_link_state",
+                 "dpid " + std::to_string(channel.dpid) + " port " +
+                     std::to_string(status.port.value()) +
+                     (status.up ? " up" : " down"));
+    mark_all_dirty();
+    return;
+  }
+  // Border port of a relayed peering? Centralized failure handling: reset
+  // the session immediately instead of waiting for its hold timer.
+  if (speaker_ == nullptr) return;
+  for (const auto* peering : speaker_->peerings()) {
+    if (peering->border_dpid != channel.dpid ||
+        peering->switch_external_port != status.port) {
+      continue;
+    }
+    if (!status.up) {
+      ++idr_counters_.border_port_resets;
+      speaker_->reset_peering(peering->id, "border port down");
+    }
+    // on_peer_down() marks the affected prefixes dirty.
+    return;
+  }
+}
+
+// --- recomputation ----------------------------------------------------------
+
+void IdrController::mark_dirty(const net::Prefix& prefix) {
+  dirty_.insert(prefix);
+  if (recompute_pending_) return;
+  recompute_pending_ = true;
+  loop().schedule(config_.recompute_delay, [this] { run_recompute(); });
+}
+
+void IdrController::mark_all_dirty() {
+  for (const auto& prefix : known_prefixes()) dirty_.insert(prefix);
+  if (dirty_.empty()) return;
+  if (recompute_pending_) return;
+  recompute_pending_ = true;
+  loop().schedule(config_.recompute_delay, [this] { run_recompute(); });
+}
+
+std::set<net::Prefix> IdrController::known_prefixes() const {
+  std::set<net::Prefix> out;
+  for (const auto& [prefix, routes] : external_routes_) out.insert(prefix);
+  for (const auto& [prefix, info] : origins_) out.insert(prefix);
+  for (const auto& [prefix, actions] : installed_) out.insert(prefix);
+  return out;
+}
+
+void IdrController::run_recompute() {
+  recompute_pending_ = false;
+  ++idr_counters_.recompute_passes;
+  const auto batch = std::move(dirty_);
+  dirty_.clear();
+  logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(), "recompute",
+               std::to_string(batch.size()) + " prefixes");
+  for (const auto& prefix : batch) recompute_prefix(prefix);
+}
+
+void IdrController::recompute_prefix(const net::Prefix& prefix) {
+  ++idr_counters_.prefix_recomputes;
+  if (speaker_ == nullptr) return;
+
+  // Gather inputs.
+  std::vector<ExternalRoute> routes;
+  if (const auto it = external_routes_.find(prefix); it != external_routes_.end()) {
+    routes.reserve(it->second.size());
+    for (const auto& [pid, attrs] : it->second) routes.push_back({pid, attrs});
+  }
+  std::optional<sdn::Dpid> origin_switch;
+  std::map<sdn::Dpid, core::PortId> origin_host_ports;
+  if (const auto it = origins_.find(prefix); it != origins_.end()) {
+    origin_switch = it->second.dpid;
+    if (it->second.host_port) {
+      origin_host_ports[it->second.dpid] = *it->second.host_port;
+    }
+  }
+
+  // Decide.
+  const AsTopologyGraph topo{graph_, *speaker_, config_.subcluster_bridging};
+  PrefixDecision decision = topo.decide(routes, origin_switch);
+  idr_counters_.routes_pruned_loop += decision.pruned_routes;
+
+  // Compile and diff flow rules.
+  const CompiledFlows flows =
+      compile_flows(decision, graph_, *speaker_, origin_host_ports);
+  auto& installed = installed_[prefix];
+  for (const auto& [dpid, action] : flows.actions) {
+    const auto it = installed.find(dpid);
+    if (it != installed.end() && it->second == action) continue;
+    if (!is_connected(dpid)) continue;
+    sdn::OfFlowMod mod;
+    mod.command = sdn::FlowModCommand::kAdd;
+    mod.match.dst = prefix;
+    mod.priority = kDataRulePriority;
+    mod.action = action;
+    send_flow_mod(dpid, mod);
+    installed[dpid] = action;
+    ++idr_counters_.flow_adds;
+  }
+  for (auto it = installed.begin(); it != installed.end();) {
+    if (flows.actions.count(it->first) > 0) {
+      ++it;
+      continue;
+    }
+    sdn::OfFlowMod mod;
+    mod.command = sdn::FlowModCommand::kDelete;
+    mod.match.dst = prefix;
+    mod.priority = kDataRulePriority;
+    send_flow_mod(it->first, mod);
+    ++idr_counters_.flow_deletes;
+    it = installed.erase(it);
+  }
+  if (installed.empty()) installed_.erase(prefix);
+
+  // Compose announcements to every legacy peering. The AS path starts with
+  // the border switch's own AS and is the exact AS-level route traffic will
+  // take — the cluster stays transparent to the legacy world.
+  for (const auto* peering : speaker_->peerings()) {
+    const sdn::Dpid border = peering->border_dpid;
+    const auto path_it = decision.as_paths.find(border);
+    bool announce = path_it != decision.as_paths.end();
+    if (announce && peering->expected_peer_as.value() != 0 &&
+        path_it->second.contains(peering->expected_peer_as)) {
+      // The path runs through the receiving AS (e.g. it is our chosen
+      // egress); announcing it would be an immediate loop.
+      announce = false;
+    }
+    if (announce) {
+      bgp::PathAttributes attrs;
+      attrs.as_path = path_it->second;
+      attrs.origin = decision.origins.count(border) > 0
+                         ? decision.origins.at(border)
+                         : bgp::Origin::kIgp;
+      attrs.next_hop = peering->local_address;
+      ++idr_counters_.announces;
+      speaker_->announce(peering->id, prefix, attrs);
+    } else {
+      ++idr_counters_.withdraws;
+      speaker_->withdraw(peering->id, prefix);
+    }
+  }
+
+  decisions_[prefix] = std::move(decision);
+}
+
+const PrefixDecision* IdrController::decision_for(const net::Prefix& prefix) const {
+  const auto it = decisions_.find(prefix);
+  return it == decisions_.end() ? nullptr : &it->second;
+}
+
+std::size_t IdrController::route_count(const net::Prefix& prefix) const {
+  const auto it = external_routes_.find(prefix);
+  return it == external_routes_.end() ? 0 : it->second.size();
+}
+
+}  // namespace bgpsdn::controller

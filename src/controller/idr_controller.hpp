@@ -1,0 +1,120 @@
+// IdrController — the paper's proof-of-concept IDR SDN controller.
+//
+// Centralizes routing for the cluster: consumes BGP input from the cluster
+// BGP speaker and topology events from the switches, recomputes best paths
+// on the per-prefix AS topology graph (Dijkstra), compiles them to flow
+// rules, and composes the cluster's announcements to the legacy world
+// (keeping each member's AS identity — the cluster is transparent).
+//
+// Design insight #2 from the paper: "the need for a delayed recomputation
+// of best paths on the controller's side, so as to improve overall
+// stability and rate-limit route flaps due to bursts in external BGP
+// input." Inputs mark prefixes dirty; one timer batches them and a single
+// recomputation pass handles the burst.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "controller/as_topology.hpp"
+#include "controller/cluster_controller.hpp"
+#include "controller/route_compiler.hpp"
+#include "controller/switch_graph.hpp"
+#include "core/time.hpp"
+#include "sdn/controller_base.hpp"
+#include "speaker/cluster_speaker.hpp"
+
+namespace bgpsdn::controller {
+
+struct IdrControllerConfig {
+  /// Batch window between the first dirtying input and recomputation.
+  core::Duration recompute_delay{core::Duration::seconds(2)};
+  /// Admit legacy paths that bridge disjoint sub-clusters (pass 2 of the
+  /// AS-topology transformation). Off = naive prune-everything rule.
+  bool subcluster_bridging{true};
+};
+
+struct IdrCounters {
+  std::uint64_t recompute_passes{0};
+  std::uint64_t prefix_recomputes{0};
+  std::uint64_t flow_adds{0};
+  std::uint64_t flow_deletes{0};
+  std::uint64_t announces{0};
+  std::uint64_t withdraws{0};
+  std::uint64_t border_port_resets{0};
+  std::uint64_t routes_pruned_loop{0};
+};
+
+class IdrController : public ClusterController {
+ public:
+  explicit IdrController(IdrControllerConfig config = {}) : config_{config} {}
+
+  /// Wire up the speaker (also registers this controller as its listener).
+  void bind_speaker(speaker::ClusterBgpSpeaker& speaker) override;
+
+  /// The cluster builder declares the physical cluster before start.
+  SwitchGraph& switch_graph() override { return graph_; }
+  const SwitchGraph& switch_graph() const { return graph_; }
+
+  /// Originate a prefix at a member switch ("SDN switches can originate
+  /// prefixes"); optional attached host port for local delivery.
+  void originate(sdn::Dpid origin, const net::Prefix& prefix,
+                 std::optional<core::PortId> host_port = std::nullopt) override;
+  void withdraw_origin(const net::Prefix& prefix) override;
+
+  // SpeakerListener
+  void on_peer_established(const speaker::Peering& peering) override;
+  void on_peer_down(const speaker::Peering& peering,
+                    const std::string& reason) override;
+  void on_route_update(const speaker::Peering& peering,
+                       const bgp::UpdateMessage& update) override;
+
+  const IdrCounters& counters() const { return idr_counters_; }
+  /// Latest decision per prefix (for tests and analysis tools).
+  const PrefixDecision* decision_for(const net::Prefix& prefix) const;
+  /// External routes currently known for a prefix.
+  std::size_t route_count(const net::Prefix& prefix) const;
+
+ protected:
+  void on_switch_connected(const sdn::SwitchChannel& channel) override;
+  void on_packet_in(const sdn::SwitchChannel& channel,
+                    const sdn::OfPacketIn& in) override;
+  void on_port_status(const sdn::SwitchChannel& channel,
+                      const sdn::OfPortStatus& status) override;
+
+ private:
+  void mark_dirty(const net::Prefix& prefix);
+  void mark_all_dirty();
+  void run_recompute();
+  void recompute_prefix(const net::Prefix& prefix);
+  std::set<net::Prefix> known_prefixes() const;
+
+  IdrControllerConfig config_;
+  speaker::ClusterBgpSpeaker* speaker_{nullptr};
+  SwitchGraph graph_;
+
+  /// External RIB: prefix -> (peering -> attributes as received).
+  std::unordered_map<net::Prefix, std::map<speaker::PeeringId, bgp::PathAttributes>>
+      external_routes_;
+  /// Cluster-originated prefixes: prefix -> (origin switch, host port).
+  struct OriginInfo {
+    sdn::Dpid dpid{0};
+    std::optional<core::PortId> host_port;
+  };
+  std::map<net::Prefix, OriginInfo> origins_;
+
+  /// Installed flow state: prefix -> per-switch action (diff target).
+  std::map<net::Prefix, std::map<sdn::Dpid, sdn::FlowAction>> installed_;
+  /// Latest decisions, for introspection.
+  std::map<net::Prefix, PrefixDecision> decisions_;
+
+  std::set<net::Prefix> dirty_;
+  bool recompute_pending_{false};
+  IdrCounters idr_counters_;
+};
+
+}  // namespace bgpsdn::controller

@@ -1,0 +1,48 @@
+#include "controller/route_compiler.hpp"
+
+namespace bgpsdn::controller {
+
+CompiledFlows compile_flows(
+    const PrefixDecision& decision, const SwitchGraph& switches,
+    const speaker::ClusterBgpSpeaker& speaker,
+    const std::map<sdn::Dpid, core::PortId>& origin_host_ports) {
+  CompiledFlows out;
+  for (const auto& [dpid, hop] : decision.hops) {
+    switch (hop.kind) {
+      case PrefixDecision::HopKind::kNextSwitch: {
+        // Pick the (deterministically first) up adjacency towards the
+        // chosen neighbor.
+        std::optional<core::PortId> port;
+        for (const auto& adj : switches.neighbors(dpid)) {
+          if (adj.peer == hop.next_switch) {
+            port = adj.local_port;
+            break;
+          }
+        }
+        if (port) out.actions[dpid] = sdn::FlowAction::output(*port);
+        break;
+      }
+      case PrefixDecision::HopKind::kEgress: {
+        const speaker::Peering* info = speaker.peering(hop.egress);
+        if (info != nullptr) {
+          out.actions[dpid] = sdn::FlowAction::output(info->switch_external_port);
+        }
+        break;
+      }
+      case PrefixDecision::HopKind::kLocalOrigin: {
+        const auto it = origin_host_ports.find(dpid);
+        if (it != origin_host_ports.end()) {
+          out.actions[dpid] = sdn::FlowAction::output(it->second);
+        } else {
+          // Prefix terminates here with no host attached: drop explicitly
+          // rather than punting every packet to the controller.
+          out.actions[dpid] = sdn::FlowAction::drop();
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsdn::controller

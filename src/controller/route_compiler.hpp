@@ -1,0 +1,37 @@
+// RouteCompiler — "AS routes are then compiled to flow rules on the SDN
+// switches."
+//
+// Pure translation from a PrefixDecision to the concrete flow action each
+// switch needs, so it is unit-testable without a live controller. The
+// IdrController diffs the result against installed state and emits FlowMods.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "controller/as_topology.hpp"
+#include "controller/switch_graph.hpp"
+#include "net/ip.hpp"
+#include "sdn/flow.hpp"
+
+namespace bgpsdn::controller {
+
+/// Data-plane rules install at this priority; the cluster builder's static
+/// BGP-relay rules sit above them.
+inline constexpr std::uint16_t kDataRulePriority = 100;
+inline constexpr std::uint16_t kRelayRulePriority = 200;
+
+struct CompiledFlows {
+  /// Desired action per switch for the prefix. Switches missing from the
+  /// map must have their rule removed.
+  std::map<sdn::Dpid, sdn::FlowAction> actions;
+};
+
+/// `host_port` resolves an attached host port for (dpid) local delivery of
+/// an origin prefix, if any.
+CompiledFlows compile_flows(
+    const PrefixDecision& decision, const SwitchGraph& switches,
+    const speaker::ClusterBgpSpeaker& speaker,
+    const std::map<sdn::Dpid, core::PortId>& origin_host_ports);
+
+}  // namespace bgpsdn::controller

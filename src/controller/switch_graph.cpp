@@ -1,0 +1,92 @@
+#include "controller/switch_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace bgpsdn::controller {
+
+void SwitchGraph::add_switch(sdn::Dpid dpid, core::AsNumber owner_as) {
+  switches_[dpid] = SwitchInfo{dpid, owner_as};
+  by_as_[owner_as] = dpid;
+  adj_.try_emplace(dpid);
+}
+
+void SwitchGraph::add_link(sdn::Dpid a, core::PortId a_port, sdn::Dpid b,
+                           core::PortId b_port) {
+  adj_[a].push_back(Adjacency{b, a_port, true});
+  adj_[b].push_back(Adjacency{a, b_port, true});
+  links_ += 2;
+}
+
+bool SwitchGraph::set_port_state(sdn::Dpid dpid, core::PortId port, bool up) {
+  const auto it = adj_.find(dpid);
+  if (it == adj_.end()) return false;
+  for (auto& a : it->second) {
+    if (a.local_port != port) continue;
+    a.up = up;
+    // Mirror on the peer side.
+    for (auto& back : adj_[a.peer]) {
+      if (back.peer == dpid) back.up = up;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::optional<core::AsNumber> SwitchGraph::owner_of(sdn::Dpid dpid) const {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) return std::nullopt;
+  return it->second.owner_as;
+}
+
+std::optional<sdn::Dpid> SwitchGraph::switch_of(core::AsNumber as) const {
+  const auto it = by_as_.find(as);
+  if (it == by_as_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Adjacency> SwitchGraph::neighbors(sdn::Dpid dpid,
+                                              bool include_down) const {
+  std::vector<Adjacency> out;
+  const auto it = adj_.find(dpid);
+  if (it == adj_.end()) return out;
+  for (const auto& a : it->second) {
+    if (a.up || include_down) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<SwitchInfo> SwitchGraph::all_switches() const {
+  std::vector<SwitchInfo> out;
+  out.reserve(switches_.size());
+  for (const auto& [dpid, info] : switches_) out.push_back(info);
+  return out;
+}
+
+std::vector<std::vector<sdn::Dpid>> SwitchGraph::components() const {
+  std::vector<std::vector<sdn::Dpid>> comps;
+  std::set<sdn::Dpid> seen;
+  for (const auto& [dpid, info] : switches_) {
+    if (seen.count(dpid) > 0) continue;
+    std::vector<sdn::Dpid> comp;
+    std::vector<sdn::Dpid> stack{dpid};
+    seen.insert(dpid);
+    while (!stack.empty()) {
+      const auto cur = stack.back();
+      stack.pop_back();
+      comp.push_back(cur);
+      for (const auto& a : neighbors(cur)) {
+        if (seen.insert(a.peer).second) stack.push_back(a.peer);
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+bool SwitchGraph::is_connected() const {
+  return switches_.empty() || components().size() == 1;
+}
+
+}  // namespace bgpsdn::controller

@@ -1,0 +1,61 @@
+#include "core/event_loop.hpp"
+
+#include <utility>
+
+namespace bgpsdn::core {
+
+TimerId EventLoop::schedule(Duration delay, Callback cb) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+TimerId EventLoop::schedule_at(TimePoint when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return TimerId{id};
+}
+
+bool EventLoop::cancel(TimerId id) {
+  if (pending_ids_.count(id.value()) == 0) return false;
+  // Lazy deletion: mark and skip when popped. Entries stay in the heap but
+  // their callbacks are dropped.
+  const bool fresh = cancelled_.insert(id.value()).second;
+  if (fresh) pending_ids_.erase(id.value());
+  return fresh;
+}
+
+bool EventLoop::step(TimePoint until) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) return false;
+    // Move the callback out before popping invalidates the reference.
+    Entry entry{top.when, top.seq, top.id, std::move(const_cast<Entry&>(top).cb)};
+    queue_.pop();
+    pending_ids_.erase(entry.id);
+    now_ = entry.when;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run(TimePoint until) {
+  std::size_t n = 0;
+  while (step(until)) ++n;
+  return n;
+}
+
+void EventLoop::advance_to(TimePoint when) {
+  run(when);
+  if (now_ < when) now_ = when;
+}
+
+}  // namespace bgpsdn::core

@@ -1,0 +1,89 @@
+// Discrete-event scheduler.
+//
+// The single-threaded event loop is the heart of the emulation: every link
+// delivery, protocol timer, and controller recomputation is an event. Events
+// at the same instant fire in the order they were scheduled (FIFO), which
+// keeps runs deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace bgpsdn::core {
+
+/// Cooperative single-threaded discrete-event loop (the POX analogue:
+/// "due to simplifications such as cooperative multitasking, we can focus
+/// more on research questions than on state consistency").
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time. Monotonically non-decreasing.
+  TimePoint now() const { return now_; }
+
+  /// Schedule `cb` to run at `now() + delay`. Negative delays clamp to zero.
+  /// Returns a handle usable with cancel().
+  TimerId schedule(Duration delay, Callback cb);
+
+  /// Schedule at an absolute time point (must not be in the past; clamps to
+  /// now if it is).
+  TimerId schedule_at(TimePoint when, Callback cb);
+
+  /// Cancel a pending timer. Cancelling an already-fired or already-cancelled
+  /// timer is a no-op. Returns true if the timer was pending.
+  bool cancel(TimerId id);
+
+  bool is_pending(TimerId id) const { return cancelled_.count(id.value()) == 0 && pending_ids_.count(id.value()) > 0; }
+
+  /// Number of events still queued (including cancelled tombstones' live peers).
+  std::size_t pending_events() const { return pending_ids_.size(); }
+
+  /// Run until the queue is empty or `until` is reached, whichever is first.
+  /// Returns the number of events executed.
+  std::size_t run(TimePoint until = TimePoint::max());
+
+  /// Run at most one event; returns false if the queue was empty or the next
+  /// event lies beyond `until`.
+  bool step(TimePoint until = TimePoint::max());
+
+  /// Advance the clock to `when` executing everything due on the way. Unlike
+  /// run(), always leaves now() == when even if the queue drains early.
+  void advance_to(TimePoint when);
+
+  /// Total events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tiebreak for simultaneous events
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_{TimePoint::origin()};
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace bgpsdn::core

@@ -1,0 +1,80 @@
+// Strongly-typed identifiers.
+//
+// The framework wires many entity kinds together (nodes, links, ports, ASes,
+// BGP sessions, flows). Tag types prevent an AS number from silently flowing
+// into a slot expecting a link id.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace bgpsdn::core {
+
+/// A value-semantic integer id with a phantom Tag. Ids are allocated by the
+/// owning registry (Network, Experiment, ...) and are dense from zero unless
+/// documented otherwise.
+template <typename Tag, typename Rep = std::uint32_t>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(Rep v) : v_{v} {}
+
+  static constexpr Id invalid() { return Id{static_cast<Rep>(-1)}; }
+  constexpr bool is_valid() const { return v_ != static_cast<Rep>(-1); }
+
+  constexpr Rep value() const { return v_; }
+  constexpr auto operator<=>(const Id&) const = default;
+
+  std::string to_string() const { return std::to_string(v_); }
+
+ private:
+  Rep v_{static_cast<Rep>(-1)};
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct PortTag {};
+struct SessionTag {};
+struct TimerTag {};
+
+using NodeId = Id<NodeTag>;
+using LinkId = Id<LinkTag>;
+/// Port numbers are local to a node; 0-based.
+using PortId = Id<PortTag>;
+using SessionId = Id<SessionTag>;
+using TimerId = Id<TimerTag, std::uint64_t>;
+
+/// Autonomous System number. Not an Id: AS numbers are externally assigned
+/// (by topology files or generators), not densely allocated.
+class AsNumber {
+ public:
+  constexpr AsNumber() = default;
+  constexpr explicit AsNumber(std::uint32_t v) : v_{v} {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr auto operator<=>(const AsNumber&) const = default;
+
+  std::string to_string() const { return "AS" + std::to_string(v_); }
+
+ private:
+  std::uint32_t v_{0};
+};
+
+}  // namespace bgpsdn::core
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<bgpsdn::core::Id<Tag, Rep>> {
+  size_t operator()(const bgpsdn::core::Id<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+template <>
+struct hash<bgpsdn::core::AsNumber> {
+  size_t operator()(const bgpsdn::core::AsNumber& as) const noexcept {
+    return std::hash<std::uint32_t>{}(as.value());
+  }
+};
+}  // namespace std

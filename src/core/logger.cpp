@@ -1,0 +1,76 @@
+#include "core/logger.hpp"
+
+#include <ostream>
+
+namespace bgpsdn::core {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string LogRecord::to_string() const {
+  std::string s = when.to_string();
+  s += " [";
+  s += bgpsdn::core::to_string(level);
+  s += "] ";
+  s += component;
+  s += " ";
+  s += event;
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+void Logger::log(TimePoint when, LogLevel level, std::string component,
+                 std::string event, std::string detail) {
+  if (level < min_level_) return;
+  LogRecord rec{when, level, std::move(component), std::move(event),
+                std::move(detail)};
+  if (echo_ != nullptr) *echo_ << rec.to_string() << '\n';
+  for (const auto& sink : sinks_) {
+    if (sink) sink(rec);
+  }
+  if (retain_) records_.push_back(std::move(rec));
+}
+
+std::size_t Logger::add_sink(Sink sink) {
+  sinks_.push_back(std::move(sink));
+  return sinks_.size() - 1;
+}
+
+void Logger::remove_sink(std::size_t id) {
+  if (id < sinks_.size()) sinks_[id] = nullptr;
+}
+
+std::vector<LogRecord> Logger::filter(const std::string& event,
+                                      const std::string& component_prefix) const {
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.event != event) continue;
+    if (!component_prefix.empty() &&
+        r.component.compare(0, component_prefix.size(), component_prefix) != 0) {
+      continue;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Logger::count(const std::string& event) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+}  // namespace bgpsdn::core

@@ -1,0 +1,68 @@
+// Deterministic randomness.
+//
+// Every experiment run derives all jitter (MRAI timers, processing delays,
+// loss draws) from one seeded generator, so a (topology, scenario, seed)
+// triple fully determines the trace. Trials vary the seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "core/time.hpp"
+
+namespace bgpsdn::core {
+
+/// Seeded pseudo-random source with networking-flavoured helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_{seed} {}
+
+  /// Re-seed; resets the stream.
+  void seed(std::uint64_t s) { engine_.seed(s); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Duration uniformly drawn from [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration::nanos(uniform_int(lo.count_nanos(), hi.count_nanos()));
+  }
+
+  /// Jittered duration in [base*lo_frac, base*hi_frac]. Quagga applies
+  /// 0.75–1.0 jitter to MRAI and keepalive timers; that is the default.
+  Duration jittered(Duration base, double lo_frac = 0.75, double hi_frac = 1.0) {
+    const double f = uniform(lo_frac, hi_frac);
+    return base * f;
+  }
+
+  /// Exponentially distributed duration with the given mean.
+  Duration exponential(Duration mean) {
+    std::exponential_distribution<double> d{1.0};
+    return mean * d(engine_);
+  }
+
+  /// Derive an independent child generator; used to give each subsystem its
+  /// own stream so adding draws in one place does not perturb another.
+  Rng fork() { return Rng{engine_()}; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bgpsdn::core

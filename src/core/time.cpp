@@ -1,0 +1,29 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace bgpsdn::core {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  const std::int64_t ns = ns_;
+  const std::int64_t mag = ns < 0 ? -ns : ns;
+  if (mag >= 1'000'000'000 || mag == 0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (mag >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (mag >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6fs", static_cast<double>(ns_) / 1e9);
+  return buf;
+}
+
+}  // namespace bgpsdn::core

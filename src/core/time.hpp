@@ -1,0 +1,90 @@
+// Simulation time primitives.
+//
+// The emulation framework runs on virtual time: a discrete-event scheduler
+// advances a nanosecond-resolution clock from event to event. Strong types
+// keep time points and durations from being mixed up with plain integers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace bgpsdn::core {
+
+/// A span of virtual time, in nanoseconds. Signed so arithmetic on
+/// differences of time points is well defined.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t us) { return Duration{us * 1'000}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  /// Fractional seconds, e.g. Duration::seconds_f(0.35).
+  static constexpr Duration seconds_f(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator*(int k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+
+  /// Human-readable rendering, e.g. "1.500s", "250ms", "10us", "3ns".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// A point on the virtual clock. Time starts at zero when an EventLoop is
+/// constructed.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint from_nanos(std::int64_t ns) { return TimePoint{ns}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t nanos_since_origin() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.count_nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.count_nanos()}; }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.count_nanos(); return *this; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+
+  /// Rendering as seconds with millisecond precision, e.g. "12.345s".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+}  // namespace bgpsdn::core

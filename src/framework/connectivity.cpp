@@ -1,0 +1,70 @@
+#include "framework/connectivity.hpp"
+
+namespace bgpsdn::framework {
+
+ConnectivityMonitor::ConnectivityMonitor(core::EventLoop& loop, net::Host& src,
+                                         net::Host& dst, core::Duration interval)
+    : loop_{loop}, src_{src}, dst_{dst}, interval_{interval} {
+  src_.set_reply_callback([this](std::uint64_t label) {
+    if (sent_at_.count(label) > 0) answered_at_[label] = loop_.now();
+  });
+}
+
+void ConnectivityMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void ConnectivityMonitor::stop() { running_ = false; }
+
+void ConnectivityMonitor::tick() {
+  if (!running_) return;
+  const std::uint64_t seq = next_seq_++;
+  sent_at_[seq] = loop_.now();
+  src_.send_probe(dst_.address(), seq);
+  loop_.schedule(interval_, [this] { tick(); });
+}
+
+ConnectivityReport ConnectivityMonitor::report(core::Duration reply_grace) const {
+  if (reply_grace == core::Duration::zero()) {
+    reply_grace = interval_ * std::int64_t{5};
+  }
+  ConnectivityReport rep;
+  const core::TimePoint now = loop_.now();
+
+  core::TimePoint gap_start{};
+  bool in_gap = false;
+  for (const auto& [seq, when] : sent_at_) {
+    // Probes still inside the grace window are not judged at all.
+    if (answered_at_.count(seq) == 0 && now - when < reply_grace) continue;
+    ++rep.sent;
+    if (answered_at_.count(seq) > 0) {
+      ++rep.answered;
+      if (in_gap) {
+        const auto gap = when - gap_start;
+        if (gap > rep.longest_blackout) {
+          rep.longest_blackout = gap;
+          rep.blackout_start = gap_start;
+        }
+        in_gap = false;
+      }
+    } else if (!in_gap) {
+      in_gap = true;
+      gap_start = when;
+    }
+  }
+  if (in_gap && !sent_at_.empty()) {
+    const auto gap = std::prev(sent_at_.end())->second - gap_start;
+    if (gap > rep.longest_blackout) {
+      rep.longest_blackout = gap;
+      rep.blackout_start = gap_start;
+    }
+  }
+  rep.delivery_ratio = rep.sent == 0 ? 1.0
+                                     : static_cast<double>(rep.answered) /
+                                           static_cast<double>(rep.sent);
+  return rep;
+}
+
+}  // namespace bgpsdn::framework

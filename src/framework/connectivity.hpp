@@ -1,0 +1,60 @@
+// ConnectivityMonitor — end-to-end loss measurement.
+//
+// The demo's "end-to-end video application" proxy: a constant-rate probe
+// stream between two hosts. Each probe carries a sequence number; replies
+// are matched back, and the monitor reports delivery ratio plus the longest
+// blackout window — the user-visible cost of slow convergence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/event_loop.hpp"
+#include "core/time.hpp"
+#include "net/host.hpp"
+
+namespace bgpsdn::framework {
+
+struct ConnectivityReport {
+  std::uint64_t sent{0};
+  std::uint64_t answered{0};
+  double delivery_ratio{1.0};
+  /// Longest contiguous run of unanswered probes, as virtual time.
+  core::Duration longest_blackout{core::Duration::zero()};
+  /// Start of that blackout (meaningless if no loss).
+  core::TimePoint blackout_start{};
+};
+
+class ConnectivityMonitor {
+ public:
+  /// Probes flow src -> dst every `interval`.
+  ConnectivityMonitor(core::EventLoop& loop, net::Host& src, net::Host& dst,
+                      core::Duration interval);
+  ConnectivityMonitor(const ConnectivityMonitor&) = delete;
+  ConnectivityMonitor& operator=(const ConnectivityMonitor&) = delete;
+
+  /// Begin probing (idempotent).
+  void start();
+  /// Stop issuing new probes; in-flight replies are still counted.
+  void stop();
+
+  /// Compute the report. `reply_grace` is how long a probe may remain
+  /// unanswered before counting as lost (defaults to 5 intervals).
+  ConnectivityReport report(
+      core::Duration reply_grace = core::Duration::zero()) const;
+
+ private:
+  void tick();
+
+  core::EventLoop& loop_;
+  net::Host& src_;
+  net::Host& dst_;
+  core::Duration interval_;
+  bool running_{false};
+  std::uint64_t next_seq_{1};
+  std::map<std::uint64_t, core::TimePoint> sent_at_;
+  std::map<std::uint64_t, core::TimePoint> answered_at_;
+};
+
+}  // namespace bgpsdn::framework

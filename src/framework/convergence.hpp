@@ -1,0 +1,64 @@
+// ConvergenceDetector — "the framework detects when the network has
+// converged".
+//
+// Convergence is control-plane quiescence: no routing activity (BGP update
+// transmissions, best-path changes, controller recomputation output, flow
+// programming, speaker announcements) for a configurable quiet period.
+// Keepalives and other liveness chatter do not count. The detector attaches
+// as a Logger sink, so it observes exactly what the components emit.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "core/time.hpp"
+
+namespace bgpsdn::framework {
+
+class ConvergenceDetector {
+ public:
+  /// Attaches to `logger` immediately.
+  ConvergenceDetector(core::EventLoop& loop, core::Logger& logger);
+  ~ConvergenceDetector();
+  ConvergenceDetector(const ConvergenceDetector&) = delete;
+  ConvergenceDetector& operator=(const ConvergenceDetector&) = delete;
+
+  /// The events that count as routing activity. Defaults cover BGP, the
+  /// controller and the speaker.
+  void set_activity_events(std::set<std::string> events) {
+    events_ = std::move(events);
+  }
+
+  /// Timestamp of the most recent routing activity (origin if none yet).
+  core::TimePoint last_activity() const { return last_activity_; }
+  std::uint64_t activity_count() const { return activity_count_; }
+
+  /// Reset the activity clock (typically right before injecting the event
+  /// whose convergence is being measured).
+  void restart() {
+    last_activity_ = loop_.now();
+    activity_count_ = 0;
+  }
+
+  /// Drive the event loop until `quiet` virtual time passes with no routing
+  /// activity, or `timeout` virtual time elapses. Returns the time of the
+  /// last routing activity — the convergence instant. If the timeout hits,
+  /// returns the last activity anyway; check timed_out().
+  core::TimePoint run_until_converged(core::Duration quiet,
+                                      core::Duration timeout);
+
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  core::EventLoop& loop_;
+  core::Logger& logger_;
+  std::size_t sink_id_;
+  std::set<std::string> events_;
+  core::TimePoint last_activity_{};
+  std::uint64_t activity_count_{0};
+  bool timed_out_{false};
+};
+
+}  // namespace bgpsdn::framework

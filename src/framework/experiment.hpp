@@ -1,0 +1,181 @@
+// Experiment — the high-level orchestration API.
+//
+// The C++ counterpart of the paper's Python experiment scripts and
+// "additional Mininet-BGP commands": hand it a TopologySpec and the set of
+// ASes that join the SDN cluster, and it builds the whole hybrid network —
+// BGP routers for legacy ASes, switches + controller + cluster BGP speaker
+// (with relay links and relay flow rules) for members, a route collector
+// peering with every legacy router — assigns all addresses, and exposes
+// announce / withdraw / fail-link / wait-until-converged commands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/collector.hpp"
+#include "bgp/router.hpp"
+#include "controller/idr_controller.hpp"
+#include "controller/routeflow.hpp"
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "core/random.hpp"
+#include "framework/convergence.hpp"
+#include "net/address_allocator.hpp"
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "sdn/switch.hpp"
+#include "speaker/cluster_speaker.hpp"
+#include "topology/spec.hpp"
+
+namespace bgpsdn::framework {
+
+/// Which cluster routing application drives the SDN members.
+enum class ControllerStyle {
+  kIdrCentralized,   // the paper's IDR controller (default)
+  kRouteFlowMirror,  // the related-work baseline: mirrored legacy BGP
+};
+
+struct ExperimentConfig {
+  std::uint64_t seed{1};
+  /// BGP timer profile for every legacy router (paper-faithful defaults:
+  /// Quagga eBGP MRAI 30 s etc. — see bgp::Timers).
+  bgp::Timers timers{};
+  bgp::ProcessingModel processing{};
+  /// Route-flap damping on every legacy router (off by default, as in
+  /// Quagga).
+  bgp::DampingConfig damping{};
+  /// Default link parameters where the spec does not override delay.
+  net::LinkParams default_link{core::Duration::millis(5), 0, 0.0};
+  /// Controller batching window (the paper's delayed recomputation).
+  core::Duration recompute_delay{core::Duration::seconds(2)};
+  /// Controller's sub-cluster legacy bridging (off = naive loop pruning).
+  bool subcluster_bridging{true};
+  /// Cluster controller implementation.
+  ControllerStyle controller_style{ControllerStyle::kIdrCentralized};
+  /// RouteFlow mirror: RIB->flows poll period.
+  core::Duration routeflow_sync{core::Duration::millis(500)};
+  /// Whether to attach the monitoring route collector to legacy routers.
+  bool with_collector{true};
+  /// Log level kept by the in-memory logger (kDebug needed for detectors).
+  core::LogLevel log_level{core::LogLevel::kDebug};
+  /// Retain log records in memory (off for long sweeps).
+  bool retain_logs{false};
+};
+
+class Experiment {
+ public:
+  /// `sdn_members` selects which spec ASes join the cluster (must exist in
+  /// the spec). Throws std::invalid_argument on inconsistent input.
+  Experiment(const topology::TopologySpec& spec,
+             std::set<core::AsNumber> sdn_members, ExperimentConfig config = {});
+
+  // --- lifecycle ---------------------------------------------------------
+
+  /// Attach a host to an AS (must be called before start()). The AS's /16
+  /// prefix is originated automatically and delivered to the host.
+  net::Host& add_host(core::AsNumber as);
+
+  /// Start all nodes and run until every BGP session (including relayed
+  /// cluster peerings and the collector's) is established plus initial
+  /// routes settle. Returns false if sessions fail to establish in
+  /// `timeout` virtual time.
+  bool start(core::Duration timeout = core::Duration::seconds(120));
+
+  // --- commands (the "Mininet-BGP commands") ------------------------------
+
+  /// Originate / withdraw a prefix at an AS (router or cluster member).
+  void announce_prefix(core::AsNumber as, const net::Prefix& prefix);
+  void withdraw_prefix(core::AsNumber as, const net::Prefix& prefix);
+
+  void fail_link(core::AsNumber a, core::AsNumber b);
+  void restore_link(core::AsNumber a, core::AsNumber b);
+
+  /// Grow the topology while running ("dynamically changing the topology"):
+  /// wire a new peering between two *legacy* ASes; sessions start
+  /// immediately. Throws std::invalid_argument for members (adding cluster
+  /// links at runtime would need new relay plumbing) or duplicates.
+  void add_link(core::AsNumber a, core::AsNumber b,
+                bgp::Relationship a_sees_b = bgp::Relationship::kPeer);
+
+  /// Drive the loop until routing is quiet for `quiet` (default 2x MRAI) or
+  /// `timeout` passes; returns the convergence instant.
+  core::TimePoint wait_converged(
+      core::Duration quiet = core::Duration::zero(),
+      core::Duration timeout = core::Duration::seconds(3600));
+  bool last_wait_timed_out() const { return detector_->timed_out(); }
+
+  /// Let virtual time pass (events run).
+  void run_for(core::Duration d) { loop_.run(loop_.now() + d); }
+
+  // --- verification helpers ----------------------------------------------
+
+  /// True when every legacy router's Loc-RIB contains a route for `prefix`
+  /// (or, with `expect_present=false`, none does). Cluster members are
+  /// checked against the controller's decisions.
+  bool all_know_prefix(const net::Prefix& prefix, bool expect_present = true) const;
+
+  /// Data-plane check: trace the FIB/flow hop sequence from AS `from`
+  /// towards `dst`; returns the AS sequence, empty on a blackhole or loop.
+  std::vector<core::AsNumber> trace_route(core::AsNumber from,
+                                          net::Ipv4Addr dst) const;
+
+  // --- accessors -----------------------------------------------------------
+
+  bool is_member(core::AsNumber as) const { return members_.count(as) > 0; }
+  bgp::BgpRouter& router(core::AsNumber as);
+  const bgp::BgpRouter& router(core::AsNumber as) const;
+  sdn::SdnSwitch& member_switch(core::AsNumber as);
+  /// The active cluster controller (whichever style was configured).
+  controller::ClusterController* cluster_controller() { return controller_; }
+  /// Typed accessors; null when the other style is active.
+  controller::IdrController* idr_controller() { return idr_; }
+  controller::RouteFlowController* routeflow_controller() { return routeflow_; }
+  speaker::ClusterBgpSpeaker* cluster_speaker() { return speaker_; }
+  bgp::RouteCollector* collector() { return collector_; }
+  net::Network& network() { return net_; }
+  core::EventLoop& loop() { return loop_; }
+  core::Logger& logger() { return log_; }
+  core::Rng& rng() { return rng_; }
+  net::AddressAllocator& allocator() { return alloc_; }
+  ConvergenceDetector& detector() { return *detector_; }
+  const topology::TopologySpec& spec() const { return spec_; }
+  net::Prefix as_prefix(core::AsNumber as) { return alloc_.as_prefix(as); }
+  const std::set<core::AsNumber>& members() const { return members_; }
+
+ private:
+  void build();
+  void build_legacy_link(const topology::LinkSpec& link);
+  void build_cluster_link(const topology::LinkSpec& link);
+  void build_border_link(const topology::LinkSpec& link);
+  void attach_collector(core::AsNumber as);
+  net::LinkParams link_params(const topology::LinkSpec& link) const;
+
+  topology::TopologySpec spec_;
+  std::set<core::AsNumber> members_;
+  ExperimentConfig config_;
+
+  core::EventLoop loop_;
+  core::Logger log_;
+  core::Rng rng_;
+  net::Network net_;
+  net::AddressAllocator alloc_;
+
+  std::map<core::AsNumber, bgp::BgpRouter*> routers_;
+  std::map<core::AsNumber, sdn::SdnSwitch*> switches_;
+  std::map<core::AsNumber, net::Host*> hosts_;
+  /// Port on each member switch that leads to the controller.
+  controller::ClusterController* controller_{nullptr};
+  controller::IdrController* idr_{nullptr};
+  controller::RouteFlowController* routeflow_{nullptr};
+  speaker::ClusterBgpSpeaker* speaker_{nullptr};
+  bgp::RouteCollector* collector_{nullptr};
+  std::unique_ptr<ConvergenceDetector> detector_;
+  bool started_{false};
+};
+
+}  // namespace bgpsdn::framework

@@ -1,0 +1,69 @@
+#include "framework/monitor.hpp"
+
+#include <cstdio>
+
+namespace bgpsdn::framework {
+
+RouteChangeTracker::RouteChangeTracker(core::Logger& logger) : logger_{logger} {
+  sink_id_ = logger_.add_sink([this](const core::LogRecord& rec) {
+    if (rec.event == "best_changed") {
+      changes_.push_back({rec.when, rec.component, rec.detail, false});
+    } else if (rec.event == "best_lost") {
+      changes_.push_back({rec.when, rec.component, rec.detail, true});
+    }
+  });
+}
+
+RouteChangeTracker::~RouteChangeTracker() { logger_.remove_sink(sink_id_); }
+
+std::size_t RouteChangeTracker::count_for(const std::string& router_prefix) const {
+  std::size_t n = 0;
+  for (const auto& c : changes_) {
+    if (c.router.compare(0, router_prefix.size(), router_prefix) == 0) ++n;
+  }
+  return n;
+}
+
+std::string RouteChangeTracker::timeline() const {
+  std::string out;
+  for (const auto& c : changes_) {
+    out += c.when.to_string();
+    out += "  ";
+    out += c.router;
+    out += c.lost ? "  LOST " : "  -> ";
+    out += c.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+UpdateRateMonitor::UpdateRateMonitor(core::Logger& logger,
+                                     core::Duration bucket_width)
+    : logger_{logger}, width_{bucket_width} {
+  sink_id_ = logger_.add_sink([this](const core::LogRecord& rec) {
+    if (rec.event != "update_tx" && rec.event != "speaker_announce" &&
+        rec.event != "speaker_withdraw") {
+      return;
+    }
+    const auto bucket = static_cast<std::uint64_t>(rec.when.nanos_since_origin() /
+                                                   width_.count_nanos());
+    ++buckets_[bucket];
+    ++total_;
+  });
+}
+
+UpdateRateMonitor::~UpdateRateMonitor() { logger_.remove_sink(sink_id_); }
+
+std::string UpdateRateMonitor::to_string() const {
+  std::string out;
+  for (const auto& [bucket, count] : buckets_) {
+    const double t = static_cast<double>(bucket) * width_.to_seconds();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "t=%.1fs n=%llu\n", t,
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace bgpsdn::framework

@@ -1,0 +1,75 @@
+// Log-analysis tools: route-change tracking, update counting, and a text
+// route-change timeline ("route change visualization").
+//
+// All tools attach as Logger sinks, so they work on live runs without
+// re-parsing text files — the C++ equivalent of the paper's "tools for
+// automatic log file analysis ... and route change visualization".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/logger.hpp"
+#include "core/time.hpp"
+
+namespace bgpsdn::framework {
+
+/// One best-path change observed at a router (parsed from its log record).
+struct RouteChange {
+  core::TimePoint when;
+  std::string router;  // log component, e.g. "bgp.AS7"
+  std::string detail;  // "10.0.0.0/16 via [2 1]" or bare prefix for loss
+  bool lost{false};
+};
+
+class RouteChangeTracker {
+ public:
+  explicit RouteChangeTracker(core::Logger& logger);
+  ~RouteChangeTracker();
+  RouteChangeTracker(const RouteChangeTracker&) = delete;
+  RouteChangeTracker& operator=(const RouteChangeTracker&) = delete;
+
+  const std::vector<RouteChange>& changes() const { return changes_; }
+  std::size_t count_for(const std::string& router_prefix) const;
+  void clear() { changes_.clear(); }
+
+  /// Multi-line "time  router  change" rendering.
+  std::string timeline() const;
+
+ private:
+  core::Logger& logger_;
+  std::size_t sink_id_;
+  std::vector<RouteChange> changes_;
+};
+
+/// Counts routing-relevant events into fixed-width time buckets — the
+/// "updates per second" view of a convergence event.
+class UpdateRateMonitor {
+ public:
+  UpdateRateMonitor(core::Logger& logger, core::Duration bucket_width);
+  ~UpdateRateMonitor();
+  UpdateRateMonitor(const UpdateRateMonitor&) = delete;
+  UpdateRateMonitor& operator=(const UpdateRateMonitor&) = delete;
+
+  /// bucket index -> update_tx count.
+  const std::map<std::uint64_t, std::uint64_t>& buckets() const { return buckets_; }
+  std::uint64_t total() const { return total_; }
+  void clear() {
+    buckets_.clear();
+    total_ = 0;
+  }
+
+  /// Sparkline-ish text: one "t=..s n=.." line per non-empty bucket.
+  std::string to_string() const;
+
+ private:
+  core::Logger& logger_;
+  std::size_t sink_id_;
+  core::Duration width_;
+  std::map<std::uint64_t, std::uint64_t> buckets_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace bgpsdn::framework

@@ -1,0 +1,79 @@
+// Scenario scripts — declarative experiment control.
+//
+// The paper's framework drives experiments from small Python scripts with
+// commands to announce prefixes, wait for convergence, fail links and check
+// the result. This is the equivalent text DSL, used by the `bgpsdn_run`
+// CLI and by tests:
+//
+//     # Fig.2-style data point
+//     seed 7
+//     mrai 30
+//     recompute-delay 2
+//     topology clique 16
+//     sdn 9 10 11 12 13 14 15 16
+//     announce 1 10.0.0.0/16
+//     start
+//     withdraw 1 10.0.0.0/16
+//     wait-converged
+//     expect-no-route 2 10.0.0.0/16
+//
+// Commands before `start` configure the experiment; commands after it
+// control and verify the running network. Lines starting with '#' are
+// comments. Errors (syntax, unknown AS, failed expectation) abort the run
+// with a message naming the line.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/experiment.hpp"
+
+namespace bgpsdn::framework {
+
+struct ScenarioResult {
+  bool ok{false};
+  /// Empty when ok; otherwise "line N: what went wrong".
+  std::string error;
+  /// Output lines produced by print-* / wait-converged / expect commands.
+  std::vector<std::string> output;
+};
+
+class ScenarioRunner {
+ public:
+  /// Parse and execute a whole script.
+  ScenarioResult run(const std::string& script);
+  ScenarioResult run(std::istream& script);
+
+  /// The experiment after a run (valid once `start` executed); lets callers
+  /// inspect beyond what the script printed.
+  Experiment* experiment() { return experiment_.get(); }
+
+ private:
+  struct Line {
+    std::size_t number{0};
+    std::vector<std::string> tokens;
+  };
+
+  void execute(const Line& line, ScenarioResult& result);
+  [[noreturn]] void fail(const Line& line, const std::string& message) const;
+  Experiment& running(const Line& line);
+  core::AsNumber parse_as(const Line& line, const std::string& token) const;
+  net::Prefix parse_prefix(const Line& line, const std::string& token) const;
+  double parse_number(const Line& line, const std::string& token) const;
+
+  ExperimentConfig config_{};
+  topology::TopologySpec spec_{};
+  bool have_topology_{false};
+  std::set<core::AsNumber> members_;
+  std::vector<core::AsNumber> hosts_;
+  /// Originations issued before start.
+  std::vector<std::pair<core::AsNumber, net::Prefix>> pre_announce_;
+  std::unique_ptr<Experiment> experiment_;
+  /// Virtual time of the most recent event command (withdraw/announce/
+  /// fail-link/...) — wait-converged reports relative to it.
+  core::TimePoint last_event_{};
+};
+
+}  // namespace bgpsdn::framework

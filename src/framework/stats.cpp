@@ -1,0 +1,62 @@
+#include "framework/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bgpsdn::framework {
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values[lo];
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = quantile(sorted, 0.25);
+  s.median = quantile(sorted, 0.5);
+  s.q3 = quantile(sorted, 0.75);
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0;
+  for (const double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  return s;
+}
+
+std::string to_string(const Summary& s, int precision) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "min=%.*f q1=%.*f med=%.*f q3=%.*f max=%.*f (n=%zu)", precision,
+                s.min, precision, s.q1, precision, s.median, precision, s.q3,
+                precision, s.max, s.n);
+  return buf;
+}
+
+std::string boxplot_row(const std::string& label, const Summary& s, int precision) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%s\t%.*f\t%.*f\t%.*f\t%.*f\t%.*f", label.c_str(),
+                precision, s.min, precision, s.q1, precision, s.median, precision,
+                s.q3, precision, s.max);
+  return buf;
+}
+
+std::string boxplot_header(const std::string& label_name) {
+  return label_name + "\tmin\tq1\tmedian\tq3\tmax";
+}
+
+}  // namespace bgpsdn::framework

@@ -1,0 +1,41 @@
+// Descriptive statistics for experiment results.
+//
+// The paper reports boxplots over 10 runs; Summary carries exactly the
+// five-number summary plus mean/stddev, and format helpers print the rows
+// the benches emit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bgpsdn::framework {
+
+struct Summary {
+  std::size_t n{0};
+  double min{0};
+  double q1{0};
+  double median{0};
+  double q3{0};
+  double max{0};
+  double mean{0};
+  double stddev{0};
+};
+
+/// Linear-interpolation quantile (R-7, the numpy default). `q` in [0, 1].
+/// Input need not be sorted. Returns 0 for empty input.
+double quantile(std::vector<double> values, double q);
+
+Summary summarize(const std::vector<double>& values);
+
+/// "min=.. q1=.. med=.. q3=.. max=.." with the given precision.
+std::string to_string(const Summary& s, int precision = 2);
+
+/// One boxplot table row: label, then the five numbers, tab-separated.
+std::string boxplot_row(const std::string& label, const Summary& s,
+                        int precision = 2);
+
+/// Header matching boxplot_row.
+std::string boxplot_header(const std::string& label_name);
+
+}  // namespace bgpsdn::framework

@@ -1,0 +1,37 @@
+// TrialRunner — repeat a seeded experiment and summarize.
+//
+// The paper reports "boxplots over 10 runs"; a trial function maps a seed
+// to one scalar measurement (e.g. convergence seconds), the runner sweeps
+// seeds and returns the five-number summary.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "framework/stats.hpp"
+
+namespace bgpsdn::framework {
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(std::size_t runs, std::uint64_t base_seed = 1000)
+      : runs_{runs}, base_seed_{base_seed} {}
+
+  /// Runs `trial` with seeds base, base+1, ... and summarizes the results.
+  Summary run(const std::function<double(std::uint64_t seed)>& trial) const {
+    std::vector<double> values;
+    values.reserve(runs_);
+    for (std::size_t i = 0; i < runs_; ++i) {
+      values.push_back(trial(base_seed_ + i));
+    }
+    return summarize(values);
+  }
+
+  std::size_t runs() const { return runs_; }
+
+ private:
+  std::size_t runs_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace bgpsdn::framework

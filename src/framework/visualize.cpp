@@ -1,0 +1,130 @@
+#include "framework/visualize.hpp"
+
+#include <map>
+
+namespace bgpsdn::framework {
+
+namespace {
+
+std::string node_name(core::AsNumber as) {
+  return "as" + std::to_string(as.value());
+}
+
+}  // namespace
+
+std::string topology_dot(const topology::TopologySpec& spec,
+                         const std::set<core::AsNumber>& members) {
+  std::string dot = "graph topology {\n  layout=neato;\n  overlap=false;\n";
+  if (!members.empty()) {
+    dot += "  subgraph cluster_sdn {\n    label=\"SDN cluster\";\n";
+    for (const auto as : members) {
+      dot += "    " + node_name(as) + " [label=\"" + as.to_string() +
+             "\", shape=box, style=filled, fillcolor=lightblue];\n";
+    }
+    dot += "  }\n";
+  }
+  for (const auto as : spec.ases) {
+    if (members.count(as) > 0) continue;
+    dot += "  " + node_name(as) + " [label=\"" + as.to_string() +
+           "\", shape=ellipse];\n";
+  }
+  for (const auto& link : spec.links) {
+    dot += "  " + node_name(link.a) + " -- " + node_name(link.b);
+    switch (link.a_sees_b) {
+      case bgp::Relationship::kCustomer:
+        // a is the provider: draw provider above customer.
+        dot += " [dir=forward, arrowhead=normal, label=\"c2p\"]";
+        break;
+      case bgp::Relationship::kProvider:
+        dot += " [dir=back, arrowtail=normal, label=\"c2p\"]";
+        break;
+      case bgp::Relationship::kPeer:
+        dot += " [style=dashed]";
+        break;
+    }
+    dot += ";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::string forwarding_dot(Experiment& experiment, const net::Prefix& prefix) {
+  const auto& spec = experiment.spec();
+
+  // Node-id -> AS map for resolving legacy FIB next hops.
+  std::map<core::NodeId, core::AsNumber> as_of;
+  for (const auto as : spec.ases) {
+    const auto id = experiment.is_member(as)
+                        ? experiment.member_switch(as).id()
+                        : experiment.router(as).id();
+    as_of[id] = as;
+  }
+
+  std::string dot = "digraph forwarding {\n  label=\"" + prefix.to_string() +
+                    "\";\n  layout=dot;\n";
+  std::string edges;
+  const auto* decision = experiment.idr_controller() != nullptr
+                             ? experiment.idr_controller()->decision_for(prefix)
+                             : nullptr;
+
+  for (const auto as : spec.ases) {
+    std::string attrs = "shape=ellipse";
+    if (experiment.is_member(as)) {
+      attrs = "shape=box, style=filled, fillcolor=lightblue";
+      const auto dpid = experiment.member_switch(as).dpid();
+      if (decision == nullptr || !decision->reachable(dpid)) {
+        attrs += ", color=grey, fontcolor=grey";
+      } else {
+        const auto& hop = decision->hops.at(dpid);
+        switch (hop.kind) {
+          case controller::PrefixDecision::HopKind::kLocalOrigin:
+            attrs += ", peripheries=2";
+            break;
+          case controller::PrefixDecision::HopKind::kNextSwitch: {
+            const auto owner =
+                experiment.idr_controller()->switch_graph().owner_of(
+                    hop.next_switch);
+            if (owner) {
+              edges += "  " + node_name(as) + " -> " + node_name(*owner) + ";\n";
+            }
+            break;
+          }
+          case controller::PrefixDecision::HopKind::kEgress: {
+            const auto* peering =
+                experiment.cluster_speaker()->peering(hop.egress);
+            if (peering != nullptr) {
+              edges += "  " + node_name(as) + " -> " +
+                       node_name(peering->expected_peer_as) +
+                       " [label=\"egress\"];\n";
+            }
+            break;
+          }
+        }
+      }
+    } else {
+      bgp::BgpRouter& router = experiment.router(as);
+      if (router.originates(prefix)) {
+        attrs += ", peripheries=2";
+      } else {
+        const auto port = router.fib_lookup(prefix.address_at(1));
+        if (!port) {
+          attrs += ", color=grey, fontcolor=grey";
+        } else {
+          const auto peer = experiment.network().peer_of(router.id(), *port);
+          const auto it = as_of.find(peer.node);
+          if (it != as_of.end()) {
+            edges += "  " + node_name(as) + " -> " + node_name(it->second) +
+                     ";\n";
+          }
+        }
+      }
+    }
+    dot += "  " + node_name(as) + " [label=\"" + as.to_string() + "\", " +
+           attrs + "];\n";
+  }
+  dot += edges;
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace bgpsdn::framework

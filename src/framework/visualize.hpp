@@ -1,0 +1,30 @@
+// Graph visualization — Graphviz DOT exports.
+//
+// The paper's framework ships "tools for ... network graph creation ... and
+// route change visualization". These helpers render the AS-level topology
+// (cluster members highlighted, relationships as edge styles) and the
+// per-prefix forwarding tree of a running experiment; output is standard
+// DOT, consumable by `dot -Tsvg`.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "framework/experiment.hpp"
+#include "topology/spec.hpp"
+
+namespace bgpsdn::framework {
+
+/// The static AS-level topology. SDN members are drawn as boxes in a
+/// cluster subgraph; customer->provider links point at the provider;
+/// peer links are undirected (dashed).
+std::string topology_dot(const topology::TopologySpec& spec,
+                         const std::set<core::AsNumber>& members = {});
+
+/// The forwarding state for one prefix in a running experiment: an edge
+/// per AS pointing at its next hop (FIB for legacy routers, flow rules for
+/// member switches); the origin is double-circled, ASes without a route
+/// are grey.
+std::string forwarding_dot(Experiment& experiment, const net::Prefix& prefix);
+
+}  // namespace bgpsdn::framework

@@ -1,0 +1,46 @@
+#include "net/address_allocator.hpp"
+
+namespace bgpsdn::net {
+
+std::uint32_t AddressAllocator::index_of(core::AsNumber as) {
+  const auto it = as_index_.find(as);
+  if (it != as_index_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(as_index_.size());
+  if (idx >= 0xffff) throw std::length_error{"AddressAllocator: > 65535 ASes"};
+  as_index_.emplace(as, idx);
+  return idx;
+}
+
+Prefix AddressAllocator::as_prefix(core::AsNumber as) {
+  const std::uint32_t idx = index_of(as);
+  // 10.hi.lo.0/16 where hi.lo is the 16-bit dense index — but /16 needs the
+  // third octet free, so place the index in octets 2-3 of a /16 boundary:
+  // 10.<idx_hi>.<idx_lo>... does not align to /16. Use 10.idx_hi.idx_lo.0/24
+  // when many ASes, else simply 10.idx.0.0/16 for idx < 256 and spill to
+  // 11.x for more. Keep it simple: 16 bits of index across octets 1-2 of a
+  // base that leaves 16 host bits.
+  const std::uint32_t base = (10u << 24) | (idx << 8);
+  // That yields 10.a.b.0/24-style alignment; widen to /16 only when idx fits
+  // a single octet.
+  if (idx < 256) return Prefix{Ipv4Addr{(10u << 24) | (idx << 16)}, 16};
+  return Prefix{Ipv4Addr{base}, 24};
+}
+
+Ipv4Addr AddressAllocator::router_id(core::AsNumber as) {
+  return as_prefix(as).address_at(1);
+}
+
+Ipv4Addr AddressAllocator::host_address(core::AsNumber as, std::uint32_t index) {
+  return as_prefix(as).address_at(2 + index);
+}
+
+AddressAllocator::PointToPoint AddressAllocator::next_p2p() {
+  // 172.16.0.0/12 carved into /30s: 2^18 subnets available.
+  if (next_p2p_ >= (1u << 18)) throw std::length_error{"AddressAllocator: p2p space exhausted"};
+  const std::uint32_t base = (172u << 24) | (16u << 16) | (next_p2p_ << 2);
+  ++next_p2p_;
+  const Prefix subnet{Ipv4Addr{base}, 30};
+  return {subnet, subnet.address_at(1), subnet.address_at(2)};
+}
+
+}  // namespace bgpsdn::net

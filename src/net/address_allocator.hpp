@@ -1,0 +1,48 @@
+// Automatic address assignment.
+//
+// The framework "automatically assigns IP addresses"; this allocator hands
+// out per-AS prefixes from 10.0.0.0/8, router ids inside them, and /30
+// transfer subnets for inter-router links from 172.16.0.0/12 — mirroring the
+// configuration management the paper's tool performs on Quagga configs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/ids.hpp"
+#include "net/ip.hpp"
+
+namespace bgpsdn::net {
+
+class AddressAllocator {
+ public:
+  /// The /16 owned by an AS (stable across calls): 10.x.y.0/16 by dense index.
+  Prefix as_prefix(core::AsNumber as);
+
+  /// The router id / loopback for an AS: first host address of its prefix.
+  Ipv4Addr router_id(core::AsNumber as);
+
+  /// A host address inside the AS prefix; `index` 0 is reserved for the
+  /// router, so hosts start at 2.
+  Ipv4Addr host_address(core::AsNumber as, std::uint32_t index);
+
+  /// A fresh /30 point-to-point subnet; .1 and .2 are the endpoint addresses.
+  struct PointToPoint {
+    Prefix subnet;
+    Ipv4Addr left;
+    Ipv4Addr right;
+  };
+  PointToPoint next_p2p();
+
+  std::size_t allocated_as_count() const { return as_index_.size(); }
+
+ private:
+  std::uint32_t index_of(core::AsNumber as);
+
+  std::unordered_map<core::AsNumber, std::uint32_t> as_index_;
+  std::uint32_t next_p2p_{0};
+};
+
+}  // namespace bgpsdn::net

@@ -1,0 +1,48 @@
+// Host — an end system used to verify end-to-end connectivity.
+//
+// The paper attaches hosts "with IP addresses within a particular prefix for
+// monitoring end-to-end connectivity with tools like ping". A Host answers
+// probe requests with probe replies and counts what it saw; the framework's
+// ConnectivityMonitor drives it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+
+namespace bgpsdn::net {
+
+class Host : public Node {
+ public:
+  explicit Host(Ipv4Addr address) : address_{address} {}
+
+  Ipv4Addr address() const { return address_; }
+
+  void handle_packet(core::PortId ingress, const Packet& packet) override;
+
+  /// Send one probe towards `dst`; the reply (if any) bumps replies_received.
+  void send_probe(Ipv4Addr dst, std::uint64_t flow_label);
+
+  std::uint64_t probes_received() const { return probes_received_; }
+  std::uint64_t replies_received() const { return replies_received_; }
+  std::uint64_t last_reply_label() const { return last_reply_label_; }
+
+  /// Invoked for every probe reply that reaches this host (label = the
+  /// flow_label of the original request). Used by ConnectivityMonitor.
+  void set_reply_callback(std::function<void(std::uint64_t)> cb) {
+    reply_callback_ = std::move(cb);
+  }
+
+ private:
+  static constexpr std::byte kRequest{0};
+  static constexpr std::byte kReply{1};
+
+  Ipv4Addr address_;
+  std::uint64_t probes_received_{0};
+  std::uint64_t replies_received_{0};
+  std::uint64_t last_reply_label_{0};
+  std::function<void(std::uint64_t)> reply_callback_;
+};
+
+}  // namespace bgpsdn::net

@@ -1,0 +1,87 @@
+// Longest-prefix-match table.
+//
+// Shared by router FIBs and SDN flow tables: both resolve a destination
+// address to the most specific matching prefix. Implemented as one hash map
+// per prefix length probed from most to least specific — simple, exact, and
+// fast enough for emulation-scale tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace bgpsdn::net {
+
+template <typename V>
+class LpmTable {
+ public:
+  /// Insert or replace the value for an exact prefix.
+  void insert(const Prefix& p, V value) {
+    auto& m = by_len_[p.length()];
+    const auto [it, fresh] = m.insert_or_assign(p.network(), std::move(value));
+    (void)it;
+    if (fresh) ++size_;
+  }
+
+  /// Remove an exact prefix. Returns true if it was present.
+  bool erase(const Prefix& p) {
+    auto& m = by_len_[p.length()];
+    if (m.erase(p.network()) > 0) {
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Exact-prefix lookup.
+  const V* find_exact(const Prefix& p) const {
+    const auto& m = by_len_[p.length()];
+    const auto it = m.find(p.network());
+    return it == m.end() ? nullptr : &it->second;
+  }
+  V* find_exact(const Prefix& p) {
+    return const_cast<V*>(static_cast<const LpmTable*>(this)->find_exact(p));
+  }
+
+  /// Longest-prefix match for a destination address; nullopt if nothing
+  /// (not even a default route) matches.
+  std::optional<std::pair<Prefix, const V*>> lookup(Ipv4Addr dst) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto& m = by_len_[static_cast<std::size_t>(len)];
+      if (m.empty()) continue;
+      const Prefix probe{dst, static_cast<std::uint8_t>(len)};
+      const auto it = m.find(probe.network());
+      if (it != m.end()) return {{probe, &it->second}};
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() {
+    for (auto& m : by_len_) m.clear();
+    size_ = 0;
+  }
+
+  /// All (prefix, value) pairs, unordered.
+  std::vector<std::pair<Prefix, V>> entries() const {
+    std::vector<std::pair<Prefix, V>> out;
+    out.reserve(size_);
+    for (std::size_t len = 0; len <= 32; ++len) {
+      for (const auto& [addr, v] : by_len_[len]) {
+        out.emplace_back(Prefix{addr, static_cast<std::uint8_t>(len)}, v);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::unordered_map<Ipv4Addr, V>, 33> by_len_{};
+  std::size_t size_{0};
+};
+
+}  // namespace bgpsdn::net

@@ -1,0 +1,72 @@
+#include "sdn/flow.hpp"
+
+#include <algorithm>
+
+namespace bgpsdn::sdn {
+
+std::string FlowMatch::to_string() const {
+  std::string s = "dst=" + dst.to_string();
+  if (in_port) s += " in_port=" + std::to_string(in_port->value());
+  if (proto) s += std::string{" proto="} + net::to_string(*proto);
+  return s;
+}
+
+std::string FlowAction::to_string() const {
+  switch (type) {
+    case ActionType::kOutput: return "output:" + std::to_string(port.value());
+    case ActionType::kToController: return "controller";
+    case ActionType::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::string FlowEntry::to_string() const {
+  return match.to_string() + " prio=" + std::to_string(priority) + " -> " +
+         action.to_string();
+}
+
+void FlowTable::add(FlowEntry entry) {
+  for (auto& e : entries_) {
+    if (e.match == entry.match && e.priority == entry.priority) {
+      entry.packets = e.packets;
+      entry.bytes = e.bytes;
+      e = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::size_t FlowTable::remove(const FlowMatch& match, std::uint16_t priority) {
+  const auto old = entries_.size();
+  std::erase_if(entries_, [&](const FlowEntry& e) {
+    return e.match == match && e.priority == priority;
+  });
+  return old - entries_.size();
+}
+
+std::size_t FlowTable::remove_by_dst(const net::Prefix& dst) {
+  const auto old = entries_.size();
+  std::erase_if(entries_, [&](const FlowEntry& e) { return e.match.dst == dst; });
+  return old - entries_.size();
+}
+
+const FlowEntry* FlowTable::lookup(core::PortId ingress, const net::Packet& p,
+                                   bool account) {
+  FlowEntry* best = nullptr;
+  for (auto& e : entries_) {
+    if (!e.match.matches(ingress, p)) continue;
+    if (best == nullptr || e.priority > best->priority ||
+        (e.priority == best->priority &&
+         e.match.dst.length() > best->match.dst.length())) {
+      best = &e;
+    }
+  }
+  if (best != nullptr && account) {
+    ++best->packets;
+    best->bytes += p.size_bytes();
+  }
+  return best;
+}
+
+}  // namespace bgpsdn::sdn

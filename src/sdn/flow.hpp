@@ -1,0 +1,90 @@
+// Flow table of an SDN switch.
+//
+// Matches are (in_port, protocol, destination prefix) with a priority; the
+// highest-priority most-specific match wins. Actions: output to a port,
+// send to the controller, or drop. This is the OpenFlow 1.0 subset the
+// paper's use-case needs (L3 destination routing + control-plane relays).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "net/ip.hpp"
+#include "net/packet.hpp"
+
+namespace bgpsdn::sdn {
+
+struct FlowMatch {
+  /// Wildcard when unset.
+  std::optional<core::PortId> in_port;
+  std::optional<net::Protocol> proto;
+  /// Destination prefix; 0.0.0.0/0 matches everything.
+  net::Prefix dst{net::Prefix::default_route()};
+
+  bool matches(core::PortId ingress, const net::Packet& p) const {
+    if (in_port && *in_port != ingress) return false;
+    if (proto && *proto != p.proto) return false;
+    return dst.contains(p.dst);
+  }
+
+  bool operator==(const FlowMatch&) const = default;
+
+  std::string to_string() const;
+};
+
+enum class ActionType : std::uint8_t { kOutput = 0, kToController = 1, kDrop = 2 };
+
+struct FlowAction {
+  ActionType type{ActionType::kDrop};
+  core::PortId port;  // for kOutput
+
+  static FlowAction output(core::PortId p) { return {ActionType::kOutput, p}; }
+  static FlowAction to_controller() { return {ActionType::kToController, {}}; }
+  static FlowAction drop() { return {ActionType::kDrop, {}}; }
+
+  bool operator==(const FlowAction&) const = default;
+
+  std::string to_string() const;
+};
+
+struct FlowEntry {
+  FlowMatch match;
+  std::uint16_t priority{0};
+  FlowAction action;
+  /// Statistics.
+  std::uint64_t packets{0};
+  std::uint64_t bytes{0};
+
+  std::string to_string() const;
+};
+
+/// Priority-ordered flow table. Selection: among entries whose match
+/// accepts the packet, highest priority wins; ties broken by longer dst
+/// prefix, then insertion order (first wins).
+class FlowTable {
+ public:
+  /// Insert or overwrite (same match+priority replaces).
+  void add(FlowEntry entry);
+
+  /// Remove entries with identical match and priority. Returns count removed.
+  std::size_t remove(const FlowMatch& match, std::uint16_t priority);
+
+  /// Remove every entry whose dst prefix equals `dst` (any priority/port).
+  std::size_t remove_by_dst(const net::Prefix& dst);
+
+  /// Find the winning entry (and bump its counters if `account`).
+  const FlowEntry* lookup(core::PortId ingress, const net::Packet& p,
+                          bool account = true);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<FlowEntry> entries_;
+};
+
+}  // namespace bgpsdn::sdn

@@ -1,0 +1,164 @@
+#include "sdn/openflow.hpp"
+
+namespace bgpsdn::sdn {
+
+namespace {
+
+using bgp::ByteReader;
+using bgp::ByteWriter;
+
+void write_packet(ByteWriter& w, const net::Packet& p) {
+  w.addr(p.src);
+  w.addr(p.dst);
+  w.u8(static_cast<std::uint8_t>(p.proto));
+  w.u8(p.ttl);
+  w.u64(p.flow_label);
+  w.u16(static_cast<std::uint16_t>(p.payload.size()));
+  w.bytes(p.payload);
+}
+
+net::Packet read_packet(ByteReader& r) {
+  net::Packet p;
+  p.src = r.addr();
+  p.dst = r.addr();
+  p.proto = static_cast<net::Protocol>(r.u8());
+  p.ttl = r.u8();
+  p.flow_label = r.u64();
+  const std::uint16_t len = r.u16();
+  p.payload = r.bytes(len);
+  return p;
+}
+
+void write_match(ByteWriter& w, const FlowMatch& m) {
+  w.u8(m.in_port ? 1 : 0);
+  w.u32(m.in_port ? m.in_port->value() : 0);
+  w.u8(m.proto ? 1 : 0);
+  w.u8(m.proto ? static_cast<std::uint8_t>(*m.proto) : 0);
+  w.addr(m.dst.network());
+  w.u8(m.dst.length());
+}
+
+FlowMatch read_match(ByteReader& r) {
+  FlowMatch m;
+  const bool has_port = r.u8() != 0;
+  const std::uint32_t port = r.u32();
+  if (has_port) m.in_port = core::PortId{port};
+  const bool has_proto = r.u8() != 0;
+  const std::uint8_t proto = r.u8();
+  if (has_proto) m.proto = static_cast<net::Protocol>(proto);
+  const auto addr = r.addr();
+  const auto len = r.u8();
+  m.dst = net::Prefix{addr, len};
+  return m;
+}
+
+void write_action(ByteWriter& w, const FlowAction& a) {
+  w.u8(static_cast<std::uint8_t>(a.type));
+  w.u32(a.type == ActionType::kOutput ? a.port.value() : 0);
+}
+
+FlowAction read_action(ByteReader& r) {
+  FlowAction a;
+  a.type = static_cast<ActionType>(r.u8());
+  const std::uint32_t port = r.u32();
+  if (a.type == ActionType::kOutput) a.port = core::PortId{port};
+  return a;
+}
+
+}  // namespace
+
+OfType type_of(const OfMessage& m) {
+  return static_cast<OfType>(m.index());
+}
+
+std::vector<std::byte> encode(const OfMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type_of(m)));
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, OfHello>) {
+          w.u64(msg.dpid);
+          w.u16(msg.port_count);
+        } else if constexpr (std::is_same_v<T, OfPacketIn>) {
+          w.u32(msg.in_port.value());
+          w.u8(static_cast<std::uint8_t>(msg.reason));
+          write_packet(w, msg.packet);
+        } else if constexpr (std::is_same_v<T, OfPacketOut>) {
+          w.u32(msg.out_port.value());
+          write_packet(w, msg.packet);
+        } else if constexpr (std::is_same_v<T, OfFlowMod>) {
+          w.u8(static_cast<std::uint8_t>(msg.command));
+          write_match(w, msg.match);
+          w.u16(msg.priority);
+          write_action(w, msg.action);
+        } else if constexpr (std::is_same_v<T, OfPortStatus>) {
+          w.u32(msg.port.value());
+          w.u8(msg.up ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, OfEcho>) {
+          w.u64(msg.token);
+          w.u8(msg.is_reply ? 1 : 0);
+        }
+      },
+      m);
+  return w.take();
+}
+
+std::optional<OfMessage> decode(const std::vector<std::byte>& wire) {
+  ByteReader r{wire};
+  const auto type = static_cast<OfType>(r.u8());
+  OfMessage out;
+  switch (type) {
+    case OfType::kHello: {
+      OfHello m;
+      m.dpid = r.u64();
+      m.port_count = r.u16();
+      out = m;
+      break;
+    }
+    case OfType::kPacketIn: {
+      OfPacketIn m;
+      m.in_port = core::PortId{r.u32()};
+      m.reason = static_cast<PacketInReason>(r.u8());
+      m.packet = read_packet(r);
+      out = std::move(m);
+      break;
+    }
+    case OfType::kPacketOut: {
+      OfPacketOut m;
+      m.out_port = core::PortId{r.u32()};
+      m.packet = read_packet(r);
+      out = std::move(m);
+      break;
+    }
+    case OfType::kFlowMod: {
+      OfFlowMod m;
+      m.command = static_cast<FlowModCommand>(r.u8());
+      m.match = read_match(r);
+      m.priority = r.u16();
+      m.action = read_action(r);
+      out = m;
+      break;
+    }
+    case OfType::kPortStatus: {
+      OfPortStatus m;
+      m.port = core::PortId{r.u32()};
+      m.up = r.u8() != 0;
+      out = m;
+      break;
+    }
+    case OfType::kEcho: {
+      OfEcho m;
+      m.token = r.u64();
+      m.is_reply = r.u8() != 0;
+      out = m;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace bgpsdn::sdn

@@ -1,0 +1,84 @@
+// The OpenFlow-like switch/controller control channel.
+//
+// A compact binary protocol in the spirit of OpenFlow 1.0: Hello announces
+// the switch's datapath id and port count, PacketIn carries table misses
+// and controller-requested punts, FlowMod programs the table, PacketOut
+// injects packets, PortStatus reports link changes. Messages are serialized
+// with the shared ByteWriter/ByteReader and travel as Protocol::kOfControl
+// packets over the dedicated control links — the controller is in-band in
+// the emulation graph, as in the paper's Mininet setup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "bgp/wire.hpp"
+#include "core/ids.hpp"
+#include "net/packet.hpp"
+#include "sdn/flow.hpp"
+
+namespace bgpsdn::sdn {
+
+/// Datapath id: the switch's identity on the control channel.
+using Dpid = std::uint64_t;
+
+enum class OfType : std::uint8_t {
+  kHello = 0,
+  kPacketIn = 1,
+  kPacketOut = 2,
+  kFlowMod = 3,
+  kPortStatus = 4,
+  kEcho = 5,
+};
+
+struct OfHello {
+  Dpid dpid{0};
+  std::uint16_t port_count{0};
+  bool operator==(const OfHello&) const = default;
+};
+
+enum class PacketInReason : std::uint8_t { kNoMatch = 0, kAction = 1 };
+
+struct OfPacketIn {
+  core::PortId in_port;
+  PacketInReason reason{PacketInReason::kNoMatch};
+  net::Packet packet;
+};
+
+struct OfPacketOut {
+  core::PortId out_port;
+  net::Packet packet;
+};
+
+enum class FlowModCommand : std::uint8_t { kAdd = 0, kDelete = 1 };
+
+struct OfFlowMod {
+  FlowModCommand command{FlowModCommand::kAdd};
+  FlowMatch match;
+  std::uint16_t priority{0};
+  FlowAction action;  // ignored for kDelete
+};
+
+struct OfPortStatus {
+  core::PortId port;
+  bool up{true};
+  bool operator==(const OfPortStatus&) const = default;
+};
+
+struct OfEcho {
+  std::uint64_t token{0};
+  bool is_reply{false};
+  bool operator==(const OfEcho&) const = default;
+};
+
+using OfMessage =
+    std::variant<OfHello, OfPacketIn, OfPacketOut, OfFlowMod, OfPortStatus, OfEcho>;
+
+OfType type_of(const OfMessage& m);
+
+std::vector<std::byte> encode(const OfMessage& m);
+std::optional<OfMessage> decode(const std::vector<std::byte>& wire);
+
+}  // namespace bgpsdn::sdn

@@ -1,0 +1,114 @@
+#include "sdn/switch.hpp"
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "net/network.hpp"
+
+namespace bgpsdn::sdn {
+
+void SdnSwitch::start() {
+  if (!controller_port_) return;  // isolated switch: nothing to announce
+  OfHello hello;
+  hello.dpid = dpid();
+  hello.port_count = static_cast<std::uint16_t>(network().port_count(id()));
+  send_to_controller(hello);
+}
+
+void SdnSwitch::send_to_controller(const OfMessage& message) {
+  if (!controller_port_) return;
+  net::Packet pkt;
+  pkt.proto = net::Protocol::kOfControl;
+  pkt.payload = encode(message);
+  send(*controller_port_, std::move(pkt));
+}
+
+void SdnSwitch::handle_packet(core::PortId ingress, const net::Packet& packet) {
+  if (controller_port_ && ingress == *controller_port_ &&
+      packet.proto == net::Protocol::kOfControl) {
+    handle_control(packet);
+    return;
+  }
+
+  ++counters_.packets_in;
+  const FlowEntry* entry = table_.lookup(ingress, packet);
+  if (entry == nullptr) {
+    ++counters_.table_misses;
+    OfPacketIn in;
+    in.in_port = ingress;
+    in.reason = PacketInReason::kNoMatch;
+    in.packet = packet;
+    send_to_controller(std::move(in));
+    return;
+  }
+  switch (entry->action.type) {
+    case ActionType::kOutput:
+      send(entry->action.port, packet);
+      break;
+    case ActionType::kToController: {
+      ++counters_.punts;
+      OfPacketIn in;
+      in.in_port = ingress;
+      in.reason = PacketInReason::kAction;
+      in.packet = packet;
+      send_to_controller(std::move(in));
+      break;
+    }
+    case ActionType::kDrop:
+      ++counters_.dropped;
+      break;
+  }
+}
+
+void SdnSwitch::handle_control(const net::Packet& packet) {
+  const auto msg = decode(packet.payload);
+  if (!msg) {
+    logger().log(loop().now(), core::LogLevel::kWarn, "sw." + name(),
+                 "of_decode_error", "");
+    return;
+  }
+  switch (type_of(*msg)) {
+    case OfType::kFlowMod: {
+      const auto& fm = std::get<OfFlowMod>(*msg);
+      ++counters_.flow_mods;
+      if (fm.command == FlowModCommand::kAdd) {
+        FlowEntry e;
+        e.match = fm.match;
+        e.priority = fm.priority;
+        e.action = fm.action;
+        table_.add(std::move(e));
+      } else {
+        table_.remove(fm.match, fm.priority);
+      }
+      logger().log(loop().now(), core::LogLevel::kDebug, "sw." + name(),
+                   "flow_mod",
+                   (fm.command == FlowModCommand::kAdd ? "add " : "del ") +
+                       fm.match.to_string());
+      break;
+    }
+    case OfType::kPacketOut: {
+      const auto& po = std::get<OfPacketOut>(*msg);
+      ++counters_.packet_outs;
+      send(po.out_port, po.packet);
+      break;
+    }
+    case OfType::kEcho: {
+      const auto& echo = std::get<OfEcho>(*msg);
+      if (!echo.is_reply) send_to_controller(OfEcho{echo.token, true});
+      break;
+    }
+    case OfType::kHello:
+      break;  // controller greeting; nothing to do
+    default:
+      break;
+  }
+}
+
+void SdnSwitch::on_link_state(core::PortId port, bool up) {
+  if (controller_port_ && port == *controller_port_) return;
+  OfPortStatus status;
+  status.port = port;
+  status.up = up;
+  send_to_controller(status);
+}
+
+}  // namespace bgpsdn::sdn

@@ -1,0 +1,63 @@
+// SdnSwitch — an OpenFlow-like switch standing in for one cluster AS.
+//
+// In the paper's hybrid experiments, ASes that join the SDN cluster replace
+// their BGP router with an SDN switch whose forwarding is programmed by the
+// IDR controller. The switch keeps the AS identity (for logging and for the
+// cluster's transparent interop with legacy BGP); all routing intelligence
+// lives in the controller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/ids.hpp"
+#include "net/node.hpp"
+#include "sdn/flow.hpp"
+#include "sdn/openflow.hpp"
+
+namespace bgpsdn::sdn {
+
+struct SwitchCounters {
+  std::uint64_t packets_in{0};       // data packets seen
+  std::uint64_t table_misses{0};     // punted to controller (no match)
+  std::uint64_t punts{0};            // punted by explicit to-controller action
+  std::uint64_t flow_mods{0};
+  std::uint64_t packet_outs{0};
+  std::uint64_t dropped{0};
+};
+
+class SdnSwitch : public net::Node {
+ public:
+  /// `owner_as` is the AS this switch represents in the cluster.
+  explicit SdnSwitch(core::AsNumber owner_as) : owner_as_{owner_as} {}
+
+  core::AsNumber owner_as() const { return owner_as_; }
+  Dpid dpid() const { return id().value(); }
+
+  /// Must be set (by the cluster builder) before start(): the port whose
+  /// link leads to the controller.
+  void set_controller_port(core::PortId port) { controller_port_ = port; }
+  std::optional<core::PortId> controller_port() const { return controller_port_; }
+
+  /// Pre-installed rules (e.g. BGP relay paths) may be added directly by the
+  /// cluster builder before start; runtime programming goes via FlowMod.
+  FlowTable& table() { return table_; }
+  const FlowTable& table() const { return table_; }
+
+  void start() override;
+  void handle_packet(core::PortId ingress, const net::Packet& packet) override;
+  void on_link_state(core::PortId port, bool up) override;
+
+  const SwitchCounters& counters() const { return counters_; }
+
+ private:
+  void handle_control(const net::Packet& packet);
+  void send_to_controller(const OfMessage& message);
+
+  core::AsNumber owner_as_;
+  std::optional<core::PortId> controller_port_;
+  FlowTable table_;
+  SwitchCounters counters_;
+};
+
+}  // namespace bgpsdn::sdn

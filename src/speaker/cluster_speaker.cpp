@@ -1,0 +1,164 @@
+#include "speaker/cluster_speaker.hpp"
+
+#include "bgp/router.hpp"
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "net/network.hpp"
+
+namespace bgpsdn::speaker {
+
+PeeringId ClusterBgpSpeaker::add_peering(core::PortId relay_port, Peering peering) {
+  const auto id = static_cast<PeeringId>(slots_.size());
+  peering.id = id;
+
+  bgp::SessionConfig sc;
+  sc.id = bgp::allocate_session_id();
+  sc.local_as = peering.cluster_as;
+  // Identify as the cluster AS's router (its interface address works as a
+  // unique, stable BGP id).
+  sc.local_id = peering.local_address;
+  sc.local_address = peering.local_address;
+  sc.remote_address = peering.remote_address;
+  sc.expected_peer_as = peering.expected_peer_as;
+  sc.timers = timers_;
+
+  auto slot = std::make_unique<Slot>();
+  slot->info = peering;
+  slot->relay_port = relay_port;
+  slot->session = std::make_unique<bgp::Session>(*this, sc);
+  Slot* raw = slot.get();
+  slots_.push_back(std::move(slot));
+  by_port_[relay_port.value()] = raw;
+  by_session_[sc.id.value()] = raw;
+  if (started_) raw->session->start();
+  return id;
+}
+
+void ClusterBgpSpeaker::announce(PeeringId id, const net::Prefix& prefix,
+                                 const bgp::PathAttributes& attrs) {
+  Slot& slot = *slots_.at(id);
+  if (!slot.session->established()) return;
+  if (!slot.rib_out.advertise(prefix, attrs)) return;  // duplicate
+  bgp::UpdateMessage m;
+  m.attributes = attrs;
+  m.nlri.push_back(prefix);
+  ++counters_.announces_tx;
+  logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
+               "speaker_announce",
+               "peering " + std::to_string(id) + " " + m.to_string());
+  slot.session->send_update(m);
+}
+
+void ClusterBgpSpeaker::withdraw(PeeringId id, const net::Prefix& prefix) {
+  Slot& slot = *slots_.at(id);
+  if (!slot.session->established()) return;
+  if (!slot.rib_out.withdraw(prefix)) return;  // never advertised
+  bgp::UpdateMessage m;
+  m.withdrawn.push_back(prefix);
+  ++counters_.withdraws_tx;
+  logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
+               "speaker_withdraw",
+               "peering " + std::to_string(id) + " " + prefix.to_string());
+  slot.session->send_update(m);
+}
+
+void ClusterBgpSpeaker::reset_peering(PeeringId id, const std::string& reason) {
+  Slot& slot = *slots_.at(id);
+  ++counters_.resets;
+  slot.session->stop(reason, /*auto_restart=*/true);
+}
+
+const Peering* ClusterBgpSpeaker::peering(PeeringId id) const {
+  return id < slots_.size() ? &slots_[id]->info : nullptr;
+}
+
+std::vector<const Peering*> ClusterBgpSpeaker::peerings() const {
+  std::vector<const Peering*> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(&s->info);
+  return out;
+}
+
+bool ClusterBgpSpeaker::peering_established(PeeringId id) const {
+  return id < slots_.size() && slots_[id]->session->established();
+}
+
+void ClusterBgpSpeaker::start() {
+  started_ = true;
+  for (auto& slot : slots_) slot->session->start();
+}
+
+void ClusterBgpSpeaker::handle_packet(core::PortId ingress,
+                                      const net::Packet& packet) {
+  if (packet.proto != net::Protocol::kBgp) return;
+  const auto it = by_port_.find(ingress.value());
+  if (it != by_port_.end()) it->second->session->receive(packet.payload);
+}
+
+void ClusterBgpSpeaker::on_link_state(core::PortId port, bool up) {
+  // A relay link (speaker<->switch) changed; treat like a session link.
+  const auto it = by_port_.find(port.value());
+  if (it == by_port_.end()) return;
+  if (up) {
+    it->second->session->start();
+  } else {
+    it->second->session->stop("relay link down");
+  }
+}
+
+ClusterBgpSpeaker::Slot* ClusterBgpSpeaker::slot_of(const bgp::Session& session) {
+  const auto it = by_session_.find(session.id().value());
+  return it == by_session_.end() ? nullptr : it->second;
+}
+
+void ClusterBgpSpeaker::session_transmit(bgp::Session& session,
+                                         std::vector<std::byte> wire) {
+  Slot* slot = slot_of(session);
+  if (slot == nullptr) return;
+  net::Packet pkt;
+  pkt.src = slot->info.local_address;
+  pkt.dst = slot->info.remote_address;
+  pkt.proto = net::Protocol::kBgp;
+  pkt.payload = std::move(wire);
+  send(slot->relay_port, std::move(pkt));
+}
+
+void ClusterBgpSpeaker::session_established(bgp::Session& session) {
+  Slot* slot = slot_of(session);
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "session_up",
+               slot->info.cluster_as.to_string() + " <-> peer " +
+                   session.peer_as().to_string());
+  if (listener_ != nullptr) listener_->on_peer_established(slot->info);
+}
+
+void ClusterBgpSpeaker::session_down(bgp::Session& session,
+                                     const std::string& reason) {
+  Slot* slot = slot_of(session);
+  slot->rib_out.clear();
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "session_down",
+               slot->info.cluster_as.to_string() + " <-> peer " +
+                   session.peer_as().to_string() + ": " + reason);
+  if (listener_ != nullptr) listener_->on_peer_down(slot->info, reason);
+}
+
+void ClusterBgpSpeaker::session_update(bgp::Session& session,
+                                       const bgp::UpdateMessage& update) {
+  Slot* slot = slot_of(session);
+  ++counters_.updates_rx;
+  logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
+               "speaker_rx",
+               "peering " + std::to_string(slot->info.id) + " " +
+                   update.to_string());
+  if (listener_ != nullptr) listener_->on_route_update(slot->info, update);
+}
+
+core::EventLoop& ClusterBgpSpeaker::session_loop() { return loop(); }
+core::Rng& ClusterBgpSpeaker::session_rng() { return rng(); }
+core::Logger& ClusterBgpSpeaker::session_logger() { return logger(); }
+std::string ClusterBgpSpeaker::session_log_name() const {
+  return "speaker." + name();
+}
+
+}  // namespace bgpsdn::speaker

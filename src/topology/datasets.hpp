@@ -1,0 +1,54 @@
+// Measured-Internet dataset support: CAIDA AS relationships and iPlane
+// inter-PoP links.
+//
+// The real datasets are not redistributable here, so alongside the parsers
+// we ship synthesizers that emit files in the exact same formats; the
+// parse -> spec -> emulation code path is identical either way (documented
+// substitution, see DESIGN.md).
+//
+// CAIDA serial-1 format (as-rel):   <provider-as>|<customer-as>|-1
+//                                   <peer-as>|<peer-as>|0
+//   '#' lines are comments.
+//
+// iPlane inter-PoP links format:    <asn1>,<pop1> <asn2>,<pop2> <rtt_ms>
+//   Every PoP belongs to an AS; since the framework emulates one device per
+//   AS, PoP pairs collapse to AS adjacencies and the minimum RTT observed
+//   for an AS pair becomes the link delay.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/random.hpp"
+#include "topology/spec.hpp"
+
+namespace bgpsdn::topology {
+
+/// Parse CAIDA serial-1 relationship text. Throws std::invalid_argument on
+/// malformed lines. The resulting spec uses Gao-Rexford policies.
+TopologySpec parse_caida(std::istream& in);
+TopologySpec parse_caida_text(const std::string& text);
+
+/// Serialize a spec back to CAIDA serial-1 (relationship info only).
+std::string to_caida_text(const TopologySpec& spec);
+
+/// Parse iPlane inter-PoP link text. PoPs collapse to ASes; relationships
+/// default to peer (the dataset has no business relationships), so combine
+/// with CAIDA for policy if needed.
+TopologySpec parse_iplane(std::istream& in);
+TopologySpec parse_iplane_text(const std::string& text);
+
+/// Synthesize a CAIDA-like dataset (hierarchical, power-law-ish) as
+/// serial-1 text; `ases` is the approximate AS count.
+std::string synthesize_caida_text(std::size_t ases, core::Rng& rng);
+
+/// Synthesize an iPlane-like inter-PoP dump for the given spec: each AS
+/// gets 1-3 PoPs, each AS link becomes 1-2 PoP pairs with plausible RTTs.
+std::string synthesize_iplane_text(const TopologySpec& spec, core::Rng& rng);
+
+/// Merge relationships from `rel` (CAIDA) onto the adjacency of `base`
+/// (iPlane): links present in both keep base delays and gain relationships;
+/// links only in `base` stay peer links. The result uses Gao-Rexford mode.
+TopologySpec merge_relationships(const TopologySpec& base, const TopologySpec& rel);
+
+}  // namespace bgpsdn::topology

@@ -1,0 +1,179 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace bgpsdn::topology {
+
+namespace {
+
+core::AsNumber as_at(std::uint32_t base, std::size_t i) {
+  return core::AsNumber{base + static_cast<std::uint32_t>(i)};
+}
+
+TopologySpec with_ases(std::size_t n, std::uint32_t base) {
+  TopologySpec spec;
+  for (std::size_t i = 0; i < n; ++i) spec.add_as(as_at(base, i));
+  return spec;
+}
+
+}  // namespace
+
+TopologySpec clique(std::size_t n, std::uint32_t base_as) {
+  TopologySpec spec = with_ases(n, base_as);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      spec.add_link(as_at(base_as, i), as_at(base_as, j));
+    }
+  }
+  return spec;
+}
+
+TopologySpec line(std::size_t n, std::uint32_t base_as) {
+  TopologySpec spec = with_ases(n, base_as);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    spec.add_link(as_at(base_as, i), as_at(base_as, i + 1));
+  }
+  return spec;
+}
+
+TopologySpec ring(std::size_t n, std::uint32_t base_as) {
+  TopologySpec spec = line(n, base_as);
+  if (n > 2) spec.add_link(as_at(base_as, n - 1), as_at(base_as, 0));
+  return spec;
+}
+
+TopologySpec star(std::size_t n, std::uint32_t base_as) {
+  TopologySpec spec = with_ases(n, base_as);
+  for (std::size_t i = 1; i < n; ++i) {
+    // Hub is the provider of every leaf.
+    spec.add_link(as_at(base_as, 0), as_at(base_as, i),
+                  bgp::Relationship::kCustomer);
+  }
+  return spec;
+}
+
+TopologySpec binary_tree(std::size_t depth, std::uint32_t base_as) {
+  const std::size_t n = (std::size_t{1} << depth) - 1;
+  TopologySpec spec = with_ases(n, base_as);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent = (i - 1) / 2;
+    spec.add_link(as_at(base_as, parent), as_at(base_as, i),
+                  bgp::Relationship::kCustomer);
+  }
+  return spec;
+}
+
+TopologySpec erdos_renyi(std::size_t n, double p, core::Rng& rng,
+                         std::uint32_t base_as) {
+  TopologySpec spec = ring(n, base_as);  // connectivity backbone
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto a = as_at(base_as, i);
+      const auto b = as_at(base_as, j);
+      if (spec.has_link(a, b)) continue;
+      if (rng.chance(p)) spec.add_link(a, b);
+    }
+  }
+  return spec;
+}
+
+TopologySpec barabasi_albert(std::size_t n, std::size_t m, core::Rng& rng,
+                             std::uint32_t base_as) {
+  TopologySpec spec = with_ases(n, base_as);
+  if (n == 0) return spec;
+  // Seed: clique over the first m+1 nodes (or all of them if n is small).
+  const std::size_t seed = std::min(n, m + 1);
+  std::vector<std::size_t> endpoint_bag;  // one entry per link endpoint
+  for (std::size_t i = 0; i < seed; ++i) {
+    for (std::size_t j = i + 1; j < seed; ++j) {
+      spec.add_link(as_at(base_as, i), as_at(base_as, j));
+      endpoint_bag.push_back(i);
+      endpoint_bag.push_back(j);
+    }
+  }
+  for (std::size_t i = seed; i < n; ++i) {
+    std::size_t attached = 0;
+    std::size_t guard = 0;
+    while (attached < m && guard < 100 * m) {
+      ++guard;
+      const std::size_t pick = endpoint_bag.empty()
+                                   ? 0
+                                   : endpoint_bag[static_cast<std::size_t>(
+                                         rng.uniform_int(0, static_cast<std::int64_t>(
+                                                                endpoint_bag.size()) -
+                                                                1))];
+      const auto a = as_at(base_as, i);
+      const auto b = as_at(base_as, pick);
+      if (a == b || spec.has_link(a, b)) continue;
+      spec.add_link(a, b);
+      endpoint_bag.push_back(i);
+      endpoint_bag.push_back(pick);
+      ++attached;
+    }
+  }
+  return spec;
+}
+
+TopologySpec internet_like(const InternetLikeParams& params, core::Rng& rng,
+                           std::uint32_t base_as) {
+  TopologySpec spec;
+  spec.policy_mode = bgp::PolicyMode::kGaoRexford;
+  const std::size_t total = params.tier1 + params.transit + params.stubs;
+  for (std::size_t i = 0; i < total; ++i) spec.add_as(as_at(base_as, i));
+
+  const auto tier1_as = [&](std::size_t i) { return as_at(base_as, i); };
+  const auto transit_as = [&](std::size_t i) {
+    return as_at(base_as, params.tier1 + i);
+  };
+  const auto stub_as = [&](std::size_t i) {
+    return as_at(base_as, params.tier1 + params.transit + i);
+  };
+
+  // Tier-1 full-mesh peering.
+  for (std::size_t i = 0; i < params.tier1; ++i) {
+    for (std::size_t j = i + 1; j < params.tier1; ++j) {
+      spec.add_link(tier1_as(i), tier1_as(j), bgp::Relationship::kPeer);
+    }
+  }
+  // Transit ASes buy from `transit_uplinks` distinct tier-1 providers.
+  for (std::size_t i = 0; i < params.transit; ++i) {
+    const std::size_t uplinks = std::min(params.transit_uplinks, params.tier1);
+    std::size_t first = params.tier1 == 0
+                            ? 0
+                            : static_cast<std::size_t>(rng.uniform_int(
+                                  0, static_cast<std::int64_t>(params.tier1) - 1));
+    for (std::size_t u = 0; u < uplinks; ++u) {
+      const auto provider = tier1_as((first + u) % params.tier1);
+      // Provider sees the transit AS as a customer.
+      spec.add_link(provider, transit_as(i), bgp::Relationship::kCustomer);
+    }
+  }
+  // Lateral transit peering.
+  for (std::size_t i = 0; i < params.transit; ++i) {
+    for (std::size_t j = i + 1; j < params.transit; ++j) {
+      if (rng.chance(params.transit_peer_prob)) {
+        spec.add_link(transit_as(i), transit_as(j), bgp::Relationship::kPeer);
+      }
+    }
+  }
+  // Stubs buy from transit providers (fall back to tier-1 when there is no
+  // transit tier).
+  for (std::size_t i = 0; i < params.stubs; ++i) {
+    if (params.transit == 0 && params.tier1 == 0) break;
+    const std::size_t pool = params.transit > 0 ? params.transit : params.tier1;
+    const std::size_t uplinks = std::min(params.stub_uplinks, pool);
+    std::size_t first = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool) - 1));
+    for (std::size_t u = 0; u < uplinks; ++u) {
+      const auto provider = params.transit > 0
+                                ? transit_as((first + u) % pool)
+                                : tier1_as((first + u) % pool);
+      spec.add_link(provider, stub_as(i), bgp::Relationship::kCustomer);
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace bgpsdn::topology

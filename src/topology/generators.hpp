@@ -1,0 +1,55 @@
+// Artificial topology generators ("theoretical models").
+//
+// All generators number ASes 1..n (offset by `base_as`) and produce
+// validated specs. Random models take an explicit Rng so experiments stay
+// reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "core/random.hpp"
+#include "topology/spec.hpp"
+
+namespace bgpsdn::topology {
+
+/// Full mesh of n ASes — the paper's evaluation topology (16-node clique).
+TopologySpec clique(std::size_t n, std::uint32_t base_as = 1);
+
+/// Path 1-2-...-n.
+TopologySpec line(std::size_t n, std::uint32_t base_as = 1);
+
+/// Cycle.
+TopologySpec ring(std::size_t n, std::uint32_t base_as = 1);
+
+/// AS 1 is the hub.
+TopologySpec star(std::size_t n, std::uint32_t base_as = 1);
+
+/// Complete binary tree with `depth` levels (>=1); parents are providers.
+TopologySpec binary_tree(std::size_t depth, std::uint32_t base_as = 1);
+
+/// Erdős–Rényi G(n, p); a spanning backbone ring guarantees connectivity.
+TopologySpec erdos_renyi(std::size_t n, double p, core::Rng& rng,
+                         std::uint32_t base_as = 1);
+
+/// Barabási–Albert preferential attachment, m edges per new node.
+TopologySpec barabasi_albert(std::size_t n, std::size_t m, core::Rng& rng,
+                             std::uint32_t base_as = 1);
+
+/// A CAIDA-like three-tier Internet: a clique of tier-1 ASes peering with
+/// each other, mid-tier transit ASes multihomed to tier-1 providers and
+/// peering laterally, and stub ASes buying from transit providers.
+/// Relationships are set for valley-free (Gao-Rexford) routing.
+struct InternetLikeParams {
+  std::size_t tier1{4};
+  std::size_t transit{12};
+  std::size_t stubs{32};
+  /// Providers per transit / stub AS.
+  std::size_t transit_uplinks{2};
+  std::size_t stub_uplinks{2};
+  /// Probability of a lateral peer link between two transit ASes.
+  double transit_peer_prob{0.2};
+};
+TopologySpec internet_like(const InternetLikeParams& params, core::Rng& rng,
+                           std::uint32_t base_as = 1);
+
+}  // namespace bgpsdn::topology

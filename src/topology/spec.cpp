@@ -1,0 +1,74 @@
+#include "topology/spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace bgpsdn::topology {
+
+void TopologySpec::add_as(core::AsNumber as) {
+  if (!has_as(as)) ases.push_back(as);
+}
+
+bool TopologySpec::has_as(core::AsNumber as) const {
+  return std::find(ases.begin(), ases.end(), as) != ases.end();
+}
+
+void TopologySpec::add_link(core::AsNumber a, core::AsNumber b,
+                            bgp::Relationship a_sees_b,
+                            std::optional<core::Duration> delay) {
+  if (a == b) throw std::invalid_argument{"self-loop on " + a.to_string()};
+  if (!has_as(a) || !has_as(b)) {
+    throw std::invalid_argument{"link endpoints must be added first: " +
+                                a.to_string() + " <-> " + b.to_string()};
+  }
+  if (has_link(a, b)) {
+    throw std::invalid_argument{"duplicate link " + a.to_string() + " <-> " +
+                                b.to_string()};
+  }
+  links.push_back(LinkSpec{a, b, a_sees_b, delay});
+}
+
+bool TopologySpec::has_link(core::AsNumber a, core::AsNumber b) const {
+  return std::any_of(links.begin(), links.end(), [&](const LinkSpec& l) {
+    return (l.a == a && l.b == b) || (l.a == b && l.b == a);
+  });
+}
+
+std::size_t TopologySpec::degree(core::AsNumber as) const {
+  std::size_t n = 0;
+  for (const auto& l : links) {
+    if (l.a == as || l.b == as) ++n;
+  }
+  return n;
+}
+
+void TopologySpec::validate() const {
+  std::set<core::AsNumber> seen;
+  for (const auto as : ases) {
+    if (!seen.insert(as).second) {
+      throw std::invalid_argument{"duplicate AS " + as.to_string()};
+    }
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const auto& l : links) {
+    if (seen.count(l.a) == 0 || seen.count(l.b) == 0) {
+      throw std::invalid_argument{"link references unknown AS"};
+    }
+    if (l.a == l.b) throw std::invalid_argument{"self-loop"};
+    const std::pair<std::uint32_t, std::uint32_t> key{
+        std::min(l.a.value(), l.b.value()), std::max(l.a.value(), l.b.value())};
+    if (!edges.insert(key).second) {
+      throw std::invalid_argument{"duplicate link " + l.a.to_string() + " <-> " +
+                                  l.b.to_string()};
+    }
+  }
+}
+
+std::string TopologySpec::summary() const {
+  return std::to_string(ases.size()) + " ASes, " + std::to_string(links.size()) +
+         " links, " +
+         (policy_mode == bgp::PolicyMode::kFullTransit ? "full-transit"
+                                                       : "gao-rexford");
+}
+
+}  // namespace bgpsdn::topology

@@ -1,0 +1,58 @@
+// TopologySpec — the declarative description of an experiment's AS graph.
+//
+// "The topologies can be either artificial or built from the iPlane
+// Inter-PoP links and the CAIDA AS Relationship datasets." A spec lists the
+// ASes and their links with business relationships; generators and dataset
+// parsers all produce this one type, and the framework's Experiment builder
+// consumes it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/types.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace bgpsdn::topology {
+
+struct LinkSpec {
+  core::AsNumber a;
+  core::AsNumber b;
+  /// The relationship of b as seen from a (a's view). kCustomer means b is
+  /// a's customer, i.e. a is b's provider.
+  bgp::Relationship a_sees_b{bgp::Relationship::kPeer};
+  /// Propagation delay override; the experiment default applies when unset.
+  std::optional<core::Duration> delay;
+};
+
+struct TopologySpec {
+  std::vector<core::AsNumber> ases;
+  std::vector<LinkSpec> links;
+  /// Policy mode applied to every peering built from this spec.
+  bgp::PolicyMode policy_mode{bgp::PolicyMode::kFullTransit};
+
+  void add_as(core::AsNumber as);
+  bool has_as(core::AsNumber as) const;
+
+  /// Add a link; both endpoints must already exist; duplicates rejected.
+  void add_link(core::AsNumber a, core::AsNumber b,
+                bgp::Relationship a_sees_b = bgp::Relationship::kPeer,
+                std::optional<core::Duration> delay = std::nullopt);
+
+  bool has_link(core::AsNumber a, core::AsNumber b) const;
+  std::size_t degree(core::AsNumber as) const;
+
+  /// Sanity checks (endpoints exist, no self-loops/duplicates); throws
+  /// std::invalid_argument with a description on failure.
+  void validate() const;
+
+  /// Human-readable summary ("16 ASes, 120 links, full-transit").
+  std::string summary() const;
+};
+
+}  // namespace bgpsdn::topology

@@ -1,0 +1,109 @@
+// MRT (RFC 6396) export/import: round-trips, framing robustness, and the
+// collector-tape conversion.
+#include <gtest/gtest.h>
+
+#include "bgp/mrt.hpp"
+#include "bgp/wire.hpp"
+
+namespace bgpsdn::bgp {
+namespace {
+
+MrtRecord sample_record(std::uint32_t ts, std::uint32_t peer_as) {
+  UpdateMessage u;
+  u.attributes.as_path = AsPath{{core::AsNumber{peer_as}, core::AsNumber{1}}};
+  u.attributes.next_hop = net::Ipv4Addr{172, 16, 0, 1};
+  u.nlri.push_back(*net::Prefix::parse("10.0.0.0/16"));
+
+  MrtRecord rec;
+  rec.timestamp_s = ts;
+  rec.peer_as = core::AsNumber{peer_as};
+  rec.local_as = core::AsNumber{64512};
+  rec.peer_ip = net::Ipv4Addr{198, 18, 0, 1};
+  rec.local_ip = net::Ipv4Addr{192, 0, 2, 1};
+  rec.bgp_message = encode(u);
+  return rec;
+}
+
+TEST(Mrt, RoundTripPreservesRecords) {
+  const std::vector<MrtRecord> records{sample_record(100, 2),
+                                       sample_record(160, 3)};
+  const auto data = write_mrt(records);
+  const auto back = read_mrt(data);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*back)[i].timestamp_s, records[i].timestamp_s);
+    EXPECT_EQ((*back)[i].peer_as, records[i].peer_as);
+    EXPECT_EQ((*back)[i].local_as, records[i].local_as);
+    EXPECT_EQ((*back)[i].peer_ip, records[i].peer_ip);
+    EXPECT_EQ((*back)[i].bgp_message, records[i].bgp_message);
+  }
+}
+
+TEST(Mrt, EmbeddedBgpMessagesDecodable) {
+  const auto data = write_mrt({sample_record(5, 7)});
+  const auto back = read_mrt(data);
+  ASSERT_TRUE(back.has_value());
+  const auto msg = decode((*back)[0].bgp_message);
+  ASSERT_TRUE(msg.has_value());
+  const auto& update = std::get<UpdateMessage>(*msg);
+  EXPECT_EQ(update.attributes.as_path.to_string(), "7 1");
+  EXPECT_EQ(update.nlri[0].to_string(), "10.0.0.0/16");
+}
+
+TEST(Mrt, EmptyStreamIsValid) {
+  const auto back = read_mrt({});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Mrt, TruncatedFramingRejected) {
+  auto data = write_mrt({sample_record(5, 7)});
+  data.resize(data.size() - 3);
+  EXPECT_FALSE(read_mrt(data).has_value());
+}
+
+TEST(Mrt, UnknownRecordTypesSkipped) {
+  // Hand-build an unknown-type record followed by a valid one.
+  ByteWriter w;
+  w.u32(1);   // timestamp
+  w.u16(13);  // TABLE_DUMP_V2 (not supported here)
+  w.u16(1);
+  w.u32(4);
+  w.u32(0xdeadbeef);
+  const auto valid = write_mrt({sample_record(9, 2)});
+  w.bytes(valid);
+  const auto back = read_mrt(w.take());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].timestamp_s, 9u);
+}
+
+TEST(Mrt, CollectorTapeConverts) {
+  std::vector<RouteObservation> tape;
+  tape.push_back({core::TimePoint::origin() + core::Duration::seconds(12),
+                  core::AsNumber{3}, true, *net::Prefix::parse("10.0.0.0/16"),
+                  AsPath{{core::AsNumber{3}, core::AsNumber{1}}}});
+  tape.push_back({core::TimePoint::origin() + core::Duration::seconds(40),
+                  core::AsNumber{3}, false, *net::Prefix::parse("10.0.0.0/16"),
+                  {}});
+
+  const auto records = collector_to_mrt(tape);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].timestamp_s, 12u);
+  EXPECT_EQ(records[1].timestamp_s, 40u);
+  EXPECT_EQ(records[0].peer_as.value(), 3u);
+
+  // Full pipeline: tape -> MRT bytes -> records -> BGP messages.
+  const auto back = read_mrt(write_mrt(records));
+  ASSERT_TRUE(back.has_value());
+  const auto announce = decode((*back)[0].bgp_message);
+  ASSERT_TRUE(announce.has_value());
+  EXPECT_EQ(std::get<UpdateMessage>(*announce).nlri.size(), 1u);
+  const auto withdraw = decode((*back)[1].bgp_message);
+  ASSERT_TRUE(withdraw.has_value());
+  EXPECT_EQ(std::get<UpdateMessage>(*withdraw).withdrawn.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bgpsdn::bgp

@@ -1,0 +1,152 @@
+// IdrController behaviour on a live hybrid network: reactive flow repair,
+// burst batching, origin lifecycle, counters.
+#include <gtest/gtest.h>
+
+#include "framework/experiment.hpp"
+#include "topology/generators.hpp"
+
+namespace bgpsdn::controller {
+namespace {
+
+framework::ExperimentConfig quick(std::uint64_t seed = 3) {
+  framework::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.timers.mrai = core::Duration::millis(400);
+  cfg.recompute_delay = core::Duration::millis(150);
+  return cfg;
+}
+
+TEST(IdrController, ReactiveRepairAfterFlowLoss) {
+  // Simulate a switch losing a rule (e.g. table wipe on restart): the next
+  // packet punts to the controller, which reinstalls from its decision
+  // state and forwards the packet via PacketOut.
+  const auto spec = topology::clique(4);
+  const core::AsNumber as1{1}, as3{3}, as4{4};
+  framework::Experiment exp{spec, {as3, as4}, quick()};
+  auto& h1 = exp.add_host(as1);
+  auto& h3 = exp.add_host(as3);
+  ASSERT_TRUE(exp.start());
+
+  // Confirm live forwarding, then wipe the data rule on AS3's switch.
+  h3.send_probe(h1.address(), 1);
+  exp.run_for(core::Duration::seconds(1));
+  ASSERT_EQ(h3.replies_received(), 1u);
+
+  const auto pfx1 = exp.as_prefix(as1);
+  ASSERT_GT(exp.member_switch(as3).table().remove_by_dst(pfx1), 0u);
+  const auto misses0 = exp.member_switch(as3).counters().table_misses;
+
+  h3.send_probe(h1.address(), 2);
+  exp.run_for(core::Duration::seconds(1));
+  // The probe still made it (PacketOut) and the rule is back.
+  EXPECT_EQ(h3.replies_received(), 2u);
+  EXPECT_GT(exp.member_switch(as3).counters().table_misses, misses0);
+  bool rule_back = false;
+  for (const auto& e : exp.member_switch(as3).table().entries()) {
+    rule_back = rule_back || e.match.dst == pfx1;
+  }
+  EXPECT_TRUE(rule_back);
+
+  // A third probe uses the reinstalled rule (no further miss).
+  const auto misses1 = exp.member_switch(as3).counters().table_misses;
+  h3.send_probe(h1.address(), 3);
+  exp.run_for(core::Duration::seconds(1));
+  EXPECT_EQ(h3.replies_received(), 3u);
+  EXPECT_EQ(exp.member_switch(as3).counters().table_misses, misses1);
+}
+
+TEST(IdrController, PacketToUnknownDestinationDropped) {
+  const auto spec = topology::clique(4);
+  const core::AsNumber as3{3}, as4{4};
+  framework::Experiment exp{spec, {as3, as4}, quick()};
+  auto& h3 = exp.add_host(as3);
+  ASSERT_TRUE(exp.start());
+  const auto ins0 = exp.idr_controller()->base_counters().packet_ins;
+  h3.send_probe(net::Ipv4Addr{203, 0, 113, 7}, 9);
+  exp.run_for(core::Duration::seconds(1));
+  EXPECT_EQ(h3.replies_received(), 0u);
+  EXPECT_GT(exp.idr_controller()->base_counters().packet_ins, ins0);
+}
+
+TEST(IdrController, OriginLifecycleAnnouncesAndWithdraws) {
+  const auto spec = topology::clique(4);
+  const core::AsNumber as1{1}, as3{3}, as4{4};
+  framework::Experiment exp{spec, {as3, as4}, quick()};
+  ASSERT_TRUE(exp.start());
+
+  const auto pfx = *net::Prefix::parse("10.77.0.0/16");
+  exp.announce_prefix(as3, pfx);
+  exp.wait_converged();
+  ASSERT_NE(exp.router(as1).loc_rib().find(pfx), nullptr);
+  EXPECT_GT(exp.idr_controller()->counters().announces, 0u);
+
+  exp.withdraw_prefix(as3, pfx);
+  exp.wait_converged();
+  EXPECT_EQ(exp.router(as1).loc_rib().find(pfx), nullptr);
+  EXPECT_GT(exp.idr_controller()->counters().withdraws, 0u);
+  EXPECT_EQ(exp.idr_controller()->decision_for(pfx)->hops.size(), 0u);
+}
+
+TEST(IdrController, BorderPortFailureResetsPeering) {
+  const auto spec = topology::clique(4);
+  const core::AsNumber as1{1}, as3{3}, as4{4};
+  framework::Experiment exp{spec, {as3, as4}, quick()};
+  exp.announce_prefix(as1, exp.as_prefix(as1));
+  ASSERT_TRUE(exp.start());
+
+  const auto resets0 = exp.idr_controller()->counters().border_port_resets;
+  exp.fail_link(as1, as3);
+  exp.run_for(core::Duration::seconds(1));
+  EXPECT_EQ(exp.idr_controller()->counters().border_port_resets, resets0 + 1);
+
+  // The routes learned on that peering are gone; the prefix survives via
+  // the other border (AS1 <-> AS4 or via legacy AS2).
+  exp.wait_converged();
+  const auto* d = exp.idr_controller()->decision_for(exp.as_prefix(as1));
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->reachable(exp.member_switch(as3).dpid()));
+}
+
+TEST(IdrController, BurstOfUpdatesBatchesIntoOnePass) {
+  // Many prefixes announced "simultaneously" from a legacy AS dirty many
+  // prefixes but trigger a single recompute pass.
+  auto cfg = quick();
+  cfg.recompute_delay = core::Duration::seconds(2);
+  const auto spec = topology::clique(4);
+  const core::AsNumber as1{1}, as3{3}, as4{4};
+  framework::Experiment exp{spec, {as3, as4}, cfg};
+  ASSERT_TRUE(exp.start());
+
+  const auto passes0 = exp.idr_controller()->counters().recompute_passes;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    exp.announce_prefix(as1, net::Prefix{net::Ipv4Addr{(10u << 24) | ((60 + i) << 16)}, 16});
+  }
+  exp.wait_converged();
+  const auto passes = exp.idr_controller()->counters().recompute_passes - passes0;
+  // The 12 announcements arrive within one MRAI wave; the 2 s batch window
+  // coalesces them into very few passes.
+  EXPECT_LE(passes, 3u);
+  const auto* d = exp.idr_controller()->decision_for(
+      *net::Prefix::parse("10.71.0.0/16"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->reachable(exp.member_switch(as3).dpid()));
+}
+
+TEST(IdrController, SwitchGraphMirrorsLinkState) {
+  const auto spec = topology::clique(4);
+  const core::AsNumber as3{3}, as4{4};
+  framework::Experiment exp{spec, {as3, as4}, quick()};
+  ASSERT_TRUE(exp.start());
+  ASSERT_TRUE(exp.idr_controller()->switch_graph().is_connected());
+
+  exp.fail_link(as3, as4);
+  exp.run_for(core::Duration::seconds(1));
+  EXPECT_FALSE(exp.idr_controller()->switch_graph().is_connected());
+
+  exp.restore_link(as3, as4);
+  exp.run_for(core::Duration::seconds(1));
+  EXPECT_TRUE(exp.idr_controller()->switch_graph().is_connected());
+}
+
+}  // namespace
+}  // namespace bgpsdn::controller

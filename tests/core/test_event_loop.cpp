@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/event_loop.hpp"
+
+namespace bgpsdn::core {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  loop.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  loop.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), TimePoint::origin() + Duration::millis(30));
+}
+
+TEST(EventLoop, SimultaneousEventsAreFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  bool ran = false;
+  loop.schedule(Duration::millis(-5), [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), TimePoint::origin());
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule(Duration::millis(1), [&] { ran = true; });
+  EXPECT_TRUE(loop.is_pending(id));
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.is_pending(id));
+  EXPECT_FALSE(loop.cancel(id));  // double cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  const auto id = loop.schedule(Duration::millis(1), [] {});
+  loop.run();
+  EXPECT_FALSE(loop.cancel(id));
+}
+
+TEST(EventLoop, EventsScheduleMoreEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) loop.schedule(Duration::millis(1), chain);
+  };
+  loop.schedule(Duration::millis(1), chain);
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now() - TimePoint::origin(), Duration::millis(5));
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(Duration::millis(10), [&] { ++count; });
+  loop.schedule(Duration::millis(20), [&] { ++count; });
+  loop.run(TimePoint::origin() + Duration::millis(15));
+  EXPECT_EQ(count, 1);
+  // The later event survives for a subsequent run.
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, EventAtBoundaryRuns) {
+  EventLoop loop;
+  bool ran = false;
+  loop.schedule(Duration::millis(10), [&] { ran = true; });
+  loop.run(TimePoint::origin() + Duration::millis(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, AdvanceToMovesClockEvenWhenIdle) {
+  EventLoop loop;
+  loop.advance_to(TimePoint::origin() + Duration::seconds(3));
+  EXPECT_EQ(loop.now(), TimePoint::origin() + Duration::seconds(3));
+}
+
+TEST(EventLoop, StepExecutesOneEvent) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(Duration::millis(1), [&] { ++count; });
+  loop.schedule(Duration::millis(2), [&] { ++count; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoop, ScheduleAtPastClampsToNow) {
+  EventLoop loop;
+  loop.advance_to(TimePoint::origin() + Duration::seconds(10));
+  bool ran = false;
+  loop.schedule_at(TimePoint::origin() + Duration::seconds(1), [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), TimePoint::origin() + Duration::seconds(10));
+}
+
+TEST(EventLoop, PendingEventsCount) {
+  EventLoop loop;
+  EXPECT_EQ(loop.pending_events(), 0u);
+  const auto a = loop.schedule(Duration::millis(1), [] {});
+  loop.schedule(Duration::millis(2), [] {});
+  EXPECT_EQ(loop.pending_events(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.run();
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, ExecutedCounter) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule(Duration::millis(i), [] {});
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 7u);
+}
+
+TEST(EventLoop, CancelInsideCallback) {
+  EventLoop loop;
+  bool second_ran = false;
+  TimerId second = TimerId::invalid();
+  loop.schedule(Duration::millis(1), [&] { loop.cancel(second); });
+  second = loop.schedule(Duration::millis(2), [&] { second_ran = true; });
+  loop.run();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace bgpsdn::core

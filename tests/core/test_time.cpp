@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/time.hpp"
+
+namespace bgpsdn::core {
+namespace {
+
+TEST(Duration, FactoryUnits) {
+  EXPECT_EQ(Duration::nanos(1).count_nanos(), 1);
+  EXPECT_EQ(Duration::micros(1).count_nanos(), 1'000);
+  EXPECT_EQ(Duration::millis(1).count_nanos(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
+  EXPECT_EQ(Duration::seconds_f(0.5).count_nanos(), 500'000'000);
+  EXPECT_EQ(Duration::zero().count_nanos(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::millis(300);
+  const auto b = Duration::millis(200);
+  EXPECT_EQ((a + b).count_nanos(), Duration::millis(500).count_nanos());
+  EXPECT_EQ((a - b).count_nanos(), Duration::millis(100).count_nanos());
+  EXPECT_EQ((b - a).count_nanos(), Duration::millis(-100).count_nanos());
+  EXPECT_EQ((a * 3).to_millis(), 900.0);
+  EXPECT_EQ((a * 0.5).to_millis(), 150.0);
+  EXPECT_EQ((a / 3).count_nanos(), 100'000'000);
+  EXPECT_EQ((-a).count_nanos(), -300'000'000);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, Duration::millis(500));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_LE(Duration::zero(), Duration::zero());
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(Duration::millis(250).to_string(), "250.000ms");
+  EXPECT_EQ(Duration::micros(10).to_string(), "10.000us");
+  EXPECT_EQ(Duration::nanos(3).to_string(), "3ns");
+  EXPECT_EQ(Duration::zero().to_string(), "0.000s");
+  // Negative durations keep their unit scale.
+  EXPECT_EQ(Duration::millis(-250).to_string(), "-250.000ms");
+}
+
+TEST(TimePoint, OriginAndArithmetic) {
+  const auto t0 = TimePoint::origin();
+  EXPECT_EQ(t0.nanos_since_origin(), 0);
+  const auto t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ(t1.nanos_since_origin(), 5'000'000'000);
+  EXPECT_EQ(t1 - t0, Duration::seconds(5));
+  EXPECT_EQ((t1 - Duration::seconds(2)).nanos_since_origin(), 3'000'000'000);
+  auto t2 = t1;
+  t2 += Duration::seconds(1);
+  EXPECT_EQ(t2 - t1, Duration::seconds(1));
+}
+
+TEST(TimePoint, Ordering) {
+  const auto a = TimePoint::from_nanos(10);
+  const auto b = TimePoint::from_nanos(20);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(std::min(a, b), a);
+  EXPECT_LT(a, TimePoint::max());
+}
+
+TEST(TimePoint, ToString) {
+  EXPECT_EQ((TimePoint::origin() + Duration::millis(12345)).to_string(),
+            "12.345000s");
+}
+
+}  // namespace
+}  // namespace bgpsdn::core

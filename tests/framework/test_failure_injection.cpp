@@ -1,0 +1,155 @@
+// Failure injection: lossy control channels, repeated link flapping,
+// simultaneous failures, and larger-scale topologies — the emulation must
+// stay consistent under abuse, not just on the happy path.
+#include <gtest/gtest.h>
+
+#include "framework/experiment.hpp"
+#include "topology/generators.hpp"
+
+namespace bgpsdn {
+namespace {
+
+framework::ExperimentConfig fast_config(std::uint64_t seed = 17) {
+  framework::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.timers.mrai = core::Duration::millis(300);
+  cfg.timers.hold = core::Duration::seconds(6);
+  cfg.timers.keepalive = core::Duration::seconds(2);
+  cfg.recompute_delay = core::Duration::millis(100);
+  return cfg;
+}
+
+TEST(FailureInjection, SessionsSurviveMildLoss) {
+  // 2% loss on every link: occasional lost KEEPALIVEs and UPDATEs must not
+  // wreck convergence (hold timers ride through; sessions that do drop
+  // auto-restart).
+  auto cfg = fast_config();
+  cfg.default_link.loss = 0.02;
+  const auto spec = topology::clique(5);
+  framework::Experiment exp{spec, {}, cfg};
+  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
+  exp.announce_prefix(core::AsNumber{1}, pfx);
+  ASSERT_TRUE(exp.start(core::Duration::seconds(600)));
+  exp.run_for(core::Duration::seconds(30));
+  exp.wait_converged(core::Duration::seconds(2), core::Duration::seconds(600));
+  EXPECT_TRUE(exp.all_know_prefix(pfx));
+}
+
+TEST(FailureInjection, SessionFlapsUnderHeavyLossThenHeals) {
+  auto cfg = fast_config();
+  const auto spec = topology::line(2);
+  framework::Experiment exp{spec, {}, cfg};
+  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
+  exp.announce_prefix(core::AsNumber{1}, pfx);
+  ASSERT_TRUE(exp.start());
+  ASSERT_NE(exp.router(core::AsNumber{2}).loc_rib().find(pfx), nullptr);
+
+  // 70% loss starves the hold timer within a few periods.
+  const auto link = exp.network().find_link(exp.router(core::AsNumber{1}).id(),
+                                            exp.router(core::AsNumber{2}).id());
+  exp.network().set_link_loss(link, 0.7);
+  exp.run_for(core::Duration::seconds(120));
+  const auto flaps = exp.router(core::AsNumber{2}).sessions()[0]->counters().flaps;
+  EXPECT_GT(flaps, 0u);
+
+  // Heal: the session re-establishes and the route returns.
+  exp.network().set_link_loss(link, 0.0);
+  exp.run_for(core::Duration::seconds(60));
+  EXPECT_TRUE(exp.router(core::AsNumber{2}).sessions()[0]->established());
+  EXPECT_NE(exp.router(core::AsNumber{2}).loc_rib().find(pfx), nullptr);
+}
+
+TEST(FailureInjection, RepeatedLinkFlappingEndsConsistent) {
+  auto cfg = fast_config();
+  const auto spec = topology::clique(5);
+  const core::AsNumber as1{1};
+  framework::Experiment exp{spec, {core::AsNumber{5}}, cfg};
+  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
+  exp.announce_prefix(as1, pfx);
+  ASSERT_TRUE(exp.start());
+
+  for (int i = 0; i < 5; ++i) {
+    exp.fail_link(as1, core::AsNumber{2});
+    exp.run_for(core::Duration::seconds(1));
+    exp.restore_link(as1, core::AsNumber{2});
+    exp.run_for(core::Duration::seconds(1));
+  }
+  exp.wait_converged(core::Duration::zero(), core::Duration::seconds(600));
+  ASSERT_FALSE(exp.last_wait_timed_out());
+  EXPECT_TRUE(exp.all_know_prefix(pfx));
+  // The flapped neighbor ends on the direct path again.
+  EXPECT_EQ(exp.router(core::AsNumber{2}).loc_rib().find(pfx)
+                ->attributes.as_path.to_string(),
+            "1");
+}
+
+TEST(FailureInjection, SimultaneousFailuresRerouteEverything) {
+  auto cfg = fast_config();
+  const auto spec = topology::clique(6);
+  const core::AsNumber as1{1};
+  framework::Experiment exp{spec, {core::AsNumber{5}, core::AsNumber{6}}, cfg};
+  auto& host = exp.add_host(as1);
+  ASSERT_TRUE(exp.start());
+
+  // Cut half of the origin's links at the same instant.
+  exp.fail_link(as1, core::AsNumber{2});
+  exp.fail_link(as1, core::AsNumber{5});
+  exp.wait_converged(core::Duration::zero(), core::Duration::seconds(600));
+  ASSERT_FALSE(exp.last_wait_timed_out());
+  for (const auto as : spec.ases) {
+    if (as == as1) continue;
+    EXPECT_FALSE(exp.trace_route(as, host.address()).empty()) << as.to_string();
+  }
+}
+
+TEST(FailureInjection, ControllerLinkLossStillConverges) {
+  // Loss on every link includes the control channels: FlowMods and
+  // PacketIns can vanish. Reactive repair plus recompute-driven reinstalls
+  // must still produce a working network.
+  auto cfg = fast_config(23);
+  cfg.default_link.loss = 0.05;
+  const auto spec = topology::clique(4);
+  framework::Experiment exp{spec, {core::AsNumber{3}, core::AsNumber{4}}, cfg};
+  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
+  exp.announce_prefix(core::AsNumber{1}, pfx);
+  ASSERT_TRUE(exp.start(core::Duration::seconds(600)));
+  exp.wait_converged(core::Duration::seconds(2), core::Duration::seconds(600));
+  const auto* d = exp.idr_controller()->decision_for(pfx);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->reachable(exp.member_switch(core::AsNumber{3}).dpid()));
+}
+
+TEST(FailureInjection, InternetScaleTopologyConverges) {
+  // ~60 ASes with Gao-Rexford policies and an 8-member cluster: a smoke
+  // test that the whole stack scales beyond toy sizes in reasonable time.
+  core::Rng topo_rng{31};
+  topology::InternetLikeParams params;
+  params.tier1 = 4;
+  params.transit = 12;
+  params.stubs = 44;
+  const auto spec = topology::internet_like(params, topo_rng);
+
+  auto cfg = fast_config(31);
+  std::set<core::AsNumber> members;
+  // Centralize 8 transit ASes (indices after the tier-1 block).
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    members.insert(core::AsNumber{static_cast<std::uint32_t>(5 + i)});
+  }
+  framework::Experiment exp{spec, members, cfg};
+  const auto origin = spec.ases.back();
+  auto& host = exp.add_host(origin);
+  ASSERT_TRUE(exp.start(core::Duration::seconds(600)));
+
+  // Every AS with a (policy-visible) route can actually deliver packets.
+  std::size_t reachable = 0;
+  for (const auto as : spec.ases) {
+    if (as == origin) continue;
+    if (!exp.trace_route(as, host.address()).empty()) ++reachable;
+  }
+  // Valley-free policies can hide a stub from some peers, but the vast
+  // majority must reach it.
+  EXPECT_GT(reachable, spec.ases.size() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace bgpsdn

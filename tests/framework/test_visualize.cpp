@@ -1,0 +1,78 @@
+// DOT export tests: structure of topology and forwarding graphs.
+#include <gtest/gtest.h>
+
+#include "framework/visualize.hpp"
+#include "topology/generators.hpp"
+
+namespace bgpsdn::framework {
+namespace {
+
+TEST(Visualize, TopologyDotContainsNodesAndEdges) {
+  auto spec = topology::clique(3);
+  const auto dot = topology_dot(spec);
+  EXPECT_NE(dot.find("graph topology {"), std::string::npos);
+  EXPECT_NE(dot.find("as1 [label=\"AS1\""), std::string::npos);
+  EXPECT_NE(dot.find("as1 -- as2"), std::string::npos);
+  EXPECT_NE(dot.find("as2 -- as3"), std::string::npos);
+  EXPECT_EQ(dot.find("cluster_sdn"), std::string::npos);  // no members
+}
+
+TEST(Visualize, MembersRenderedAsClusterSubgraph) {
+  auto spec = topology::clique(4);
+  const auto dot = topology_dot(spec, {core::AsNumber{3}, core::AsNumber{4}});
+  EXPECT_NE(dot.find("subgraph cluster_sdn"), std::string::npos);
+  EXPECT_NE(dot.find("as3 [label=\"AS3\", shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("as1 [label=\"AS1\", shape=ellipse]"), std::string::npos);
+}
+
+TEST(Visualize, RelationshipsStyleEdges) {
+  topology::TopologySpec spec;
+  spec.add_as(core::AsNumber{1});
+  spec.add_as(core::AsNumber{2});
+  spec.add_as(core::AsNumber{3});
+  spec.add_link(core::AsNumber{1}, core::AsNumber{2},
+                bgp::Relationship::kCustomer);
+  spec.add_link(core::AsNumber{2}, core::AsNumber{3}, bgp::Relationship::kPeer);
+  const auto dot = topology_dot(spec);
+  EXPECT_NE(dot.find("label=\"c2p\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Visualize, ForwardingDotShowsTreeTowardsOrigin) {
+  ExperimentConfig cfg;
+  cfg.seed = 5;
+  cfg.timers.mrai = core::Duration::millis(300);
+  cfg.recompute_delay = core::Duration::millis(100);
+  const auto spec = topology::line(4);
+  Experiment exp{spec, {core::AsNumber{3}}, cfg};
+  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
+  exp.announce_prefix(core::AsNumber{1}, pfx);
+  ASSERT_TRUE(exp.start());
+
+  const auto dot = forwarding_dot(exp, pfx);
+  EXPECT_NE(dot.find("digraph forwarding {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"10.0.0.0/16\""), std::string::npos);
+  // Origin is double-circled.
+  EXPECT_NE(dot.find("as1 [label=\"AS1\", shape=ellipse, peripheries=2]"),
+            std::string::npos);
+  // The line forwards 4 -> 3 -> 2 -> 1 (AS3 egresses to AS2).
+  EXPECT_NE(dot.find("as2 -> as1;"), std::string::npos);
+  EXPECT_NE(dot.find("as4 -> as3;"), std::string::npos);
+  EXPECT_NE(dot.find("as3 -> as2 [label=\"egress\"];"), std::string::npos);
+}
+
+TEST(Visualize, UnroutedNodesGreyedOut) {
+  ExperimentConfig cfg;
+  cfg.seed = 5;
+  cfg.timers.mrai = core::Duration::millis(300);
+  const auto spec = topology::line(3);
+  Experiment exp{spec, {}, cfg};
+  ASSERT_TRUE(exp.start());
+  // Prefix nobody announced: everything grey, no edges.
+  const auto dot = forwarding_dot(exp, *net::Prefix::parse("10.9.0.0/16"));
+  EXPECT_NE(dot.find("color=grey"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpsdn::framework

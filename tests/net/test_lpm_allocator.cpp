@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "net/address_allocator.hpp"
+#include "net/lpm.hpp"
+
+namespace bgpsdn::net {
+namespace {
+
+TEST(LpmTable, LongestPrefixWins) {
+  LpmTable<int> t;
+  t.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  t.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  t.insert(*Prefix::parse("10.1.2.0/24"), 24);
+
+  const auto hit = t.lookup(*Ipv4Addr::parse("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 24);
+  EXPECT_EQ(hit->first.to_string(), "10.1.2.0/24");
+
+  EXPECT_EQ(*t.lookup(*Ipv4Addr::parse("10.1.9.1"))->second, 16);
+  EXPECT_EQ(*t.lookup(*Ipv4Addr::parse("10.9.9.9"))->second, 8);
+  EXPECT_FALSE(t.lookup(*Ipv4Addr::parse("11.0.0.1")).has_value());
+}
+
+TEST(LpmTable, DefaultRouteCatchesAll) {
+  LpmTable<int> t;
+  t.insert(Prefix::default_route(), 0);
+  EXPECT_EQ(*t.lookup(*Ipv4Addr::parse("203.0.113.5"))->second, 0);
+}
+
+TEST(LpmTable, InsertReplaces) {
+  LpmTable<int> t;
+  const auto p = *Prefix::parse("10.0.0.0/8");
+  t.insert(p, 1);
+  t.insert(p, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find_exact(p), 2);
+}
+
+TEST(LpmTable, EraseAndEmpty) {
+  LpmTable<int> t;
+  const auto p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(t.empty());
+  t.insert(p, 1);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(t.erase(p));
+  EXPECT_FALSE(t.erase(p));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(*Ipv4Addr::parse("10.0.0.1")).has_value());
+}
+
+TEST(LpmTable, ExactFindDistinguishesLengths) {
+  LpmTable<int> t;
+  t.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(t.find_exact(*Prefix::parse("10.0.0.0/16")), nullptr);
+  EXPECT_NE(t.find_exact(*Prefix::parse("10.0.0.0/8")), nullptr);
+}
+
+TEST(LpmTable, EntriesEnumeration) {
+  LpmTable<int> t;
+  t.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  t.insert(*Prefix::parse("192.168.0.0/16"), 2);
+  const auto all = t.entries();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(LpmTable, HostRoute) {
+  LpmTable<int> t;
+  t.insert(*Prefix::parse("10.0.0.5/32"), 32);
+  t.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(*t.lookup(*Ipv4Addr::parse("10.0.0.5"))->second, 32);
+  EXPECT_EQ(*t.lookup(*Ipv4Addr::parse("10.0.0.6"))->second, 8);
+}
+
+TEST(AddressAllocator, StableAsPrefixes) {
+  AddressAllocator alloc;
+  const auto p1 = alloc.as_prefix(core::AsNumber{7});
+  const auto p2 = alloc.as_prefix(core::AsNumber{9});
+  EXPECT_EQ(p1, alloc.as_prefix(core::AsNumber{7}));  // stable
+  EXPECT_NE(p1, p2);
+  EXPECT_FALSE(p1.overlaps(p2));
+  EXPECT_EQ(p1.length(), 16);
+  EXPECT_EQ(p1.to_string(), "10.0.0.0/16");
+  EXPECT_EQ(p2.to_string(), "10.1.0.0/16");
+}
+
+TEST(AddressAllocator, RouterAndHostAddresses) {
+  AddressAllocator alloc;
+  const core::AsNumber as{5};
+  const auto rid = alloc.router_id(as);
+  EXPECT_TRUE(alloc.as_prefix(as).contains(rid));
+  EXPECT_EQ(rid, alloc.as_prefix(as).address_at(1));
+  const auto h0 = alloc.host_address(as, 0);
+  const auto h1 = alloc.host_address(as, 1);
+  EXPECT_NE(h0, rid);
+  EXPECT_NE(h0, h1);
+  EXPECT_TRUE(alloc.as_prefix(as).contains(h0));
+}
+
+TEST(AddressAllocator, P2pSubnetsDisjoint) {
+  AddressAllocator alloc;
+  const auto a = alloc.next_p2p();
+  const auto b = alloc.next_p2p();
+  EXPECT_FALSE(a.subnet.overlaps(b.subnet));
+  EXPECT_EQ(a.subnet.length(), 30);
+  EXPECT_TRUE(a.subnet.contains(a.left));
+  EXPECT_TRUE(a.subnet.contains(a.right));
+  EXPECT_NE(a.left, a.right);
+  // P2P space must not collide with AS space.
+  EXPECT_FALSE(a.subnet.overlaps(alloc.as_prefix(core::AsNumber{1})));
+}
+
+TEST(AddressAllocator, ManyAses) {
+  AddressAllocator alloc;
+  for (std::uint32_t i = 1; i <= 300; ++i) {
+    const auto p = alloc.as_prefix(core::AsNumber{i});
+    EXPECT_GE(p.length(), 16);
+  }
+  EXPECT_EQ(alloc.allocated_as_count(), 300u);
+}
+
+}  // namespace
+}  // namespace bgpsdn::net

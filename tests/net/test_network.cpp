@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "core/random.hpp"
+#include "net/host.hpp"
+#include "net/network.hpp"
+
+namespace bgpsdn::net {
+namespace {
+
+/// Records everything it receives.
+class SinkNode : public Node {
+ public:
+  void handle_packet(core::PortId ingress, const Packet& packet) override {
+    received.push_back({ingress, packet});
+  }
+  void on_link_state(core::PortId port, bool up) override {
+    link_events.push_back({port, up});
+  }
+  std::vector<std::pair<core::PortId, Packet>> received;
+  std::vector<std::pair<core::PortId, bool>> link_events;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  core::EventLoop loop;
+  core::Logger log;
+  core::Rng rng{1};
+  Network net{loop, log, rng};
+};
+
+TEST_F(NetworkTest, DeliversWithLinkDelay) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  net.connect(a.id(), b.id(), {core::Duration::millis(10), 0, 0.0});
+
+  Packet p;
+  p.dst = Ipv4Addr{1, 2, 3, 4};
+  net.send(a.id(), core::PortId{0}, p);
+  EXPECT_TRUE(b.received.empty());  // nothing before the loop runs
+  loop.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(loop.now() - core::TimePoint::origin(), core::Duration::millis(10));
+  EXPECT_EQ(b.received[0].first, core::PortId{0});
+  EXPECT_EQ(b.received[0].second.dst, (Ipv4Addr{1, 2, 3, 4}));
+}
+
+TEST_F(NetworkTest, TtlDecrementsOnDelivery) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  net.connect(a.id(), b.id());
+  Packet p;
+  p.ttl = 5;
+  net.send(a.id(), core::PortId{0}, p);
+  loop.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second.ttl, 4);
+}
+
+TEST_F(NetworkTest, TtlZeroDropped) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  net.connect(a.id(), b.id());
+  Packet p;
+  p.ttl = 0;
+  net.send(a.id(), core::PortId{0}, p);
+  loop.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().dropped_ttl, 1u);
+}
+
+TEST_F(NetworkTest, DownLinkDropsAndNotifies) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto link = net.connect(a.id(), b.id());
+  net.set_link_up(link, false);
+  ASSERT_EQ(a.link_events.size(), 1u);
+  EXPECT_FALSE(a.link_events[0].second);
+  ASSERT_EQ(b.link_events.size(), 1u);
+
+  net.send(a.id(), core::PortId{0}, Packet{});
+  loop.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().dropped_link_down, 1u);
+
+  // Redundant state change produces no extra notifications.
+  net.set_link_up(link, false);
+  EXPECT_EQ(a.link_events.size(), 1u);
+
+  net.set_link_up(link, true);
+  net.send(a.id(), core::PortId{0}, Packet{});
+  loop.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, InFlightPacketDroppedByFailure) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto link = net.connect(a.id(), b.id(), {core::Duration::millis(10), 0, 0.0});
+  net.send(a.id(), core::PortId{0}, Packet{});
+  // Fail the link while the packet is still flying.
+  loop.schedule(core::Duration::millis(5), [&] { net.set_link_up(link, false); });
+  loop.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetworkTest, LossyLinkDropsStatistically) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  net.connect(a.id(), b.id(), {core::Duration::millis(1), 0, 0.5});
+  for (int i = 0; i < 1000; ++i) net.send(a.id(), core::PortId{0}, Packet{});
+  loop.run();
+  EXPECT_GT(b.received.size(), 350u);
+  EXPECT_LT(b.received.size(), 650u);
+  EXPECT_EQ(b.received.size() + net.stats().dropped_loss, 1000u);
+}
+
+TEST_F(NetworkTest, BandwidthSerializesBackToBack) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  // 1 Mbit/s; a 20-byte header packet takes 160 us to serialize.
+  net.connect(a.id(), b.id(), {core::Duration::zero(), 1'000'000, 0.0});
+  net.send(a.id(), core::PortId{0}, Packet{});
+  net.send(a.id(), core::PortId{0}, Packet{});
+  loop.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(loop.now() - core::TimePoint::origin(), core::Duration::micros(320));
+}
+
+TEST_F(NetworkTest, BidirectionalPortsIndependent) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  net.connect(a.id(), b.id());
+  net.send(a.id(), core::PortId{0}, Packet{});
+  net.send(b.id(), core::PortId{0}, Packet{});
+  loop.run();
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, MultipleLinksAllocateSequentialPorts) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  auto& c = net.add<SinkNode>("c");
+  net.connect(a.id(), b.id());
+  net.connect(a.id(), c.id());
+  EXPECT_EQ(net.port_count(a.id()), 2u);
+  EXPECT_EQ(net.port_count(b.id()), 1u);
+
+  const auto peer0 = net.peer_of(a.id(), core::PortId{0});
+  const auto peer1 = net.peer_of(a.id(), core::PortId{1});
+  EXPECT_EQ(peer0.node, b.id());
+  EXPECT_EQ(peer1.node, c.id());
+}
+
+TEST_F(NetworkTest, FindLinkEitherDirection) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto id = net.connect(a.id(), b.id());
+  EXPECT_EQ(net.find_link(a.id(), b.id()), id);
+  EXPECT_EQ(net.find_link(b.id(), a.id()), id);
+  auto& c = net.add<SinkNode>("c");
+  EXPECT_FALSE(net.find_link(a.id(), c.id()).is_valid());
+}
+
+TEST_F(NetworkTest, SendOnUnknownPortCounted) {
+  auto& a = net.add<SinkNode>("a");
+  net.send(a.id(), core::PortId{5}, Packet{});
+  loop.run();
+  EXPECT_EQ(net.stats().dropped_no_port, 1u);
+}
+
+TEST_F(NetworkTest, HostAnswersProbes) {
+  auto& h1 = net.add<Host>("h1", Ipv4Addr{10, 0, 0, 1});
+  auto& h2 = net.add<Host>("h2", Ipv4Addr{10, 1, 0, 1});
+  net.connect(h1.id(), h2.id());
+  std::uint64_t got_label = 0;
+  h1.set_reply_callback([&](std::uint64_t label) { got_label = label; });
+  h1.send_probe(h2.address(), 77);
+  loop.run();
+  EXPECT_EQ(h2.probes_received(), 1u);
+  EXPECT_EQ(h1.replies_received(), 1u);
+  EXPECT_EQ(got_label, 77u);
+}
+
+TEST_F(NetworkTest, HostIgnoresForeignProbes) {
+  auto& h1 = net.add<Host>("h1", Ipv4Addr{10, 0, 0, 1});
+  auto& h2 = net.add<Host>("h2", Ipv4Addr{10, 1, 0, 1});
+  net.connect(h1.id(), h2.id());
+  h1.send_probe(Ipv4Addr{10, 9, 9, 9}, 1);  // not h2's address
+  loop.run();
+  EXPECT_EQ(h2.probes_received(), 0u);
+}
+
+}  // namespace
+}  // namespace bgpsdn::net

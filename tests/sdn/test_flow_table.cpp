@@ -1,0 +1,140 @@
+// Flow table semantics: priority, specificity, wildcards, statistics.
+#include <gtest/gtest.h>
+
+#include "sdn/flow.hpp"
+
+namespace bgpsdn::sdn {
+namespace {
+
+net::Packet probe_to(const char* dst) {
+  net::Packet p;
+  p.dst = *net::Ipv4Addr::parse(dst);
+  p.proto = net::Protocol::kProbe;
+  return p;
+}
+
+FlowEntry entry(const char* dst, std::uint16_t prio, std::uint32_t out_port) {
+  FlowEntry e;
+  e.match.dst = *net::Prefix::parse(dst);
+  e.priority = prio;
+  e.action = FlowAction::output(core::PortId{out_port});
+  return e;
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable t;
+  t.add(entry("0.0.0.0/0", 1, 1));
+  t.add(entry("0.0.0.0/0", 10, 2));
+  const auto* hit = t.lookup(core::PortId{0}, probe_to("10.0.0.1"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action.port.value(), 2u);
+}
+
+TEST(FlowTable, LongerPrefixBreaksPriorityTie) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.add(entry("10.1.0.0/16", 5, 2));
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.1.0.1"))->action.port.value(),
+            2u);
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.2.0.1"))->action.port.value(),
+            1u);
+}
+
+TEST(FlowTable, InPortMatch) {
+  FlowTable t;
+  FlowEntry e = entry("0.0.0.0/0", 5, 7);
+  e.match.in_port = core::PortId{3};
+  t.add(e);
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.0.0.1")), nullptr);
+  EXPECT_NE(t.lookup(core::PortId{3}, probe_to("10.0.0.1")), nullptr);
+}
+
+TEST(FlowTable, ProtocolMatch) {
+  FlowTable t;
+  FlowEntry e = entry("0.0.0.0/0", 5, 7);
+  e.match.proto = net::Protocol::kBgp;
+  t.add(e);
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.0.0.1")), nullptr);
+  net::Packet bgp = probe_to("10.0.0.1");
+  bgp.proto = net::Protocol::kBgp;
+  EXPECT_NE(t.lookup(core::PortId{0}, bgp), nullptr);
+}
+
+TEST(FlowTable, AddReplacesSameMatchAndPriority) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.add(entry("10.0.0.0/8", 5, 9));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.0.0.1"))->action.port.value(),
+            9u);
+}
+
+TEST(FlowTable, ReplacePreservesCounters) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.lookup(core::PortId{0}, probe_to("10.0.0.1"));
+  t.add(entry("10.0.0.0/8", 5, 2));
+  EXPECT_EQ(t.entries()[0].packets, 1u);
+}
+
+TEST(FlowTable, SameMatchDifferentPriorityCoexist) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.add(entry("10.0.0.0/8", 6, 2));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FlowTable, RemoveByMatchAndPriority) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.add(entry("10.0.0.0/8", 6, 2));
+  FlowMatch m;
+  m.dst = *net::Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(t.remove(m, 5), 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.remove(m, 5), 0u);
+}
+
+TEST(FlowTable, RemoveByDst) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.add(entry("10.0.0.0/8", 6, 2));
+  t.add(entry("11.0.0.0/8", 5, 3));
+  EXPECT_EQ(t.remove_by_dst(*net::Prefix::parse("10.0.0.0/8")), 2u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTable, CountersAccumulate) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.lookup(core::PortId{0}, probe_to("10.0.0.1"));
+  t.lookup(core::PortId{0}, probe_to("10.0.0.2"));
+  t.lookup(core::PortId{0}, probe_to("10.0.0.3"), /*account=*/false);
+  EXPECT_EQ(t.entries()[0].packets, 2u);
+  EXPECT_GT(t.entries()[0].bytes, 0u);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("11.0.0.1")), nullptr);
+}
+
+TEST(FlowAction, Constructors) {
+  EXPECT_EQ(FlowAction::drop().type, ActionType::kDrop);
+  EXPECT_EQ(FlowAction::to_controller().type, ActionType::kToController);
+  EXPECT_EQ(FlowAction::output(core::PortId{4}).port.value(), 4u);
+  EXPECT_EQ(FlowAction::output(core::PortId{4}).to_string(), "output:4");
+  EXPECT_EQ(FlowAction::drop().to_string(), "drop");
+}
+
+TEST(FlowEntry, ToStringIncludesEverything) {
+  const auto e = entry("10.0.0.0/8", 5, 1);
+  const auto s = e.to_string();
+  EXPECT_NE(s.find("10.0.0.0/8"), std::string::npos);
+  EXPECT_NE(s.find("prio=5"), std::string::npos);
+  EXPECT_NE(s.find("output:1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpsdn::sdn

@@ -1,0 +1,238 @@
+// OpenFlow-like codec round-trips plus switch/controller-base behaviour on
+// a live network: handshake, table miss punts, FlowMod programming,
+// PacketOut injection, PortStatus reporting.
+#include <gtest/gtest.h>
+
+#include "core/event_loop.hpp"
+#include "core/logger.hpp"
+#include "core/random.hpp"
+#include "net/network.hpp"
+#include "sdn/controller_base.hpp"
+#include "sdn/switch.hpp"
+
+namespace bgpsdn::sdn {
+namespace {
+
+TEST(OfCodec, HelloRoundTrip) {
+  const OfHello m{0x1234567890abcdefull, 12};
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<OfHello>(*back), m);
+}
+
+TEST(OfCodec, PacketInRoundTrip) {
+  OfPacketIn m;
+  m.in_port = core::PortId{3};
+  m.reason = PacketInReason::kAction;
+  m.packet.src = *net::Ipv4Addr::parse("10.0.0.1");
+  m.packet.dst = *net::Ipv4Addr::parse("10.1.0.1");
+  m.packet.proto = net::Protocol::kProbe;
+  m.packet.ttl = 17;
+  m.packet.flow_label = 99;
+  m.packet.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  const auto& got = std::get<OfPacketIn>(*back);
+  EXPECT_EQ(got.in_port, m.in_port);
+  EXPECT_EQ(got.reason, m.reason);
+  EXPECT_EQ(got.packet.dst, m.packet.dst);
+  EXPECT_EQ(got.packet.payload, m.packet.payload);
+  EXPECT_EQ(got.packet.flow_label, 99u);
+}
+
+TEST(OfCodec, FlowModRoundTrip) {
+  OfFlowMod m;
+  m.command = FlowModCommand::kAdd;
+  m.match.dst = *net::Prefix::parse("10.0.0.0/16");
+  m.match.in_port = core::PortId{2};
+  m.match.proto = net::Protocol::kBgp;
+  m.priority = 200;
+  m.action = FlowAction::output(core::PortId{5});
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  const auto& got = std::get<OfFlowMod>(*back);
+  EXPECT_EQ(got.match, m.match);
+  EXPECT_EQ(got.priority, m.priority);
+  EXPECT_EQ(got.action, m.action);
+}
+
+TEST(OfCodec, FlowModWildcardsRoundTrip) {
+  OfFlowMod m;
+  m.command = FlowModCommand::kDelete;
+  m.match.dst = *net::Prefix::parse("10.0.0.0/16");
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  const auto& got = std::get<OfFlowMod>(*back);
+  EXPECT_FALSE(got.match.in_port.has_value());
+  EXPECT_FALSE(got.match.proto.has_value());
+  EXPECT_EQ(got.command, FlowModCommand::kDelete);
+}
+
+TEST(OfCodec, PortStatusAndEchoRoundTrip) {
+  const OfPortStatus ps{core::PortId{4}, false};
+  EXPECT_EQ(std::get<OfPortStatus>(*decode(encode(ps))), ps);
+  const OfEcho echo{0xdeadbeefull, true};
+  EXPECT_EQ(std::get<OfEcho>(*decode(encode(echo))), echo);
+}
+
+TEST(OfCodec, RejectsTruncation) {
+  auto wire = encode(OfHello{1, 2});
+  wire.resize(wire.size() - 1);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(OfCodec, RejectsTrailingGarbage) {
+  auto wire = encode(OfHello{1, 2});
+  wire.push_back(std::byte{0});
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+/// Minimal controller app recording callbacks.
+class RecordingController : public ControllerBase {
+ public:
+  void on_switch_connected(const SwitchChannel& ch) override {
+    connected.push_back(ch.dpid);
+  }
+  void on_packet_in(const SwitchChannel& ch, const OfPacketIn& in) override {
+    packet_ins.push_back({ch.dpid, in.packet.dst});
+    if (install_on_miss) {
+      OfFlowMod mod;
+      mod.match.dst = net::Prefix{in.packet.dst, 16};
+      mod.priority = 100;
+      mod.action = FlowAction::output(in.in_port);  // hairpin for the test
+      send_flow_mod(ch.dpid, mod);
+      send_packet_out(ch.dpid, in.in_port, in.packet);
+    }
+  }
+  void on_port_status(const SwitchChannel& ch, const OfPortStatus& st) override {
+    port_events.push_back({ch.dpid, st});
+  }
+
+  using ControllerBase::send_flow_mod;
+  using ControllerBase::send_packet_out;
+
+  std::vector<Dpid> connected;
+  std::vector<std::pair<Dpid, net::Ipv4Addr>> packet_ins;
+  std::vector<std::pair<Dpid, OfPortStatus>> port_events;
+  bool install_on_miss{false};
+};
+
+class SinkNode : public net::Node {
+ public:
+  void handle_packet(core::PortId, const net::Packet& p) override {
+    received.push_back(p);
+  }
+  std::vector<net::Packet> received;
+};
+
+class SwitchControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctrl = &net.add<RecordingController>("ctrl");
+    sw = &net.add<SdnSwitch>("sw1", core::AsNumber{7});
+    ext = &net.add<SinkNode>("ext");
+    // Port 0 on the switch: control link; port 1: external node.
+    const auto ctl = net.connect(ctrl->id(), sw->id());
+    sw->set_controller_port(net.link(ctl).b.port);
+    net.connect(ext->id(), sw->id());
+    net.start_all();
+    loop.run(loop.now() + core::Duration::seconds(1));
+  }
+
+  core::EventLoop loop;
+  core::Logger log;
+  core::Rng rng{1};
+  net::Network net{loop, log, rng};
+  RecordingController* ctrl{};
+  SdnSwitch* sw{};
+  SinkNode* ext{};
+};
+
+TEST_F(SwitchControllerTest, HandshakeRegistersSwitch) {
+  ASSERT_EQ(ctrl->connected.size(), 1u);
+  EXPECT_EQ(ctrl->connected[0], sw->dpid());
+  EXPECT_TRUE(ctrl->is_connected(sw->dpid()));
+  EXPECT_EQ(ctrl->switches().at(sw->dpid()).port_count, 2u);
+}
+
+TEST_F(SwitchControllerTest, TableMissPuntsToController) {
+  net::Packet p;
+  p.dst = *net::Ipv4Addr::parse("10.0.0.5");
+  p.proto = net::Protocol::kProbe;
+  net.send(ext->id(), core::PortId{0}, p);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  ASSERT_EQ(ctrl->packet_ins.size(), 1u);
+  EXPECT_EQ(ctrl->packet_ins[0].second, p.dst);
+  EXPECT_EQ(sw->counters().table_misses, 1u);
+}
+
+TEST_F(SwitchControllerTest, ReactiveInstallForwardsSubsequentPackets) {
+  ctrl->install_on_miss = true;
+  net::Packet p;
+  p.dst = *net::Ipv4Addr::parse("10.0.0.5");
+  p.proto = net::Protocol::kProbe;
+  net.send(ext->id(), core::PortId{0}, p);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  // First packet went to controller and came back via PacketOut.
+  EXPECT_EQ(ext->received.size(), 1u);
+  EXPECT_EQ(sw->counters().flow_mods, 1u);
+  EXPECT_EQ(sw->counters().packet_outs, 1u);
+
+  // Second packet hits the installed rule, no new punt.
+  net.send(ext->id(), core::PortId{0}, p);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  EXPECT_EQ(ext->received.size(), 2u);
+  EXPECT_EQ(ctrl->packet_ins.size(), 1u);
+}
+
+TEST_F(SwitchControllerTest, FlowModDeleteRemovesRule) {
+  ctrl->install_on_miss = true;
+  net::Packet p;
+  p.dst = *net::Ipv4Addr::parse("10.0.0.5");
+  p.proto = net::Protocol::kProbe;
+  net.send(ext->id(), core::PortId{0}, p);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  ASSERT_EQ(sw->table().size(), 1u);
+
+  OfFlowMod del;
+  del.command = FlowModCommand::kDelete;
+  del.match.dst = *net::Prefix::parse("10.0.0.0/16");
+  del.priority = 100;
+  ctrl->send_flow_mod(sw->dpid(), del);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  EXPECT_EQ(sw->table().size(), 0u);
+}
+
+TEST_F(SwitchControllerTest, PortStatusReachesController) {
+  const auto link = net.find_link(ext->id(), sw->id());
+  net.set_link_up(link, false);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  ASSERT_EQ(ctrl->port_events.size(), 1u);
+  EXPECT_EQ(ctrl->port_events[0].first, sw->dpid());
+  EXPECT_FALSE(ctrl->port_events[0].second.up);
+
+  net.set_link_up(link, true);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  ASSERT_EQ(ctrl->port_events.size(), 2u);
+  EXPECT_TRUE(ctrl->port_events[1].second.up);
+}
+
+TEST_F(SwitchControllerTest, DropActionDrops) {
+  OfFlowMod mod;
+  mod.match.dst = *net::Prefix::parse("10.0.0.0/8");
+  mod.priority = 50;
+  mod.action = FlowAction::drop();
+  ctrl->send_flow_mod(sw->dpid(), mod);
+  loop.run(loop.now() + core::Duration::seconds(1));
+
+  net::Packet p;
+  p.dst = *net::Ipv4Addr::parse("10.0.0.5");
+  p.proto = net::Protocol::kProbe;
+  net.send(ext->id(), core::PortId{0}, p);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  EXPECT_EQ(sw->counters().dropped, 1u);
+  EXPECT_TRUE(ctrl->packet_ins.empty());
+}
+
+}  // namespace
+}  // namespace bgpsdn::sdn

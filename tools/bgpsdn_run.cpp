@@ -1,0 +1,37 @@
+// bgpsdn_run — execute a scenario script.
+//
+//   $ bgpsdn_run experiment.bgpsdn      # from a file
+//   $ bgpsdn_run -                      # from stdin
+//
+// Exit code 0 when the script ran and every expectation held; 1 otherwise.
+#include <fstream>
+#include <iostream>
+
+#include "framework/scenario.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <scenario-file | ->\n";
+    return 1;
+  }
+
+  bgpsdn::framework::ScenarioRunner runner;
+  bgpsdn::framework::ScenarioResult result;
+  if (std::string_view{argv[1]} == "-") {
+    result = runner.run(std::cin);
+  } else {
+    std::ifstream file{argv[1]};
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    result = runner.run(file);
+  }
+
+  for (const auto& line : result.output) std::cout << line << "\n";
+  if (!result.ok) {
+    std::cerr << "FAILED: " << result.error << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -83,24 +83,32 @@ int main() {
               "flaps 5x (MRAI 5 s)\n");
   std::printf("# medians over %zu runs\n", runs);
   std::printf("damping\trecompute_s\tobs_updates\tflow_mods\tsuppressions\tusable\n");
-  for (const bool damping : {false, true}) {
-    for (const double delay_s : {0.0, 2.0, 8.0}) {
-      std::vector<double> upd, mods, sup;
-      int usable = 0;
-      for (std::size_t r = 0; r < runs; ++r) {
-        const auto res =
-            run(damping, core::Duration::seconds_f(delay_s), 5000 + r);
-        upd.push_back(res.updates_at_observer);
-        mods.push_back(res.flow_mods);
-        sup.push_back(res.suppressions);
-        usable += res.usable_at_end ? 1 : 0;
-      }
-      std::printf("%s\t%.0f\t%.0f\t%.0f\t%.0f\t%d/%zu\n",
-                  damping ? "on" : "off", delay_s,
-                  framework::quantile(upd, 0.5), framework::quantile(mods, 0.5),
-                  framework::quantile(sup, 0.5), usable, runs);
-      std::fflush(stdout);
+  const double delays[] = {0.0, 2.0, 8.0};
+  constexpr std::size_t kCols = std::size(delays);
+  // Point = (damping, delay) combo; the whole grid shares the worker pool.
+  std::vector<ChurnResult> grid;
+  const auto timing = bench::run_trial_grid(
+      2 * kCols, runs, grid, [&](std::size_t point, std::size_t r) {
+        return run(point / kCols == 1,
+                   core::Duration::seconds_f(delays[point % kCols]), 5000 + r);
+      });
+  for (std::size_t point = 0; point < 2 * kCols; ++point) {
+    const bool damping = point / kCols == 1;
+    std::vector<double> upd, mods, sup;
+    int usable = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      const auto& res = grid[point * runs + r];
+      upd.push_back(res.updates_at_observer);
+      mods.push_back(res.flow_mods);
+      sup.push_back(res.suppressions);
+      usable += res.usable_at_end ? 1 : 0;
     }
+    std::printf("%s\t%.0f\t%.0f\t%.0f\t%.0f\t%d/%zu\n",
+                damping ? "on" : "off", delays[point % kCols],
+                framework::quantile(upd, 0.5), framework::quantile(mods, 0.5),
+                framework::quantile(sup, 0.5), usable, runs);
+    std::fflush(stdout);
   }
+  bench::print_parallel_footer(timing);
   return 0;
 }

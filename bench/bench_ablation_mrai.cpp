@@ -17,25 +17,32 @@ int main() {
   std::printf("# medians over %zu runs\n", runs);
   std::printf("clique\\mrai");
   const double mrais[] = {0.0, 5.0, 15.0, 30.0};
+  const std::size_t cliques[] = {4, 8, 12, 16};
+  constexpr std::size_t kCols = std::size(mrais);
   for (const double m : mrais) std::printf("\t%.0fs", m);
   std::printf("\n");
-  for (const std::size_t n : {4u, 8u, 12u, 16u}) {
-    std::printf("%zu", n);
-    for (const double mrai_s : mrais) {
-      bench::ScenarioParams params;
-      params.clique_size = n;
-      params.sdn_count = 0;
-      params.event = bench::Event::kWithdrawal;
-      params.config = bench::paper_config();
-      params.config.timers.mrai = core::Duration::seconds_f(mrai_s);
-      framework::TrialRunner runner{runs, 3000};
-      const auto s = runner.run([&](std::uint64_t seed) {
+
+  // Every (clique, MRAI, seed) triple is one independent simulation; run
+  // the whole grid on the shared pool and print it cell by cell after.
+  framework::ParamSweepRunner runner{runs, 3000};
+  const auto sweep = runner.run(
+      std::size(cliques) * kCols, [&](std::size_t point, std::uint64_t seed) {
+        bench::ScenarioParams params;
+        params.clique_size = cliques[point / kCols];
+        params.sdn_count = 0;
+        params.event = bench::Event::kWithdrawal;
+        params.config = bench::paper_config();
+        params.config.timers.mrai =
+            core::Duration::seconds_f(mrais[point % kCols]);
         return bench::run_convergence_trial(params, seed);
       });
-      std::printf("\t%.2f", s.median);
-      std::fflush(stdout);
+  for (std::size_t row = 0; row < std::size(cliques); ++row) {
+    std::printf("%zu", cliques[row]);
+    for (std::size_t col = 0; col < kCols; ++col) {
+      std::printf("\t%.2f", sweep.points[row * kCols + col].summary.median);
     }
     std::printf("\n");
   }
+  bench::print_parallel_footer(sweep);
   return 0;
 }

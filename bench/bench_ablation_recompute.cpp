@@ -70,19 +70,26 @@ int main() {
       "withdrawal burst\n");
   std::printf("# medians over %zu runs\n", runs);
   std::printf("delay_s\tconv_s\trecomputes\tflow_mods\tspeaker_msgs\n");
-  for (const double delay_s : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+  const double delays[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  std::vector<AblationPoint> grid;
+  const auto timing = bench::run_trial_grid(
+      std::size(delays), runs, grid, [&](std::size_t point, std::size_t r) {
+        return run_point(core::Duration::seconds_f(delays[point]), 2000 + r);
+      });
+  for (std::size_t point = 0; point < std::size(delays); ++point) {
     std::vector<double> conv, rec, mods, spk;
     for (std::size_t r = 0; r < runs; ++r) {
-      const auto p = run_point(core::Duration::seconds_f(delay_s), 2000 + r);
+      const auto& p = grid[point * runs + r];
       conv.push_back(p.conv_seconds);
       rec.push_back(p.recomputes);
       mods.push_back(p.flow_mods);
       spk.push_back(p.speaker_msgs);
     }
-    std::printf("%.1f\t%.2f\t%.0f\t%.0f\t%.0f\n", delay_s,
+    std::printf("%.1f\t%.2f\t%.0f\t%.0f\t%.0f\n", delays[point],
                 framework::quantile(conv, 0.5), framework::quantile(rec, 0.5),
                 framework::quantile(mods, 0.5), framework::quantile(spk, 0.5));
     std::fflush(stdout);
   }
+  bench::print_parallel_footer(timing);
   return 0;
 }

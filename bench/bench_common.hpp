@@ -5,10 +5,12 @@
 // per point, and prints the same boxplot rows the paper's figures show.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "framework/experiment.hpp"
 #include "framework/stats.hpp"
@@ -99,7 +101,67 @@ inline double run_convergence_trial(const ScenarioParams& params,
   return (conv - t0).to_seconds();
 }
 
-/// Print a full SDN-fraction sweep as boxplot rows.
+/// Footer every bench prints after a parallel sweep: real wall time, the
+/// serial-equivalent time (sum of per-trial wall times — what jobs=1 would
+/// have cost), and the measured speedup between the two.
+inline void print_parallel_footer(std::size_t trials, std::size_t jobs,
+                                  double wall_s, double trial_s) {
+  std::printf(
+      "# sweep: %zu trials, jobs=%zu, wall %.2f s, serial-equivalent %.2f s, "
+      "speedup %.2fx, %.2f trials/s\n",
+      trials, jobs, wall_s, trial_s, wall_s > 0 ? trial_s / wall_s : 0.0,
+      wall_s > 0 ? static_cast<double>(trials) / wall_s : 0.0);
+  std::fflush(stdout);
+}
+
+inline void print_parallel_footer(const framework::SweepResult& sweep) {
+  print_parallel_footer(sweep.trials, sweep.jobs, sweep.wall_seconds,
+                        sweep.trial_seconds);
+}
+
+/// Timing of a run_trial_grid call (benches whose trials return structs).
+struct GridTiming {
+  std::size_t trials{0};
+  std::size_t jobs{1};
+  double wall_seconds{0};
+  double trial_seconds{0};
+};
+
+/// Runs fn(point, run) for every (point, run) pair on a shared worker pool
+/// honoring BGPSDN_JOBS, storing results by index — deterministic output
+/// order regardless of the job count. For benches whose trials produce a
+/// metrics struct rather than one double.
+template <typename R, typename Fn>
+GridTiming run_trial_grid(std::size_t points, std::size_t runs,
+                          std::vector<R>& results, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  GridTiming timing;
+  timing.trials = points * runs;
+  timing.jobs = framework::default_jobs();
+  results.assign(points * runs, R{});
+  std::vector<double> seconds(points * runs, 0.0);
+  const auto t0 = Clock::now();
+  framework::parallel_for_index(
+      points * runs, timing.jobs, [&](std::size_t task) {
+        const auto s0 = Clock::now();
+        results[task] = fn(task / runs, task % runs);
+        seconds[task] =
+            std::chrono::duration<double>(Clock::now() - s0).count();
+      });
+  timing.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const double s : seconds) timing.trial_seconds += s;
+  return timing;
+}
+
+inline void print_parallel_footer(const GridTiming& timing) {
+  print_parallel_footer(timing.trials, timing.jobs, timing.wall_seconds,
+                        timing.trial_seconds);
+}
+
+/// Print a full SDN-fraction sweep as boxplot rows. Trials run in parallel
+/// across both fractions and seeds (BGPSDN_JOBS workers); rows keep the
+/// exact serial-run values, plus each row's serial-equivalent seconds and
+/// effective trials/sec.
 inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs,
                           const framework::ExperimentConfig& base_config) {
   std::printf("# %s convergence time [s] on a %zu-AS clique vs SDN fraction\n",
@@ -108,21 +170,27 @@ inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs
               event == Event::kWithdrawal
                   ? "Fig. 2"
                   : "SS4 prose result, smaller reductions than Fig. 2");
-  std::printf("%s\n", framework::boxplot_header("sdn_frac").c_str());
-  for (std::size_t k = 0; k < clique_size; ++k) {
+  std::printf("%s\ttrial_s\ttrials_per_s\n",
+              framework::boxplot_header("sdn_frac").c_str());
+  framework::ParamSweepRunner runner{runs, 1000};
+  const auto sweep = runner.run(clique_size,
+                                [&](std::size_t k, std::uint64_t seed) {
     ScenarioParams params;
     params.clique_size = clique_size;
     params.sdn_count = k;
     params.event = event;
     params.config = base_config;
-    framework::TrialRunner runner{runs, 1000};
-    const auto summary = runner.run(
-        [&](std::uint64_t seed) { return run_convergence_trial(params, seed); });
+    return run_convergence_trial(params, seed);
+  });
+  for (std::size_t k = 0; k < clique_size; ++k) {
+    const auto& row = sweep.points[k];
     char label[32];
     std::snprintf(label, sizeof label, "%zu/%zu", k, clique_size);
-    std::printf("%s\n", framework::boxplot_row(label, summary).c_str());
-    std::fflush(stdout);
+    std::printf("%s\t%.2f\t%.2f\n",
+                framework::boxplot_row(label, row.summary).c_str(),
+                row.trial_seconds, row.trials_per_second());
   }
+  print_parallel_footer(sweep);
 }
 
 /// Paper-faithful timer defaults (Quagga eBGP profile).

@@ -49,17 +49,22 @@ int main() {
               "vs RouteFlow-style mirror\n");
   std::printf("# medians over %zu runs, paper-faithful timers\n", runs);
   std::printf("sdn_frac\tidr\trouteflow\n");
-  for (const std::size_t k : {0u, 4u, 8u, 12u, 15u}) {
-    std::vector<double> idr, rf;
-    for (std::size_t r = 0; r < runs; ++r) {
-      idr.push_back(
-          run_one(framework::ControllerStyle::kIdrCentralized, k, 6000 + r));
-      rf.push_back(
-          run_one(framework::ControllerStyle::kRouteFlowMirror, k, 6000 + r));
-    }
-    std::printf("%zu/16\t%.2f\t%.2f\n", k, framework::quantile(idr, 0.5),
-                framework::quantile(rf, 0.5));
-    std::fflush(stdout);
+  const std::size_t fractions[] = {0, 4, 8, 12, 15};
+  // Point = (fraction, controller style); both styles of a fraction are
+  // independent simulations, so the whole comparison shares one pool.
+  framework::ParamSweepRunner runner{runs, 6000};
+  const auto sweep = runner.run(
+      std::size(fractions) * 2, [&](std::size_t point, std::uint64_t seed) {
+        const auto style = point % 2 == 0
+                               ? framework::ControllerStyle::kIdrCentralized
+                               : framework::ControllerStyle::kRouteFlowMirror;
+        return run_one(style, fractions[point / 2], seed);
+      });
+  for (std::size_t f = 0; f < std::size(fractions); ++f) {
+    std::printf("%zu/16\t%.2f\t%.2f\n", fractions[f],
+                sweep.points[2 * f].summary.median,
+                sweep.points[2 * f + 1].summary.median);
   }
+  bench::print_parallel_footer(sweep);
   return 0;
 }

@@ -78,21 +78,31 @@ int main() {
       "AS1\n");
   std::printf("# medians over %zu runs; MRAI 5 s\n", runs);
   std::printf("members\tbridging\trouted\tdeep_reach\twithdraw_conv_s\n");
-  for (const std::size_t members_n : {2u, 4u, 6u}) {
-    for (const bool bridging : {false, true}) {
-      std::vector<double> routed, reach, conv;
-      for (std::size_t r = 0; r < runs; ++r) {
-        const auto res = run(bridging, members_n, 4000 + r);
-        routed.push_back(static_cast<double>(res.members_routed));
-        reach.push_back(res.deep_host_reachable ? 1.0 : 0.0);
-        conv.push_back(res.withdrawal_conv_s);
-      }
-      std::printf("%zu\t%s\t%.0f/%zu\t%.0f%%\t%.2f\n", members_n,
-                  bridging ? "on" : "off", framework::quantile(routed, 0.5),
-                  members_n, 100.0 * framework::quantile(reach, 0.5),
-                  framework::quantile(conv, 0.5));
-      std::fflush(stdout);
+  const std::size_t member_counts[] = {2, 4, 6};
+  // Point = (members_n, bridging) combo, bridging fastest-varying to match
+  // the printed row order.
+  std::vector<Result> grid;
+  const auto timing = bench::run_trial_grid(
+      std::size(member_counts) * 2, runs, grid,
+      [&](std::size_t point, std::size_t r) {
+        return run(point % 2 == 1, member_counts[point / 2], 4000 + r);
+      });
+  for (std::size_t point = 0; point < std::size(member_counts) * 2; ++point) {
+    const std::size_t members_n = member_counts[point / 2];
+    const bool bridging = point % 2 == 1;
+    std::vector<double> routed, reach, conv;
+    for (std::size_t r = 0; r < runs; ++r) {
+      const auto& res = grid[point * runs + r];
+      routed.push_back(static_cast<double>(res.members_routed));
+      reach.push_back(res.deep_host_reachable ? 1.0 : 0.0);
+      conv.push_back(res.withdrawal_conv_s);
     }
+    std::printf("%zu\t%s\t%.0f/%zu\t%.0f%%\t%.2f\n", members_n,
+                bridging ? "on" : "off", framework::quantile(routed, 0.5),
+                members_n, 100.0 * framework::quantile(reach, 0.5),
+                framework::quantile(conv, 0.5));
+    std::fflush(stdout);
   }
+  bench::print_parallel_footer(timing);
   return 0;
 }

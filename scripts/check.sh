@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, test, smoke-run benches and examples.
+# Full local check: configure, build, test, smoke-run benches and examples,
+# then a ThreadSanitizer pass over the parallel trial machinery.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when installed; fall back to the default generator otherwise.
+GENERATOR=()
+if command -v ninja > /dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B build "${GENERATOR[@]}"
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
-# Quick (3-run) versions of every experiment bench.
+# Quick (3-run) versions of every experiment bench, at the machine's
+# parallelism (BGPSDN_JOBS caps the trial worker pool; see README).
 for b in build/bench/bench_*; do
   echo "===== $b"
-  BGPSDN_QUICK=1 "$b"
+  BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" "$b"
 done
 
 # Examples and scenario scripts must run cleanly.
@@ -22,5 +30,21 @@ done
 for s in scenarios/*.bgpsdn; do
   echo "===== $s"
   ./build/tools/bgpsdn_run "$s" > /dev/null
+  ./build/tools/bgpsdn_run --trials 4 "$s" > /dev/null
 done
+
+# ThreadSanitizer job: rebuild the test binaries with -fsanitize=thread and
+# run everything that exercises the parallel trial runners. Simulations are
+# single-threaded by design; this guards the one place threads meet — the
+# trial pool and seed-ordered result collection.
+echo "===== tsan"
+cmake -B build-tsan "${GENERATOR[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$(nproc)" --target test_framework test_core
+./build-tsan/tests/test_framework \
+  --gtest_filter='Determinism.*:TrialRunnerParallel.*:ParamSweepRunnerParallel.*:ParallelForIndex.*:DefaultJobs.*'
+./build-tsan/tests/test_core --gtest_filter='EventLoop.*'
+
 echo "ALL CHECKS PASSED"

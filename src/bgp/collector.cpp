@@ -22,7 +22,7 @@ std::string RouteObservation::to_string() const {
 void RouteCollector::add_peer(core::PortId port, net::Ipv4Addr local_address,
                               net::Ipv4Addr remote_address) {
   SessionConfig sc;
-  sc.id = allocate_session_id();
+  sc.id = allocate_session_id();  // net::Node: network-scoped allocation
   sc.local_as = core::AsNumber{64512};  // private collector AS
   sc.local_id = id_;
   sc.local_address = local_address;

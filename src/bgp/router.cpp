@@ -14,11 +14,6 @@ namespace {
 constexpr std::uint32_t kLocalRoutePref = 1000;
 }  // namespace
 
-core::SessionId allocate_session_id() {
-  static std::uint32_t next = 0;
-  return core::SessionId{next++};
-}
-
 void BgpRouter::add_peer(core::PortId port, PeerConfig peer_config) {
   SessionConfig sc;
   sc.id = allocate_session_id();

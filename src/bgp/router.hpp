@@ -28,10 +28,6 @@
 
 namespace bgpsdn::bgp {
 
-/// Allocates router-unique session ids (process-wide counter; the emulation
-/// is single-threaded).
-core::SessionId allocate_session_id();
-
 struct RouterConfig {
   core::AsNumber asn;
   net::Ipv4Addr router_id;

@@ -14,7 +14,7 @@ void GhostPeer::configure_session(net::Ipv4Addr local, net::Ipv4Addr remote) {
   local_address_ = local;
   remote_address_ = remote;
   bgp::SessionConfig sc;
-  sc.id = bgp::allocate_session_id();
+  sc.id = allocate_session_id();  // net::Node: network-scoped allocation
   sc.local_as = peering_.expected_peer_as;  // we impersonate the external AS
   sc.local_id = local;
   sc.local_address = local;

@@ -33,6 +33,23 @@ class Id {
   Rep v_{static_cast<Rep>(-1)};
 };
 
+/// Dense id allocator for one Tag, owned by the registry that scopes the
+/// ids (a Network for sessions, an Experiment for nodes, ...). Keeping the
+/// counter inside the owning object — never in a global or function-local
+/// static — is what lets many simulations run concurrently in one process
+/// while each still hands out the same id sequence for the same build order.
+template <typename Tag, typename Rep = std::uint32_t>
+class IdAllocator {
+ public:
+  Id<Tag, Rep> allocate() { return Id<Tag, Rep>{next_++}; }
+
+  /// Ids handed out so far.
+  Rep allocated() const { return next_; }
+
+ private:
+  Rep next_{0};
+};
+
 struct NodeTag {};
 struct LinkTag {};
 struct PortTag {};
@@ -44,6 +61,7 @@ using LinkId = Id<LinkTag>;
 /// Port numbers are local to a node; 0-based.
 using PortId = Id<PortTag>;
 using SessionId = Id<SessionTag>;
+using SessionIdAllocator = IdAllocator<SessionTag>;
 using TimerId = Id<TimerTag, std::uint64_t>;
 
 /// Autonomous System number. Not an Id: AS numbers are externally assigned

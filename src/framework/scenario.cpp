@@ -213,6 +213,7 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     need(0);
     if (started()) fail(line, "already started");
     if (!have_topology_) fail(line, "no topology declared");
+    if (seed_override_) config_.seed = *seed_override_;
     experiment_ = std::make_unique<Experiment>(spec_, members_, config_);
     for (const auto as : hosts_) experiment_->add_host(as);
     for (const auto& [as, pfx] : pre_announce_) {
@@ -257,6 +258,7 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     std::snprintf(buf, sizeof buf, "converged %.3f s after the last event",
                   (conv - last_event_).to_seconds());
     result.output.push_back(buf);
+    result.convergence_seconds.push_back((conv - last_event_).to_seconds());
   } else if (cmd == "expect-route" || cmd == "expect-no-route") {
     need(2);
     auto& exp = running(line);

@@ -23,8 +23,10 @@
 // with a message naming the line.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,9 @@ struct ScenarioResult {
   std::string error;
   /// Output lines produced by print-* / wait-converged / expect commands.
   std::vector<std::string> output;
+  /// Seconds reported by each wait-converged command, in script order —
+  /// what `bgpsdn_run --trials` summarizes across seeds.
+  std::vector<double> convergence_seconds;
 };
 
 class ScenarioRunner {
@@ -45,6 +50,10 @@ class ScenarioRunner {
   /// Parse and execute a whole script.
   ScenarioResult run(const std::string& script);
   ScenarioResult run(std::istream& script);
+
+  /// Force the experiment seed regardless of any `seed` command in the
+  /// script — how one script becomes many parallel seeded trials.
+  void override_seed(std::uint64_t seed) { seed_override_ = seed; }
 
   /// The experiment after a run (valid once `start` executed); lets callers
   /// inspect beyond what the script printed.
@@ -64,6 +73,7 @@ class ScenarioRunner {
   double parse_number(const Line& line, const std::string& token) const;
 
   ExperimentConfig config_{};
+  std::optional<std::uint64_t> seed_override_;
   topology::TopologySpec spec_{};
   bool have_topology_{false};
   std::set<core::AsNumber> members_;

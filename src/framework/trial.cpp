@@ -1,0 +1,105 @@
+#include "framework/trial.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bgpsdn::framework {
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("BGPSDN_JOBS"); env != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_index(std::size_t total, std::size_t jobs,
+                        const std::function<void(std::size_t)>& fn) {
+  if (total == 0) return;
+  if (jobs <= 1 || total == 1) {
+    for (std::size_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(std::min(jobs, total));
+    for (std::size_t t = 0; t < std::min(jobs, total); ++t) {
+      pool.emplace_back(worker);
+    }
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<double> TrialRunner::run_values(
+    const std::function<double(std::uint64_t seed)>& trial) const {
+  std::vector<double> values(runs_, 0.0);
+  parallel_for_index(runs_, jobs_, [&](std::size_t i) {
+    values[i] = trial(base_seed_ + i);
+  });
+  return values;
+}
+
+SweepResult ParamSweepRunner::run(std::size_t points,
+                                  const PointTrial& trial) const {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t total = points * runs_;
+  std::vector<double> values(total, 0.0);
+  std::vector<double> seconds(total, 0.0);
+
+  const auto t0 = Clock::now();
+  parallel_for_index(total, jobs_, [&](std::size_t task) {
+    const std::size_t point = task / runs_;
+    const std::uint64_t seed = base_seed_ + (task % runs_);
+    const auto s0 = Clock::now();
+    values[task] = trial(point, seed);
+    seconds[task] = std::chrono::duration<double>(Clock::now() - s0).count();
+  });
+
+  SweepResult result;
+  result.trials = total;
+  result.jobs = jobs_;
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.points.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    SweepPointResult row;
+    const std::vector<double> slice(values.begin() + p * runs_,
+                                    values.begin() + (p + 1) * runs_);
+    row.summary = summarize(slice);
+    for (std::size_t r = 0; r < runs_; ++r) {
+      row.trial_seconds += seconds[p * runs_ + r];
+    }
+    result.trial_seconds += row.trial_seconds;
+    result.points.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace bgpsdn::framework

@@ -1,10 +1,15 @@
-// TrialRunner — repeat a seeded experiment and summarize.
+// TrialRunner / ParamSweepRunner — repeat seeded experiments and summarize.
 //
 // The paper reports "boxplots over 10 runs"; a trial function maps a seed
 // to one scalar measurement (e.g. convergence seconds), the runner sweeps
-// seeds and returns the five-number summary.
+// seeds and returns the five-number summary. Trials are independent
+// simulations — each builds its own Experiment (event loop, network, rng) —
+// so they parallelize across worker threads while each simulation stays
+// single-threaded inside. Results are collected by seed index, which makes
+// the Summary bit-identical whether jobs=1 or jobs=N.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -12,26 +17,101 @@
 
 namespace bgpsdn::framework {
 
+/// Worker-thread count for parallel trial execution: the BGPSDN_JOBS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency(). Never returns 0.
+std::size_t default_jobs();
+
+/// Runs fn(0), ..., fn(total-1) on up to `jobs` worker threads. Which thread
+/// executes which index is unspecified; callers keep determinism by writing
+/// only to index-addressed slots. jobs <= 1 degenerates to a plain serial
+/// loop on the calling thread (no threads spawned — byte-identical to the
+/// historical serial runner). The first exception thrown by any fn is
+/// rethrown on the calling thread after all workers finish.
+void parallel_for_index(std::size_t total, std::size_t jobs,
+                        const std::function<void(std::size_t)>& fn);
+
 class TrialRunner {
  public:
-  explicit TrialRunner(std::size_t runs, std::uint64_t base_seed = 1000)
-      : runs_{runs}, base_seed_{base_seed} {}
+  explicit TrialRunner(std::size_t runs, std::uint64_t base_seed = 1000,
+                       std::size_t jobs = 1)
+      : runs_{runs}, base_seed_{base_seed}, jobs_{jobs == 0 ? 1 : jobs} {}
 
   /// Runs `trial` with seeds base, base+1, ... and summarizes the results.
+  /// With jobs > 1 the trial function must be thread-safe (each call builds
+  /// its own simulation); values land in seed order regardless of jobs.
   Summary run(const std::function<double(std::uint64_t seed)>& trial) const {
-    std::vector<double> values;
-    values.reserve(runs_);
-    for (std::size_t i = 0; i < runs_; ++i) {
-      values.push_back(trial(base_seed_ + i));
-    }
-    return summarize(values);
+    return summarize(run_values(trial));
   }
 
+  /// The raw per-seed values, in seed order.
+  std::vector<double> run_values(
+      const std::function<double(std::uint64_t seed)>& trial) const;
+
   std::size_t runs() const { return runs_; }
+  std::size_t jobs() const { return jobs_; }
 
  private:
   std::size_t runs_;
   std::uint64_t base_seed_;
+  std::size_t jobs_;
+};
+
+/// One sweep point's results: the seed summary plus the summed wall-clock
+/// seconds its trials cost (the serial-equivalent time of the row).
+struct SweepPointResult {
+  Summary summary;
+  double trial_seconds{0};
+
+  /// Effective throughput had the row run alone: trials per second of
+  /// serial-equivalent work.
+  double trials_per_second() const {
+    return trial_seconds > 0 ? static_cast<double>(summary.n) / trial_seconds
+                             : 0.0;
+  }
+};
+
+/// Whole-sweep results and timing.
+struct SweepResult {
+  std::vector<SweepPointResult> points;  // index = sweep point
+  std::size_t trials{0};                 // points x runs
+  std::size_t jobs{1};
+  double wall_seconds{0};   // real elapsed time of the whole sweep
+  double trial_seconds{0};  // sum of every trial's own wall time
+
+  /// Measured speedup over a serial run: the serial run's wall time is the
+  /// sum of per-trial times, so the ratio is the effective parallelism.
+  double speedup() const {
+    return wall_seconds > 0 ? trial_seconds / wall_seconds : 0.0;
+  }
+  double trials_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(trials) / wall_seconds : 0.0;
+  }
+};
+
+/// Parallelizes a whole bench: every (sweep point, seed) pair becomes one
+/// task on a shared worker pool, so a fractions x seeds sweep saturates the
+/// machine instead of one core. Output is ordered by (point, seed) index —
+/// byte-identical to running the points one after another serially.
+class ParamSweepRunner {
+ public:
+  /// `trial` maps (point index, seed) to a measurement.
+  using PointTrial = std::function<double(std::size_t point, std::uint64_t seed)>;
+
+  explicit ParamSweepRunner(std::size_t runs, std::uint64_t base_seed = 1000,
+                            std::size_t jobs = 0)
+      : runs_{runs}, base_seed_{base_seed},
+        jobs_{jobs == 0 ? default_jobs() : jobs} {}
+
+  SweepResult run(std::size_t points, const PointTrial& trial) const;
+
+  std::size_t runs() const { return runs_; }
+  std::size_t jobs() const { return jobs_; }
+
+ private:
+  std::size_t runs_;
+  std::uint64_t base_seed_;
+  std::size_t jobs_;
 };
 
 }  // namespace bgpsdn::framework

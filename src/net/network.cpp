@@ -28,6 +28,11 @@ core::EventLoop& Node::loop() const { return network().loop(); }
 core::Logger& Node::logger() const { return network().logger(); }
 core::Rng& Node::rng() const { return network().rng(); }
 
+core::SessionId Node::allocate_session_id() {
+  if (network_ != nullptr) return network_->session_ids().allocate();
+  return detached_session_ids_.allocate();
+}
+
 void Node::send(core::PortId port, Packet packet) const {
   network().send(id_, port, std::move(packet));
 }

@@ -116,6 +116,12 @@ class Network {
   core::Rng& rng() { return rng_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// BGP session ids are scoped to the network so that several simulations
+  /// can coexist in one process (each with its own Network) and a given
+  /// build order always yields the same ids. Controllers key per-network
+  /// tables by session id, so uniqueness must span all nodes of a network.
+  core::SessionIdAllocator& session_ids() { return session_ids_; }
+
  private:
   void register_node(std::unique_ptr<Node> node, std::string name);
   void deliver(core::LinkId link_id, int direction, const Packet& packet);
@@ -128,6 +134,7 @@ class Network {
   /// ports_[node][port] -> link id attached there.
   std::vector<std::vector<core::LinkId>> ports_;
   NetworkStats stats_;
+  core::SessionIdAllocator session_ids_;
 };
 
 }  // namespace bgpsdn::net

@@ -58,9 +58,17 @@ class Node {
     assert(network_ != nullptr && "node used before attach");
     return *network_;
   }
+  bool attached() const { return network_ != nullptr; }
   core::EventLoop& loop() const;
   core::Logger& logger() const;
   core::Rng& rng() const;
+
+  /// Next BGP session id. Attached nodes draw from the owning Network's
+  /// allocator (ids unique network-wide — controller tables depend on it);
+  /// detached nodes (unit tests using a speaker as a bare peering registry)
+  /// fall back to a node-local counter. Never a process-wide static: two
+  /// experiments in one process must mint identical id sequences.
+  core::SessionId allocate_session_id();
 
   /// Convenience: transmit out of a local port.
   void send(core::PortId port, Packet packet) const;
@@ -69,6 +77,7 @@ class Node {
   Network* network_{nullptr};
   core::NodeId id_{core::NodeId::invalid()};
   std::string name_;
+  core::SessionIdAllocator detached_session_ids_;
 };
 
 }  // namespace bgpsdn::net

@@ -12,7 +12,7 @@ PeeringId ClusterBgpSpeaker::add_peering(core::PortId relay_port, Peering peerin
   peering.id = id;
 
   bgp::SessionConfig sc;
-  sc.id = bgp::allocate_session_id();
+  sc.id = allocate_session_id();  // net::Node: network-scoped allocation
   sc.local_as = peering.cluster_as;
   // Identify as the cluster AS's router (its interface address works as a
   // unique, stable BGP id).

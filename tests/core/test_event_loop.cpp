@@ -145,5 +145,83 @@ TEST(EventLoop, CancelInsideCallback) {
   EXPECT_FALSE(second_ran);
 }
 
+TEST(EventLoop, CancelOwnTimerInsideCallbackIsNoop) {
+  EventLoop loop;
+  TimerId self = TimerId::invalid();
+  bool cancel_result = true;
+  bool later_ran = false;
+  self = loop.schedule(Duration::millis(1),
+                       [&] { cancel_result = loop.cancel(self); });
+  loop.schedule(Duration::millis(2), [&] { later_ran = true; });
+  loop.run();
+  // By the time the callback runs its timer already fired.
+  EXPECT_FALSE(cancel_result);
+  EXPECT_TRUE(later_ran);
+  EXPECT_EQ(loop.events_executed(), 2u);
+}
+
+TEST(EventLoop, CancelSameTimestampSiblingInsideCallback) {
+  EventLoop loop;
+  bool sibling_ran = false;
+  TimerId sibling = TimerId::invalid();
+  loop.schedule(Duration::millis(5), [&] { EXPECT_TRUE(loop.cancel(sibling)); });
+  sibling = loop.schedule(Duration::millis(5), [&] { sibling_ran = true; });
+  loop.run();
+  EXPECT_FALSE(sibling_ran);
+  EXPECT_EQ(loop.events_executed(), 1u);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, CancelThenRescheduleInsideCallback) {
+  EventLoop loop;
+  bool original_ran = false;
+  bool replacement_ran = false;
+  TimerId original = TimerId::invalid();
+  loop.schedule(Duration::millis(1), [&] {
+    ASSERT_TRUE(loop.cancel(original));
+    loop.schedule(Duration::millis(1), [&] { replacement_ran = true; });
+  });
+  original = loop.schedule(Duration::millis(10), [&] { original_ran = true; });
+  loop.run();
+  EXPECT_FALSE(original_ran);
+  EXPECT_TRUE(replacement_ran);
+  EXPECT_EQ(loop.now() - TimePoint::origin(), Duration::millis(2));
+}
+
+TEST(EventLoop, PendingAccountingUnderChurn) {
+  EventLoop loop;
+  std::vector<TimerId> ids;
+  int executed = 0;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(
+        loop.schedule(Duration::millis(1 + i), [&] { ++executed; }));
+  }
+  EXPECT_EQ(loop.pending_events(), 50u);
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(loop.cancel(ids[i]));
+  }
+  EXPECT_EQ(loop.pending_events(), 25u);
+  // Cancelling an already-cancelled timer changes nothing.
+  EXPECT_FALSE(loop.cancel(ids[0]));
+  EXPECT_EQ(loop.pending_events(), 25u);
+  loop.run();
+  EXPECT_EQ(executed, 25);
+  EXPECT_EQ(loop.events_executed(), 25u);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, StepSkipsCancelledEvents) {
+  EventLoop loop;
+  bool survivor_ran = false;
+  const auto doomed = loop.schedule(Duration::millis(1), [] { FAIL(); });
+  loop.schedule(Duration::millis(2), [&] { survivor_ran = true; });
+  loop.cancel(doomed);
+  // A single step lands on the survivor, not the cancelled tombstone.
+  EXPECT_TRUE(loop.step());
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_FALSE(loop.step());
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
 }  // namespace
 }  // namespace bgpsdn::core

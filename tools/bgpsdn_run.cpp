@@ -1,37 +1,166 @@
 // bgpsdn_run — execute a scenario script.
 //
-//   $ bgpsdn_run experiment.bgpsdn      # from a file
-//   $ bgpsdn_run -                      # from stdin
+//   $ bgpsdn_run experiment.bgpsdn              # one run, from a file
+//   $ bgpsdn_run -                              # one run, from stdin
+//   $ bgpsdn_run --trials 10 experiment.bgpsdn  # 10 seeded parallel trials
 //
-// Exit code 0 when the script ran and every expectation held; 1 otherwise.
+// With --trials N the script is executed N times with seeds base, base+1,
+// ... (overriding any `seed` command), in parallel across BGPSDN_JOBS (or
+// --jobs) worker threads — one independent simulation per seed, exactly like
+// the paper's "boxplots over 10 runs". The per-trial wait-converged times
+// are summarized as a boxplot row; per-trial output is suppressed.
+//
+// Exit code 0 when the script ran and every expectation held (in every
+// trial); 1 otherwise.
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "framework/scenario.hpp"
+#include "framework/stats.hpp"
+#include "framework/trial.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--trials N] [--base-seed S] [--jobs J] <scenario-file | ->\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: " << argv[0] << " <scenario-file | ->\n";
-    return 1;
-  }
+  std::size_t trials = 1;
+  std::uint64_t base_seed = 1000;
+  std::size_t jobs = 0;  // 0 = BGPSDN_JOBS / hardware_concurrency
+  std::string input;
+  bool have_input = false;
 
-  bgpsdn::framework::ScenarioRunner runner;
-  bgpsdn::framework::ScenarioResult result;
-  if (std::string_view{argv[1]} == "-") {
-    result = runner.run(std::cin);
-  } else {
-    std::ifstream file{argv[1]};
-    if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    const auto number_arg = [&](const char* flag) -> long long {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(1);
+      }
+      try {
+        std::size_t used = 0;
+        const std::string value{argv[++i]};
+        const long long parsed = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument{value};
+        return parsed;
+      } catch (const std::exception&) {
+        std::cerr << flag << " needs a number, got '" << argv[i] << "'\n";
+        std::exit(1);
+      }
+    };
+    if (arg == "--trials") {
+      const auto v = number_arg("--trials");
+      if (v < 1) {
+        std::cerr << "--trials must be >= 1\n";
+        return 1;
+      }
+      trials = static_cast<std::size_t>(v);
+    } else if (arg == "--base-seed") {
+      base_seed = static_cast<std::uint64_t>(number_arg("--base-seed"));
+    } else if (arg == "--jobs") {
+      const auto v = number_arg("--jobs");
+      if (v < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        return 1;
+      }
+      jobs = static_cast<std::size_t>(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!have_input) {
+      input = arg;
+      have_input = true;
+    } else {
+      usage(argv[0]);
       return 1;
     }
-    result = runner.run(file);
   }
-
-  for (const auto& line : result.output) std::cout << line << "\n";
-  if (!result.ok) {
-    std::cerr << "FAILED: " << result.error << "\n";
+  if (!have_input) {
+    usage(argv[0]);
     return 1;
   }
-  return 0;
+
+  // Read the whole script up front: stdin is not replayable across trials.
+  std::string script;
+  if (input == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    script = buf.str();
+  } else {
+    std::ifstream file{input};
+    if (!file) {
+      std::cerr << "cannot open " << input << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    script = buf.str();
+  }
+
+  if (trials == 1) {
+    bgpsdn::framework::ScenarioRunner runner;
+    const auto result = runner.run(script);
+    for (const auto& line : result.output) std::cout << line << "\n";
+    if (!result.ok) {
+      std::cerr << "FAILED: " << result.error << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  if (jobs == 0) jobs = bgpsdn::framework::default_jobs();
+  std::vector<bgpsdn::framework::ScenarioResult> results(trials);
+  std::vector<double> trial_seconds(trials, 0.0);
+  const auto t0 = Clock::now();
+  bgpsdn::framework::parallel_for_index(trials, jobs, [&](std::size_t i) {
+    const auto s0 = Clock::now();
+    bgpsdn::framework::ScenarioRunner runner;
+    runner.override_seed(base_seed + i);
+    results[i] = runner.run(script);
+    trial_seconds[i] = std::chrono::duration<double>(Clock::now() - s0).count();
+  });
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  bool all_ok = true;
+  std::vector<double> final_conv;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (!results[i].ok) {
+      all_ok = false;
+      std::cerr << "FAILED (seed " << base_seed + i
+                << "): " << results[i].error << "\n";
+    } else if (!results[i].convergence_seconds.empty()) {
+      final_conv.push_back(results[i].convergence_seconds.back());
+    }
+  }
+
+  std::printf("# %zu seeded trials (seeds %llu..%llu), jobs=%zu\n", trials,
+              static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(base_seed + trials - 1), jobs);
+  if (!final_conv.empty()) {
+    std::printf("%s\n",
+                bgpsdn::framework::boxplot_header("metric").c_str());
+    std::printf("%s\n",
+                bgpsdn::framework::boxplot_row(
+                    "wait_converged_s",
+                    bgpsdn::framework::summarize(final_conv))
+                    .c_str());
+  }
+  double serial = 0.0;
+  for (const double s : trial_seconds) serial += s;
+  std::printf(
+      "# wall %.2f s, serial-equivalent %.2f s, speedup %.2fx, %.2f trials/s\n",
+      wall, serial, wall > 0 ? serial / wall : 0.0,
+      wall > 0 ? static_cast<double>(trials) / wall : 0.0);
+  return all_ok ? 0 : 1;
 }

@@ -53,8 +53,8 @@ ChurnResult run(bool damping, core::Duration recompute_delay,
     exp.announce_prefix(origin, pfx);
     exp.run_for(core::Duration::seconds(8));
   }
-  exp.wait_converged(core::Duration::seconds(11),
-                     core::Duration::seconds(2400));
+  exp.wait_converged(framework::WaitOpts{core::Duration::seconds(11),
+                                         core::Duration::seconds(2400)});
   // Give damping reuse timers a chance before judging usability.
   exp.run_for(core::Duration::seconds(240));
 
@@ -77,7 +77,8 @@ ChurnResult run(bool damping, core::Duration recompute_delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   const std::size_t runs = bench::default_runs();
   std::printf("# flap-stability ablation: 16-AS clique, 8 SDN members, origin "
               "flaps 5x (MRAI 5 s)\n");
@@ -92,6 +93,8 @@ int main() {
         return run(point / kCols == 1,
                    core::Duration::seconds_f(delays[point % kCols]), 5000 + r);
       });
+  framework::BenchReport report{"ablation_damping"};
+  report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
   for (std::size_t point = 0; point < 2 * kCols; ++point) {
     const bool damping = point / kCols == 1;
     std::vector<double> upd, mods, sup;
@@ -108,7 +111,22 @@ int main() {
                 framework::quantile(upd, 0.5), framework::quantile(mods, 0.5),
                 framework::quantile(sup, 0.5), usable, runs);
     std::fflush(stdout);
+    if (cli.want_json()) {
+      char label[48];
+      std::snprintf(label, sizeof label, "damping_%s_delay%.0fs",
+                    damping ? "on" : "off", delays[point % kCols]);
+      telemetry::Json extra = telemetry::Json::object();
+      extra["flow_mods_median"] = framework::quantile(mods, 0.5);
+      extra["suppressions_median"] = framework::quantile(sup, 0.5);
+      extra["usable_runs"] = static_cast<std::int64_t>(usable);
+      report.add_point(label, framework::summarize(upd), upd,
+                       std::move(extra));
+    }
   }
   bench::print_parallel_footer(timing);
+  report.set_footer(static_cast<std::int64_t>(timing.trials),
+                    static_cast<std::int64_t>(timing.jobs),
+                    timing.wall_seconds, timing.trial_seconds);
+  bench::finish_report(report, cli);
   return 0;
 }

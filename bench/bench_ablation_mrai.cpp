@@ -11,7 +11,8 @@
 
 using namespace bgpsdn;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   const std::size_t runs = bench::default_runs();
   std::printf("# BGP-only withdrawal convergence [s]: clique size x MRAI\n");
   std::printf("# medians over %zu runs\n", runs);
@@ -44,5 +45,22 @@ int main() {
     std::printf("\n");
   }
   bench::print_parallel_footer(sweep);
+  if (cli.want_json()) {
+    framework::BenchReport report{"ablation_mrai"};
+    report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
+    for (std::size_t row = 0; row < std::size(cliques); ++row) {
+      for (std::size_t col = 0; col < kCols; ++col) {
+        const auto& point = sweep.points[row * kCols + col];
+        char label[48];
+        std::snprintf(label, sizeof label, "clique%zu_mrai%.0fs", cliques[row],
+                      mrais[col]);
+        report.add_point(label, point.summary, point.values);
+      }
+    }
+    report.set_footer(static_cast<std::int64_t>(sweep.trials),
+                      static_cast<std::int64_t>(sweep.jobs), sweep.wall_seconds,
+                      sweep.trial_seconds);
+    bench::finish_report(report, cli);
+  }
   return 0;
 }

@@ -46,11 +46,11 @@ AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
 
   const auto t0 = exp.loop().now();
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  const auto conv = exp.wait_converged(core::Duration::seconds(61),
-                                       core::Duration::seconds(3600));
+  const auto conv = exp.wait_converged(framework::WaitOpts{
+      core::Duration::seconds(61), core::Duration::seconds(3600)});
 
   AblationPoint p;
-  p.conv_seconds = (conv - t0).to_seconds();
+  p.conv_seconds = conv.since(t0).to_seconds();
   p.recomputes =
       static_cast<double>(ctrl->counters().recompute_passes - recomputes0);
   p.flow_mods = static_cast<double>(ctrl->counters().flow_adds +
@@ -63,7 +63,8 @@ AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   const std::size_t runs = bench::default_runs();
   std::printf(
       "# delayed-recomputation ablation: 16-AS clique, 8 SDN members, "
@@ -76,6 +77,8 @@ int main() {
       std::size(delays), runs, grid, [&](std::size_t point, std::size_t r) {
         return run_point(core::Duration::seconds_f(delays[point]), 2000 + r);
       });
+  framework::BenchReport report{"ablation_recompute"};
+  report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
   for (std::size_t point = 0; point < std::size(delays); ++point) {
     std::vector<double> conv, rec, mods, spk;
     for (std::size_t r = 0; r < runs; ++r) {
@@ -89,7 +92,21 @@ int main() {
                 framework::quantile(conv, 0.5), framework::quantile(rec, 0.5),
                 framework::quantile(mods, 0.5), framework::quantile(spk, 0.5));
     std::fflush(stdout);
+    if (cli.want_json()) {
+      char label[32];
+      std::snprintf(label, sizeof label, "delay%.1fs", delays[point]);
+      telemetry::Json extra = telemetry::Json::object();
+      extra["recomputes_median"] = framework::quantile(rec, 0.5);
+      extra["flow_mods_median"] = framework::quantile(mods, 0.5);
+      extra["speaker_msgs_median"] = framework::quantile(spk, 0.5);
+      report.add_point(label, framework::summarize(conv), conv,
+                       std::move(extra));
+    }
   }
   bench::print_parallel_footer(timing);
+  report.set_footer(static_cast<std::int64_t>(timing.trials),
+                    static_cast<std::int64_t>(timing.jobs),
+                    timing.wall_seconds, timing.trial_seconds);
+  bench::finish_report(report, cli);
   return 0;
 }

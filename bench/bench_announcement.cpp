@@ -7,9 +7,13 @@
 // updates bounded by one MRAI round; centralization helps only modestly.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgpsdn;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  framework::BenchReport report{"announcement"};
   bench::run_sdn_sweep(bench::Event::kAnnouncement, 16, bench::default_runs(),
-                       bench::paper_config());
+                       bench::paper_config(),
+                       cli.want_json() ? &report : nullptr);
+  bench::finish_report(report, cli);
   return 0;
 }

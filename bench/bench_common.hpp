@@ -8,16 +8,76 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "framework/experiment.hpp"
+#include "framework/report.hpp"
 #include "framework/stats.hpp"
 #include "framework/trial.hpp"
 #include "topology/generators.hpp"
 
 namespace bgpsdn::bench {
+
+/// Options common to every bench binary.
+struct BenchCli {
+  /// Where to write the bgpsdn.bench/1 JSON document; empty = stdout only.
+  std::string json_path;
+
+  bool want_json() const { return !json_path.empty(); }
+};
+
+/// Parses `--json <path>` / `--help`; exits on usage errors, so benches can
+/// call it first thing in main().
+inline BenchCli parse_cli(int argc, char** argv) {
+  BenchCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
+        std::exit(2);
+      }
+      cli.json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--json <path>]\n\n"
+          "Runs the bench and prints boxplot rows to stdout. With --json it\n"
+          "additionally writes a schema-stable bgpsdn.bench/1 JSON document\n"
+          "(everything but the wall-clock footer is deterministic per seed).\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0],
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// Writes the report if --json was given; exits non-zero on I/O failure.
+inline void finish_report(const framework::BenchReport& report,
+                          const BenchCli& cli) {
+  if (!cli.want_json()) return;
+  if (!report.write_file(cli.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", cli.json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("# json: %s\n", cli.json_path.c_str());
+}
+
+/// Sums every telemetry counter of a finished experiment into `out` —
+/// the "key counters" block of the JSON reports.
+inline void accumulate_counters(framework::Experiment& exp,
+                                std::map<std::string, std::int64_t>& out) {
+  telemetry::Json snap = exp.telemetry().metrics().snapshot();
+  for (const auto& [name, value] : snap["counters"].entries()) {
+    out[name] += value.as_int();
+  }
+}
 
 /// Scenario injected after the network converged; returns the virtual time
 /// of injection.
@@ -52,8 +112,9 @@ struct ScenarioParams {
 ///    backup).
 ///  * kAnnouncement — after convergence AS 1 announces a fresh prefix
 ///    (Tup: a single propagation wave, no hunting).
-inline double run_convergence_trial(const ScenarioParams& params,
-                                    std::uint64_t seed) {
+inline double run_convergence_trial(
+    const ScenarioParams& params, std::uint64_t seed,
+    std::map<std::string, std::int64_t>* counters_out = nullptr) {
   framework::ExperimentConfig cfg = params.config;
   cfg.seed = seed;
   auto spec = topology::clique(params.clique_size);
@@ -97,8 +158,10 @@ inline double run_convergence_trial(const ScenarioParams& params,
       break;
   }
   const auto quiet = cfg.timers.mrai * 2 + core::Duration::seconds(1);
-  const auto conv = exp.wait_converged(quiet, core::Duration::seconds(3600));
-  return (conv - t0).to_seconds();
+  const auto conv = exp.wait_converged(
+      framework::WaitOpts{quiet, core::Duration::seconds(3600)});
+  if (counters_out != nullptr) accumulate_counters(exp, *counters_out);
+  return conv.since(t0).to_seconds();
 }
 
 /// Footer every bench prints after a parallel sweep: real wall time, the
@@ -163,7 +226,9 @@ inline void print_parallel_footer(const GridTiming& timing) {
 /// exact serial-run values, plus each row's serial-equivalent seconds and
 /// effective trials/sec.
 inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs,
-                          const framework::ExperimentConfig& base_config) {
+                          const framework::ExperimentConfig& base_config,
+                          framework::BenchReport* report = nullptr) {
+  constexpr std::uint64_t kBaseSeed = 1000;
   std::printf("# %s convergence time [s] on a %zu-AS clique vs SDN fraction\n",
               to_string(event), clique_size);
   std::printf("# boxplots over %zu runs (paper: %s)\n", runs,
@@ -172,7 +237,11 @@ inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs
                   : "SS4 prose result, smaller reductions than Fig. 2");
   std::printf("%s\ttrial_s\ttrials_per_s\n",
               framework::boxplot_header("sdn_frac").c_str());
-  framework::ParamSweepRunner runner{runs, 1000};
+  // Per-task counter snapshots land in index-addressed slots and are summed
+  // in task order after the sweep — deterministic at any job count.
+  std::vector<std::map<std::string, std::int64_t>> task_counters(
+      report != nullptr ? clique_size * runs : 0);
+  framework::ParamSweepRunner runner{runs, kBaseSeed};
   const auto sweep = runner.run(clique_size,
                                 [&](std::size_t k, std::uint64_t seed) {
     ScenarioParams params;
@@ -180,7 +249,11 @@ inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs
     params.sdn_count = k;
     params.event = event;
     params.config = base_config;
-    return run_convergence_trial(params, seed);
+    auto* counters =
+        report != nullptr
+            ? &task_counters[k * runs + static_cast<std::size_t>(seed - kBaseSeed)]
+            : nullptr;
+    return run_convergence_trial(params, seed, counters);
   });
   for (std::size_t k = 0; k < clique_size; ++k) {
     const auto& row = sweep.points[k];
@@ -189,8 +262,23 @@ inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs
     std::printf("%s\t%.2f\t%.2f\n",
                 framework::boxplot_row(label, row.summary).c_str(),
                 row.trial_seconds, row.trials_per_second());
+    if (report != nullptr) report->add_point(label, row.summary, row.values);
   }
   print_parallel_footer(sweep);
+  if (report != nullptr) {
+    report->set_param("event", telemetry::Json{std::string{to_string(event)}});
+    report->set_param("clique_size",
+                      telemetry::Json{static_cast<std::int64_t>(clique_size)});
+    report->set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
+    for (const auto& per_task : task_counters) {
+      for (const auto& [name, value] : per_task) {
+        report->add_counter(name, value);
+      }
+    }
+    report->set_footer(static_cast<std::int64_t>(sweep.trials),
+                       static_cast<std::int64_t>(sweep.jobs),
+                       sweep.wall_seconds, sweep.trial_seconds);
+  }
 }
 
 /// Paper-faithful timer defaults (Quagga eBGP profile).

@@ -10,9 +10,13 @@
 // centralization helps less and non-linearly (the paper's observation).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgpsdn;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  framework::BenchReport report{"failover"};
   bench::run_sdn_sweep(bench::Event::kFailover, 16, bench::default_runs(),
-                       bench::paper_config());
+                       bench::paper_config(),
+                       cli.want_json() ? &report : nullptr);
+  bench::finish_report(report, cli);
   return 0;
 }

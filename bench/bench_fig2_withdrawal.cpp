@@ -10,9 +10,13 @@
 // full-SDN end collapses to the controller's single delayed recomputation.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgpsdn;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  framework::BenchReport report{"fig2_withdrawal"};
   bench::run_sdn_sweep(bench::Event::kWithdrawal, 16, bench::default_runs(),
-                       bench::paper_config());
+                       bench::paper_config(),
+                       cli.want_json() ? &report : nullptr);
+  bench::finish_report(report, cli);
   return 0;
 }

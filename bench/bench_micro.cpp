@@ -205,6 +205,77 @@ void BM_WithdrawalConvergenceWallTime(benchmark::State& state) {
 BENCHMARK(BM_WithdrawalConvergenceWallTime)->Arg(0)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus a capture of every iteration run so main()
+// can emit the same bgpsdn.bench/1 JSON document the macro benches write.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        captured_.push_back(run);
+      }
+    }
+  }
+
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json before google-benchmark sees the arguments.
+  std::string json_path;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  CaptureReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    framework::BenchReport report{"micro"};
+    for (const auto& run : reporter.captured()) {
+      // One point per benchmark: the per-iteration real time in seconds.
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      const std::vector<double> values{run.real_accumulated_time / iters};
+      telemetry::Json extra = telemetry::Json::object();
+      extra["iterations"] = static_cast<std::int64_t>(run.iterations);
+      extra["cpu_s_per_iter"] = run.cpu_accumulated_time / iters;
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        extra["items_per_s"] = static_cast<double>(it->second);
+      }
+      report.add_point(run.benchmark_name(), framework::summarize(values),
+                       values, std::move(extra));
+    }
+    report.set_footer(static_cast<std::int64_t>(ran), 1, wall_s, wall_s);
+    if (!report.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

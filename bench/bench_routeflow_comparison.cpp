@@ -36,14 +36,15 @@ double run_one(framework::ControllerStyle style, std::size_t sdn_count,
   if (!exp.start(core::Duration::seconds(600))) return -1;
   const auto t0 = exp.loop().now();
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  const auto conv = exp.wait_converged(core::Duration::seconds(61),
-                                       core::Duration::seconds(3600));
-  return (conv - t0).to_seconds();
+  const auto conv = exp.wait_converged(framework::WaitOpts{
+      core::Duration::seconds(61), core::Duration::seconds(3600)});
+  return conv.since(t0).to_seconds();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   const std::size_t runs = bench::default_runs();
   std::printf("# withdrawal convergence [s] on a 16-AS clique: IDR controller "
               "vs RouteFlow-style mirror\n");
@@ -66,5 +67,22 @@ int main() {
                 sweep.points[2 * f + 1].summary.median);
   }
   bench::print_parallel_footer(sweep);
+  if (cli.want_json()) {
+    framework::BenchReport report{"routeflow_comparison"};
+    report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
+    for (std::size_t f = 0; f < std::size(fractions); ++f) {
+      for (std::size_t style = 0; style < 2; ++style) {
+        const auto& point = sweep.points[2 * f + style];
+        char label[48];
+        std::snprintf(label, sizeof label, "sdn%zu_%s", fractions[f],
+                      style == 0 ? "idr" : "routeflow");
+        report.add_point(label, point.summary, point.values);
+      }
+    }
+    report.set_footer(static_cast<std::int64_t>(sweep.trials),
+                      static_cast<std::int64_t>(sweep.jobs), sweep.wall_seconds,
+                      sweep.trial_seconds);
+    bench::finish_report(report, cli);
+  }
   return 0;
 }

@@ -63,15 +63,16 @@ Result run(bool bridging, std::size_t members_n, std::uint64_t seed) {
 
   const auto t0 = exp.loop().now();
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  const auto conv = exp.wait_converged(core::Duration::seconds(11),
-                                       core::Duration::seconds(1200));
-  res.withdrawal_conv_s = (conv - t0).to_seconds();
+  const auto conv = exp.wait_converged(framework::WaitOpts{
+      core::Duration::seconds(11), core::Duration::seconds(1200)});
+  res.withdrawal_conv_s = conv.since(t0).to_seconds();
   return res;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   const std::size_t runs = bench::default_runs();
   std::printf(
       "# sub-cluster bridging: interleaved line 1-[2]-3-[4]-..., origin at "
@@ -87,6 +88,8 @@ int main() {
       [&](std::size_t point, std::size_t r) {
         return run(point % 2 == 1, member_counts[point / 2], 4000 + r);
       });
+  framework::BenchReport report{"subcluster"};
+  report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
   for (std::size_t point = 0; point < std::size(member_counts) * 2; ++point) {
     const std::size_t members_n = member_counts[point / 2];
     const bool bridging = point % 2 == 1;
@@ -102,7 +105,22 @@ int main() {
                 members_n, 100.0 * framework::quantile(reach, 0.5),
                 framework::quantile(conv, 0.5));
     std::fflush(stdout);
+    if (cli.want_json()) {
+      char label[48];
+      std::snprintf(label, sizeof label, "members%zu_bridging_%s", members_n,
+                    bridging ? "on" : "off");
+      telemetry::Json extra = telemetry::Json::object();
+      extra["members_total"] = static_cast<std::int64_t>(members_n);
+      extra["routed_median"] = framework::quantile(routed, 0.5);
+      extra["deep_reach_median"] = framework::quantile(reach, 0.5);
+      report.add_point(label, framework::summarize(conv), conv,
+                       std::move(extra));
+    }
   }
   bench::print_parallel_footer(timing);
+  report.set_footer(static_cast<std::int64_t>(timing.trials),
+                    static_cast<std::int64_t>(timing.jobs),
+                    timing.wall_seconds, timing.trial_seconds);
+  bench::finish_report(report, cli);
   return 0;
 }

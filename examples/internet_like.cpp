@@ -87,14 +87,14 @@ int main() {
     std::fprintf(stderr, "no multi-hop path to fail\n");
     return 1;
   }
-  framework::RouteChangeTracker changes{exp.logger()};
+  auto& changes = exp.attach_monitor<framework::RouteChangeTracker>();
   const auto t0 = exp.loop().now();
   std::printf("\nt=%s: failing link %s <-> %s\n", t0.to_string().c_str(),
               before[0].to_string().c_str(), before[1].to_string().c_str());
   exp.fail_link(before[0], before[1]);
   const auto conv = exp.wait_converged();
   std::printf("re-converged %.2f s later; %zu best-path changes\n",
-              (conv - t0).to_seconds(), changes.changes().size());
+              conv.since(t0).to_seconds(), changes.changes().size());
 
   const auto after = exp.trace_route(client_as, service_host.address());
   std::printf("path after failure:  ");

@@ -51,8 +51,8 @@ StreamResult run_scenario(std::size_t sdn_count) {
   auto& client = exp.add_host(client_as);
   if (!exp.start()) return {};
 
-  framework::ConnectivityMonitor stream{exp.loop(), client, server,
-                                        core::Duration::millis(33)};
+  auto& stream = exp.attach_monitor<framework::ConnectivityMonitor>(
+      client, server, core::Duration::millis(33));
   stream.start();
   exp.run_for(core::Duration::seconds(2));  // healthy stream baseline
 
@@ -64,7 +64,7 @@ StreamResult run_scenario(std::size_t sdn_count) {
   exp.run_for(core::Duration::seconds(2));  // drain in-flight replies
 
   StreamResult result;
-  result.conv_seconds = (conv - t0).to_seconds();
+  result.conv_seconds = conv.since(t0).to_seconds();
   result.report = stream.report();
   return result;
 }

@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
 
   // Instrument: route changes and update rate from here on.
   exp.logger().clear();
-  framework::RouteChangeTracker changes{exp.logger()};
-  framework::UpdateRateMonitor rate{exp.logger(), core::Duration::seconds(10)};
+  auto& changes = exp.attach_monitor<framework::RouteChangeTracker>();
+  auto& rate = exp.attach_monitor<framework::UpdateRateMonitor>(
+      core::Duration::seconds(10));
 
   const auto t0 = exp.loop().now();
   std::printf("t=%s: AS1 withdraws %s\n", t0.to_string().c_str(),
@@ -53,8 +54,8 @@ int main(int argc, char** argv) {
   const auto conv = exp.wait_converged();
 
   std::printf("converged %.2f s after the withdrawal%s\n\n",
-              (conv - t0).to_seconds(),
-              exp.last_wait_timed_out() ? " (TIMED OUT)" : "");
+              conv.since(t0).to_seconds(),
+              conv.timed_out ? " (TIMED OUT)" : "");
 
   std::printf("update rate (10 s buckets, BGP updates + speaker messages):\n%s\n",
               rate.to_string().c_str());

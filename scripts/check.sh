@@ -33,6 +33,37 @@ for s in scenarios/*.bgpsdn; do
   ./build/tools/bgpsdn_run --trials 4 "$s" > /dev/null
 done
 
+# JSON-output job: every --json emitter must produce a document that still
+# matches the frozen bgpsdn.bench/1 schema. Validated with the stdlib-only
+# python checker; falls back to a structural jq check; warns when neither
+# tool is installed.
+echo "===== bench json schema"
+mkdir -p build/json
+BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
+  ./build/bench/bench_fig2_withdrawal --json build/json/fig2.json > /dev/null
+./build/tools/bgpsdn_run --json build/json/run_single.json \
+  scenarios/fig2_point.bgpsdn > /dev/null
+./build/tools/bgpsdn_run --trials 4 --json build/json/run_trials.json \
+  scenarios/fig2_point.bgpsdn > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/validate_bench_json.py \
+    build/json/fig2.json build/json/run_single.json build/json/run_trials.json
+elif command -v jq > /dev/null 2>&1; then
+  for j in build/json/fig2.json build/json/run_single.json \
+           build/json/run_trials.json; do
+    jq -e '.schema == "bgpsdn.bench/1"
+           and (.bench | type == "string")
+           and (.params | type == "object")
+           and (.points | type == "array")
+           and (.counters | type == "object")
+           and (.footer | has("trials") and has("jobs") and has("wall_s"))' \
+      "$j" > /dev/null || { echo "schema drift in $j" >&2; exit 1; }
+    echo "$j: ok (jq)"
+  done
+else
+  echo "WARNING: neither python3 nor jq found; skipping JSON schema check" >&2
+fi
+
 # ThreadSanitizer job: rebuild the test binaries with -fsanitize=thread and
 # run everything that exercises the parallel trial runners. Simulations are
 # single-threaded by design; this guards the one place threads meet — the

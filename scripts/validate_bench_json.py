@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a bgpsdn.bench/1 JSON document against the frozen schema.
+
+Usage: validate_bench_json.py FILE...
+
+Exit 0 when every file conforms; exit 1 (with a message naming the first
+offence) on schema drift. Only the standard library is used.
+
+The schema (see src/framework/report.hpp):
+  schema    "bgpsdn.bench/1"
+  bench     non-empty string
+  params    object (free-form scalar values)
+  points    array of {label, n, min, q1, median, q3, max, mean, stddev,
+                      values[], extra{}}
+  counters  object of integer values
+  footer    {trials, jobs, wall_s, serial_equivalent_s, speedup,
+             trials_per_s}
+"""
+import json
+import sys
+
+SCHEMA = "bgpsdn.bench/1"
+TOP_KEYS = {"schema", "bench", "params", "points", "counters", "footer"}
+POINT_KEYS = {
+    "label", "n", "min", "q1", "median", "q3", "max", "mean", "stddev",
+    "values", "extra",
+}
+FOOTER_KEYS = {
+    "trials", "jobs", "wall_s", "serial_equivalent_s", "speedup",
+    "trials_per_s",
+}
+NUMBER = (int, float)
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if set(doc) != TOP_KEYS:
+        fail(path, f"top-level keys {sorted(doc)} != {sorted(TOP_KEYS)}")
+    if doc["schema"] != SCHEMA:
+        fail(path, f"schema {doc['schema']!r} != {SCHEMA!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(path, "bench must be a non-empty string")
+    if not isinstance(doc["params"], dict):
+        fail(path, "params must be an object")
+
+    if not isinstance(doc["points"], list):
+        fail(path, "points must be an array")
+    for i, point in enumerate(doc["points"]):
+        where = f"points[{i}]"
+        if not isinstance(point, dict):
+            fail(path, f"{where} is not an object")
+        if set(point) != POINT_KEYS:
+            fail(path, f"{where} keys {sorted(point)} != {sorted(POINT_KEYS)}")
+        if not isinstance(point["label"], str):
+            fail(path, f"{where}.label must be a string")
+        if not isinstance(point["n"], int) or point["n"] < 0:
+            fail(path, f"{where}.n must be a non-negative integer")
+        for key in ("min", "q1", "median", "q3", "max", "mean", "stddev"):
+            if not isinstance(point[key], NUMBER):
+                fail(path, f"{where}.{key} must be a number")
+        if not isinstance(point["values"], list) or any(
+            not isinstance(v, NUMBER) for v in point["values"]
+        ):
+            fail(path, f"{where}.values must be an array of numbers")
+        if len(point["values"]) != point["n"]:
+            fail(path, f"{where}: n={point['n']} but {len(point['values'])} values")
+        if not isinstance(point["extra"], dict):
+            fail(path, f"{where}.extra must be an object")
+
+    if not isinstance(doc["counters"], dict) or any(
+        not isinstance(v, int) for v in doc["counters"].values()
+    ):
+        fail(path, "counters must be an object of integers")
+
+    footer = doc["footer"]
+    if not isinstance(footer, dict) or set(footer) != FOOTER_KEYS:
+        fail(path, f"footer keys != {sorted(FOOTER_KEYS)}")
+    for key in FOOTER_KEYS:
+        if not isinstance(footer[key], NUMBER):
+            fail(path, f"footer.{key} must be a number")
+    for key in ("trials", "jobs"):
+        if not isinstance(footer[key], int) or footer[key] < 0:
+            fail(path, f"footer.{key} must be a non-negative integer")
+
+    print(f"{path}: ok ({doc['bench']}, {len(doc['points'])} points)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()

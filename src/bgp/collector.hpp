@@ -50,6 +50,7 @@ class RouteCollector : public net::Node, public SessionHost {
   core::Rng& session_rng() override;
   core::Logger& session_logger() override;
   std::string session_log_name() const override;
+  telemetry::Telemetry* session_telemetry() override { return telemetry(); }
 
   const std::vector<RouteObservation>& observations() const { return tape_; }
   void clear() { tape_.clear(); }

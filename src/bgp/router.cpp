@@ -6,6 +6,7 @@
 #include "core/logger.hpp"
 #include "core/random.hpp"
 #include "net/network.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::bgp {
 
@@ -141,6 +142,14 @@ void BgpRouter::session_update(Session& session, const UpdateMessage& update) {
                "update_rx",
                "from " + session.peer_as().to_string() + " " + update.to_string());
   const auto routes = update.nlri.size() + update.withdrawn.size();
+  if (auto* tel = telemetry(); tel != nullptr && tel->tracing()) {
+    auto span = telemetry::TraceSpan::instant(loop().now(), "bgp", "update_rx",
+                                              session_log_name());
+    span.arg("from", session.peer_as().to_string())
+        .arg("nlri", static_cast<std::int64_t>(update.nlri.size()))
+        .arg("withdrawn", static_cast<std::int64_t>(update.withdrawn.size()));
+    tel->emit(span);
+  }
   const auto cost = config_.processing.per_update +
                     config_.processing.per_route * static_cast<std::int64_t>(routes);
   const auto epoch = peer->epoch;
@@ -153,6 +162,18 @@ void BgpRouter::session_update(Session& session, const UpdateMessage& update) {
 core::EventLoop& BgpRouter::session_loop() { return loop(); }
 core::Rng& BgpRouter::session_rng() { return rng(); }
 core::Logger& BgpRouter::session_logger() { return logger(); }
+telemetry::Telemetry* BgpRouter::session_telemetry() { return telemetry(); }
+
+void BgpRouter::init_metrics() {
+  if (metrics_resolved_) return;
+  metrics_resolved_ = true;
+  if (auto* tel = telemetry()) {
+    auto& metrics = tel->metrics();
+    decision_runs_metric_ = &metrics.counter("bgp.decision.runs");
+    best_changes_metric_ = &metrics.counter("bgp.decision.best_changes");
+    updates_tx_metric_ = &metrics.counter("bgp.router.updates_tx");
+  }
+}
 std::string BgpRouter::session_log_name() const {
   return "bgp." + (name().empty() ? config_.asn.to_string() : name());
 }
@@ -216,6 +237,9 @@ void BgpRouter::note_flap(core::SessionId session, const net::Prefix& prefix,
 }
 
 void BgpRouter::recompute(const net::Prefix& prefix) {
+  init_metrics();
+  if (decision_runs_metric_ != nullptr) decision_runs_metric_->inc();
+  const std::uint64_t best_changes_before = counters_.best_changes;
   std::vector<const Route*> candidates = adj_rib_in_.candidates(prefix);
   if (config_.damping.enabled) {
     std::erase_if(candidates, [&](const Route* r) {
@@ -229,6 +253,12 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
     local.attributes.local_pref = kLocalRoutePref;
     local.installed_at = it->second;
     candidates.push_back(&local);
+  }
+
+  if (auto* tel = telemetry()) {
+    tel->metrics()
+        .histogram("bgp.decision.candidates")
+        .record(static_cast<std::int64_t>(candidates.size()));
   }
 
   const Route* best = select_best(candidates);
@@ -262,6 +292,21 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
                  "best_changed",
                  prefix.to_string() + " via [" +
                      best->attributes.as_path.to_string() + "]");
+  }
+
+  if (auto* tel = telemetry()) {
+    if (best_changes_metric_ != nullptr &&
+        counters_.best_changes != best_changes_before) {
+      best_changes_metric_->inc();
+    }
+    if (tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "bgp", "decision",
+                                                session_log_name());
+      span.arg("prefix", prefix.to_string())
+          .arg("candidates", static_cast<std::int64_t>(candidates.size()))
+          .arg("best_changed", counters_.best_changes != best_changes_before);
+      tel->emit(span);
+    }
   }
 
   for (auto& [port, peer] : peers_) schedule_peer_update(peer, prefix);
@@ -319,10 +364,20 @@ void BgpRouter::schedule_peer_update(Peer& peer, const net::Prefix& prefix) {
       msg.withdrawn.push_back(prefix);
     }
     ++counters_.updates_tx;
+    init_metrics();
+    if (updates_tx_metric_ != nullptr) updates_tx_metric_->inc();
     logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                  "update_tx",
                  "to " + peer.session->peer_as().to_string() + " " +
                      msg.to_string());
+    if (auto* tel = telemetry(); tel != nullptr && tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "bgp",
+                                                "update_tx", session_log_name());
+      span.arg("to", peer.session->peer_as().to_string())
+          .arg("nlri", static_cast<std::int64_t>(msg.nlri.size()))
+          .arg("withdrawn", static_cast<std::int64_t>(msg.withdrawn.size()));
+      tel->emit(span);
+    }
     peer.session->send_update(msg);
     return;
   }
@@ -342,6 +397,24 @@ void BgpRouter::flush_peer(Peer& peer) {
   if (!peer.session->established()) {
     peer.pending.clear();
     return;
+  }
+  if (peer.mrai_span_open) {
+    // Close the MRAI window opened at arm_mrai: this flush is the gated
+    // advertisement the timer was pacing.
+    peer.mrai_span_open = false;
+    if (auto* tel = telemetry()) {
+      const auto now = loop().now();
+      tel->metrics()
+          .histogram("bgp.mrai.wait_ns")
+          .record((now - peer.mrai_armed_at).count_nanos());
+      if (tel->tracing()) {
+        auto span = telemetry::TraceSpan{peer.mrai_armed_at, now, "bgp",
+                                         "mrai_wait", session_log_name()};
+        span.arg("peer", peer.session->peer_as().to_string())
+            .arg("pending", static_cast<std::int64_t>(peer.pending.size()));
+        tel->emit(span);
+      }
+    }
   }
   std::vector<net::Prefix> withdrawals;
   // Announcement groups keyed by attribute bundle (one bundle per UPDATE).
@@ -376,9 +449,19 @@ void BgpRouter::flush_peer(Peer& peer) {
   }
   for (auto& m : messages) {
     ++counters_.updates_tx;
+    init_metrics();
+    if (updates_tx_metric_ != nullptr) updates_tx_metric_->inc();
     logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                  "update_tx",
                  "to " + peer.session->peer_as().to_string() + " " + m.to_string());
+    if (auto* tel = telemetry(); tel != nullptr && tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "bgp",
+                                                "update_tx", session_log_name());
+      span.arg("to", peer.session->peer_as().to_string())
+          .arg("nlri", static_cast<std::int64_t>(m.nlri.size()))
+          .arg("withdrawn", static_cast<std::int64_t>(m.withdrawn.size()));
+      tel->emit(span);
+    }
     peer.session->send_update(m);
   }
 }
@@ -387,6 +470,8 @@ void BgpRouter::arm_mrai(Peer& peer) {
   const auto mrai = peer_mrai(peer);
   if (mrai <= core::Duration::zero()) return;
   peer.mrai_running = true;
+  peer.mrai_armed_at = loop().now();
+  peer.mrai_span_open = true;
   const auto delay =
       rng().jittered(mrai, config_.timers.jitter_low, config_.timers.jitter_high);
   const auto epoch = peer.epoch;

@@ -100,6 +100,7 @@ class BgpRouter : public net::Node, public SessionHost {
   core::Rng& session_rng() override;
   core::Logger& session_logger() override;
   std::string session_log_name() const override;
+  telemetry::Telemetry* session_telemetry() override;
 
   // --- introspection ------------------------------------------------------
   core::AsNumber asn() const { return config_.asn; }
@@ -127,6 +128,9 @@ class BgpRouter : public net::Node, public SessionHost {
     bool mrai_running{false};
     core::TimerId mrai_timer{core::TimerId::invalid()};
     std::uint64_t epoch{0};
+    /// Open "mrai_wait" span: armed instant, closed at the gated flush.
+    core::TimePoint mrai_armed_at{};
+    bool mrai_span_open{false};
   };
 
   Peer* peer_on(core::PortId port);
@@ -173,6 +177,12 @@ class BgpRouter : public net::Node, public SessionHost {
   core::TimePoint busy_until_{};
   FlapDampener dampener_;
   RouterCounters counters_;
+  /// Cached network-wide metric handles (see Session for the pattern).
+  void init_metrics();
+  bool metrics_resolved_{false};
+  telemetry::Counter* decision_runs_metric_{nullptr};
+  telemetry::Counter* best_changes_metric_{nullptr};
+  telemetry::Counter* updates_tx_metric_{nullptr};
 };
 
 }  // namespace bgpsdn::bgp

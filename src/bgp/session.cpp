@@ -5,6 +5,7 @@
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "core/random.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::bgp {
 
@@ -36,9 +37,48 @@ void Session::log(const std::string& event, const std::string& detail) {
                              event, detail);
 }
 
+void Session::init_metrics() {
+  if (metrics_resolved_) return;
+  metrics_resolved_ = true;
+  if (auto* tel = host_.session_telemetry()) {
+    auto& metrics = tel->metrics();
+    updates_tx_metric_ = &metrics.counter("bgp.session.updates_tx");
+    updates_rx_metric_ = &metrics.counter("bgp.session.updates_rx");
+    transitions_metric_ = &metrics.counter("bgp.session.transitions");
+  }
+}
+
+void Session::transition(SessionState next) {
+  const SessionState prev = state_;
+  if (prev == next) return;
+  state_ = next;
+  if (prev == SessionState::kIdle && next == SessionState::kConnect) {
+    connect_started_ = host_.session_loop().now();
+  }
+  init_metrics();
+  if (transitions_metric_ != nullptr) transitions_metric_->inc();
+  auto* tel = host_.session_telemetry();
+  if (tel == nullptr) return;
+  auto& metrics = tel->metrics();
+  if (next == SessionState::kEstablished) {
+    metrics.counter("bgp.session.established").inc();
+    metrics.histogram("bgp.session.establish_ns")
+        .record((host_.session_loop().now() - connect_started_).count_nanos());
+  } else if (prev == SessionState::kEstablished) {
+    metrics.counter("bgp.session.dropped").inc();
+  }
+  if (tel->tracing()) {
+    auto span = telemetry::TraceSpan::instant(
+        host_.session_loop().now(), "bgp", "fsm",
+        host_.session_log_name() + ".s" + std::to_string(config_.id.value()));
+    span.arg("from", to_string(prev)).arg("to", to_string(next));
+    tel->emit(span);
+  }
+}
+
 void Session::start() {
   if (state_ != SessionState::kIdle) return;
-  state_ = SessionState::kConnect;
+  transition(SessionState::kConnect);
   const auto delay = host_.session_rng().uniform_duration(
       config_.connect_delay_min, config_.connect_delay_max);
   const auto my_epoch = epoch_;
@@ -52,7 +92,7 @@ void Session::start() {
     open.bgp_id = config_.local_id;
     open.four_octet_as = true;
     transmit(open);
-    state_ = SessionState::kOpenSent;
+    transition(SessionState::kOpenSent);
     reset_hold_timer();
     log("open_sent", "to " + config_.remote_address.to_string());
   });
@@ -62,7 +102,7 @@ void Session::stop(const std::string& reason, bool auto_restart) {
   const bool was_established = established();
   cancel_timers();
   ++epoch_;
-  state_ = SessionState::kIdle;
+  transition(SessionState::kIdle);
   if (was_established) {
     ++counters_.flaps;
     log("session_down", reason);
@@ -102,7 +142,7 @@ void Session::receive(const std::vector<std::byte>& wire) {
     // TCP-accept path of a real speaker). Anything else is stale bytes.
     const auto peek = decode(wire, CodecOptions{});
     if (!peek || type_of(*peek) != MessageType::kOpen) return;
-    state_ = SessionState::kConnect;
+    transition(SessionState::kConnect);
   }
   const auto msg = decode(wire, codec_);
   if (!msg) {
@@ -121,6 +161,8 @@ void Session::receive(const std::vector<std::byte>& wire) {
       break;
     case MessageType::kUpdate:
       ++counters_.updates_rx;
+      init_metrics();
+      if (updates_rx_metric_ != nullptr) updates_rx_metric_->inc();
       on_update(std::get<UpdateMessage>(*msg));
       break;
     case MessageType::kNotification:
@@ -137,7 +179,7 @@ void Session::on_open(const OpenMessage& m) {
     // session down and accept the new OPEN (collision-resolution spirit of
     // RFC 4271 §6.8).
     stop("peer re-opened");
-    state_ = SessionState::kConnect;
+    transition(SessionState::kConnect);
   }
   // Accept OPEN in Connect too (peer's OPEN can beat our connect timer).
   if (state_ != SessionState::kOpenSent && state_ != SessionState::kConnect) {
@@ -175,7 +217,7 @@ void Session::on_open(const OpenMessage& m) {
     transmit(open);
   }
   transmit(KeepaliveMessage{});
-  state_ = SessionState::kOpenConfirm;
+  transition(SessionState::kOpenConfirm);
   reset_hold_timer();
   log("open_rx", "peer " + peer_as_.to_string());
 }
@@ -209,7 +251,7 @@ void Session::on_notification(const NotificationMessage& m) {
 }
 
 void Session::enter_established() {
-  state_ = SessionState::kEstablished;
+  transition(SessionState::kEstablished);
   reset_hold_timer();
   arm_keepalive_timer();
   log("session_up", "peer " + peer_as_.to_string());
@@ -220,8 +262,10 @@ void Session::send_update(const UpdateMessage& update) {
   if (!established()) return;
   // Honour the RFC 4271 4096-byte message cap: oversized updates are split
   // transparently (one attribute bundle per NLRI piece).
+  init_metrics();
   for (const auto& piece : split_update(update, codec_)) {
     ++counters_.updates_tx;
+    if (updates_tx_metric_ != nullptr) updates_tx_metric_->inc();
     transmit(piece);
   }
 }

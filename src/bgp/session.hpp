@@ -23,6 +23,11 @@ class Logger;
 class Rng;
 }  // namespace bgpsdn::core
 
+namespace bgpsdn::telemetry {
+class Counter;
+class Telemetry;
+}  // namespace bgpsdn::telemetry
+
 namespace bgpsdn::bgp {
 
 enum class SessionState : std::uint8_t {
@@ -55,6 +60,10 @@ class SessionHost {
   virtual core::Rng& session_rng() = 0;
   virtual core::Logger& session_logger() = 0;
   virtual std::string session_log_name() const = 0;
+
+  /// Telemetry hub for FSM/update instrumentation. Default: none (bare
+  /// test hosts); attached nodes forward their network's hub.
+  virtual telemetry::Telemetry* session_telemetry() { return nullptr; }
 };
 
 struct SessionConfig {
@@ -118,6 +127,10 @@ class Session {
   const CodecOptions& codec() const { return codec_; }
 
  private:
+  /// Single funnel for every FSM state change: updates counters, emits an
+  /// instant "fsm" trace span, and records the connect→established latency.
+  void transition(SessionState next);
+  void init_metrics();
   void transmit(const Message& m);
   void on_open(const OpenMessage& m);
   void on_keepalive();
@@ -145,6 +158,14 @@ class Session {
   std::uint16_t negotiated_hold_s_{0};
   /// Guards stale timer callbacks after resets.
   std::uint64_t epoch_{0};
+  /// When the current connect attempt began (for the establish histogram).
+  core::TimePoint connect_started_{};
+  /// Cached metric handles (network-wide aggregates); nullptr when the host
+  /// has no telemetry. Resolved once on first use.
+  bool metrics_resolved_{false};
+  telemetry::Counter* updates_tx_metric_{nullptr};
+  telemetry::Counter* updates_rx_metric_{nullptr};
+  telemetry::Counter* transitions_metric_{nullptr};
 };
 
 }  // namespace bgpsdn::bgp

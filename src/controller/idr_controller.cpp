@@ -3,6 +3,7 @@
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "net/network.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::controller {
 
@@ -126,6 +127,7 @@ void IdrController::mark_dirty(const net::Prefix& prefix) {
   dirty_.insert(prefix);
   if (recompute_pending_) return;
   recompute_pending_ = true;
+  batch_opened_at_ = loop().now();
   loop().schedule(config_.recompute_delay, [this] { run_recompute(); });
 }
 
@@ -134,6 +136,7 @@ void IdrController::mark_all_dirty() {
   if (dirty_.empty()) return;
   if (recompute_pending_) return;
   recompute_pending_ = true;
+  batch_opened_at_ = loop().now();
   loop().schedule(config_.recompute_delay, [this] { run_recompute(); });
 }
 
@@ -152,6 +155,22 @@ void IdrController::run_recompute() {
   dirty_.clear();
   logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(), "recompute",
                std::to_string(batch.size()) + " prefixes");
+  if (auto* tel = telemetry()) {
+    auto& metrics = tel->metrics();
+    metrics.counter("ctrl.idr.recompute_passes").inc();
+    metrics.histogram("ctrl.idr.batch_prefixes")
+        .record(static_cast<std::int64_t>(batch.size()));
+    metrics.histogram("ctrl.idr.batch_wait_ns")
+        .record((loop().now() - batch_opened_at_).count_nanos());
+    if (tel->tracing()) {
+      // The span covers the batching delay: opened at the first dirtying
+      // input, closed here where the recomputation pass runs.
+      auto span = telemetry::TraceSpan{batch_opened_at_, loop().now(), "ctrl",
+                                       "recompute_batch", "idr." + name()};
+      span.arg("prefixes", static_cast<std::int64_t>(batch.size()));
+      tel->emit(span);
+    }
+  }
   for (const auto& prefix : batch) recompute_prefix(prefix);
 }
 
@@ -174,12 +193,28 @@ void IdrController::recompute_prefix(const net::Prefix& prefix) {
     }
   }
 
+  auto* tel = telemetry();
+  const bool tracing = tel != nullptr && tel->tracing();
+  const auto phase = [&](const char* name_, std::int64_t detail) {
+    // Phases of one recomputation share a virtual instant; instant spans
+    // keep the taxonomy (graph_transform -> dijkstra -> flow_install)
+    // visible in the trace without inventing fake durations.
+    auto span = telemetry::TraceSpan::instant(loop().now(), "ctrl", name_,
+                                              "idr." + name());
+    span.arg("prefix", prefix.to_string()).arg("n", detail);
+    tel->emit(span);
+  };
+
   // Decide.
   const AsTopologyGraph topo{graph_, *speaker_, config_.subcluster_bridging};
+  if (tracing) phase("graph_transform", static_cast<std::int64_t>(routes.size()));
   PrefixDecision decision = topo.decide(routes, origin_switch);
   idr_counters_.routes_pruned_loop += decision.pruned_routes;
+  if (tracing) phase("dijkstra", static_cast<std::int64_t>(decision.as_paths.size()));
 
   // Compile and diff flow rules.
+  const std::uint64_t adds_before = idr_counters_.flow_adds;
+  const std::uint64_t deletes_before = idr_counters_.flow_deletes;
   const CompiledFlows flows =
       compile_flows(decision, graph_, *speaker_, origin_host_ports);
   auto& installed = installed_[prefix];
@@ -210,6 +245,17 @@ void IdrController::recompute_prefix(const net::Prefix& prefix) {
     it = installed.erase(it);
   }
   if (installed.empty()) installed_.erase(prefix);
+  if (tel != nullptr) {
+    const auto adds =
+        static_cast<std::int64_t>(idr_counters_.flow_adds - adds_before);
+    const auto dels =
+        static_cast<std::int64_t>(idr_counters_.flow_deletes - deletes_before);
+    auto& metrics = tel->metrics();
+    metrics.counter("ctrl.idr.prefix_recomputes").inc();
+    if (adds > 0) metrics.counter("ctrl.idr.flow_adds").inc(adds);
+    if (dels > 0) metrics.counter("ctrl.idr.flow_deletes").inc(dels);
+    if (tracing) phase("flow_install", adds + dels);
+  }
 
   // Compose announcements to every legacy peering. The AS path starts with
   // the border switch's own AS and is the exact AS-level route traffic will

@@ -114,6 +114,9 @@ class IdrController : public ClusterController {
 
   std::set<net::Prefix> dirty_;
   bool recompute_pending_{false};
+  /// When the pending batch window opened (first dirtying input), for the
+  /// "recompute_batch" delay-wait span and batch_wait histogram.
+  core::TimePoint batch_opened_at_{};
   IdrCounters idr_counters_;
 };
 

@@ -5,6 +5,7 @@
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "net/address_allocator.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::controller {
 
@@ -290,6 +291,8 @@ void RouteFlowController::on_port_status(const sdn::SwitchChannel& channel,
 
 void RouteFlowController::sync_flows() {
   ++rf_counters_.sync_passes;
+  const std::uint64_t adds_before = rf_counters_.flow_adds;
+  const std::uint64_t deletes_before = rf_counters_.flow_deletes;
   for (const auto& [dpid, vr] : vrouters_) {
     const auto gen = vr->loc_rib().generation();
     if (synced_generation_[dpid] == gen) continue;
@@ -337,6 +340,22 @@ void RouteFlowController::sync_flows() {
         ++rf_counters_.flow_deletes;
       }
       it = cell.empty() ? installed_.erase(it) : std::next(it);
+    }
+  }
+  if (auto* tel = telemetry()) {
+    const auto adds =
+        static_cast<std::int64_t>(rf_counters_.flow_adds - adds_before);
+    const auto dels =
+        static_cast<std::int64_t>(rf_counters_.flow_deletes - deletes_before);
+    auto& metrics = tel->metrics();
+    metrics.counter("ctrl.routeflow.sync_passes").inc();
+    if (adds > 0) metrics.counter("ctrl.routeflow.flow_adds").inc(adds);
+    if (dels > 0) metrics.counter("ctrl.routeflow.flow_deletes").inc(dels);
+    if (tel->tracing() && (adds > 0 || dels > 0)) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "ctrl", "rf_sync",
+                                                "rf." + name());
+      span.arg("adds", adds).arg("dels", dels);
+      tel->emit(span);
     }
   }
 }

@@ -86,6 +86,7 @@ class GhostPeer : public net::Node, public bgp::SessionHost {
   core::Rng& session_rng() override;
   core::Logger& session_logger() override;
   std::string session_log_name() const override;
+  telemetry::Telemetry* session_telemetry() override { return telemetry(); }
 
  private:
   speaker::Peering peering_;

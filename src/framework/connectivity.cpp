@@ -1,5 +1,7 @@
 #include "framework/connectivity.hpp"
 
+#include "framework/experiment.hpp"
+
 namespace bgpsdn::framework {
 
 ConnectivityMonitor::ConnectivityMonitor(core::EventLoop& loop, net::Host& src,
@@ -8,6 +10,21 @@ ConnectivityMonitor::ConnectivityMonitor(core::EventLoop& loop, net::Host& src,
   src_.set_reply_callback([this](std::uint64_t label) {
     if (sent_at_.count(label) > 0) answered_at_[label] = loop_.now();
   });
+}
+
+ConnectivityMonitor::ConnectivityMonitor(Experiment& experiment, net::Host& src,
+                                         net::Host& dst, core::Duration interval)
+    : ConnectivityMonitor{experiment.loop(), src, dst, interval} {}
+
+telemetry::Json ConnectivityMonitor::snapshot() const {
+  const ConnectivityReport r = report();
+  telemetry::Json j = telemetry::Json::object();
+  j["sent"] = static_cast<std::int64_t>(r.sent);
+  j["answered"] = static_cast<std::int64_t>(r.answered);
+  j["delivery_ratio"] = r.delivery_ratio;
+  j["longest_blackout_ns"] = r.longest_blackout.count_nanos();
+  j["blackout_start_ns"] = r.blackout_start.nanos_since_origin();
+  return j;
 }
 
 void ConnectivityMonitor::start() {

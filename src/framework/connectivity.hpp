@@ -12,6 +12,7 @@
 
 #include "core/event_loop.hpp"
 #include "core/time.hpp"
+#include "framework/monitor_base.hpp"
 #include "net/host.hpp"
 
 namespace bgpsdn::framework {
@@ -26,13 +27,20 @@ struct ConnectivityReport {
   core::TimePoint blackout_start{};
 };
 
-class ConnectivityMonitor {
+class ConnectivityMonitor : public Monitor {
  public:
   /// Probes flow src -> dst every `interval`.
   ConnectivityMonitor(core::EventLoop& loop, net::Host& src, net::Host& dst,
                       core::Duration interval);
+  /// Convenience form for Experiment::attach_monitor.
+  ConnectivityMonitor(Experiment& experiment, net::Host& src, net::Host& dst,
+                      core::Duration interval);
   ConnectivityMonitor(const ConnectivityMonitor&) = delete;
   ConnectivityMonitor& operator=(const ConnectivityMonitor&) = delete;
+
+  const char* kind() const override { return "connectivity"; }
+  /// {sent, answered, delivery_ratio, longest_blackout_ns, blackout_start_ns}
+  telemetry::Json snapshot() const override;
 
   /// Begin probing (idempotent).
   void start();

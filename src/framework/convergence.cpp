@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "framework/experiment.hpp"
+
 namespace bgpsdn::framework {
 
 ConvergenceDetector::ConvergenceDetector(core::EventLoop& loop,
@@ -22,7 +24,26 @@ ConvergenceDetector::ConvergenceDetector(core::EventLoop& loop,
   last_activity_ = loop_.now();
 }
 
+ConvergenceDetector::ConvergenceDetector(Experiment& experiment)
+    : ConvergenceDetector{experiment.loop(), experiment.logger()} {}
+
 ConvergenceDetector::~ConvergenceDetector() { logger_.remove_sink(sink_id_); }
+
+telemetry::Json ConvergenceDetector::snapshot() const {
+  telemetry::Json j = telemetry::Json::object();
+  j["activity_count"] = static_cast<std::int64_t>(activity_count_);
+  j["last_activity_ns"] = last_activity_.nanos_since_origin();
+  j["timed_out"] = timed_out_;
+  return j;
+}
+
+ConvergenceResult ConvergenceDetector::wait(const WaitOpts& opts) {
+  ConvergenceResult result;
+  result.quiet_window = opts.quiet;
+  result.instant = run_until_converged(opts.quiet, opts.timeout);
+  result.timed_out = timed_out_;
+  return result;
+}
 
 core::TimePoint ConvergenceDetector::run_until_converged(core::Duration quiet,
                                                          core::Duration timeout) {

@@ -14,16 +14,45 @@
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "core/time.hpp"
+#include "framework/monitor_base.hpp"
 
 namespace bgpsdn::framework {
 
-class ConvergenceDetector {
+/// Options for Experiment::wait_converged / ConvergenceDetector::wait.
+struct WaitOpts {
+  /// Quiet window that defines convergence. zero() = caller's default
+  /// (Experiment substitutes 2x MRAI + 1 s).
+  core::Duration quiet{core::Duration::zero()};
+  /// Virtual-time budget for the whole wait.
+  core::Duration timeout{core::Duration::seconds(3600)};
+};
+
+/// Structured result of a convergence wait.
+struct ConvergenceResult {
+  /// Time of the last routing activity — the convergence instant.
+  core::TimePoint instant{};
+  /// True when the timeout elapsed before the quiet window was met.
+  bool timed_out{false};
+  /// The quiet window that was actually applied (after defaulting).
+  core::Duration quiet_window{core::Duration::zero()};
+
+  /// Convergence latency relative to an event-injection instant.
+  core::Duration since(core::TimePoint t0) const { return instant - t0; }
+};
+
+class ConvergenceDetector : public Monitor {
  public:
   /// Attaches to `logger` immediately.
   ConvergenceDetector(core::EventLoop& loop, core::Logger& logger);
-  ~ConvergenceDetector();
+  /// Convenience form for Experiment::attach_monitor.
+  explicit ConvergenceDetector(Experiment& experiment);
+  ~ConvergenceDetector() override;
   ConvergenceDetector(const ConvergenceDetector&) = delete;
   ConvergenceDetector& operator=(const ConvergenceDetector&) = delete;
+
+  const char* kind() const override { return "convergence"; }
+  /// {activity_count, last_activity_ns, timed_out}
+  telemetry::Json snapshot() const override;
 
   /// The events that count as routing activity. Defaults cover BGP, the
   /// controller and the speaker.
@@ -48,6 +77,11 @@ class ConvergenceDetector {
   /// returns the last activity anyway; check timed_out().
   core::TimePoint run_until_converged(core::Duration quiet,
                                       core::Duration timeout);
+
+  /// Structured variant of run_until_converged. A zero quiet window in
+  /// `opts` is used as-is here (the Experiment layer owns the MRAI-based
+  /// defaulting).
+  ConvergenceResult wait(const WaitOpts& opts);
 
   bool timed_out() const { return timed_out_; }
 

@@ -31,7 +31,7 @@ Experiment::Experiment(const topology::TopologySpec& spec,
   log_.set_min_level(config_.log_level);
   log_.set_retain(config_.retain_logs);
   build();
-  detector_ = std::make_unique<ConvergenceDetector>(loop_, log_);
+  detector_ = &attach_monitor<ConvergenceDetector>();
 }
 
 net::LinkParams Experiment::link_params(const topology::LinkSpec& link) const {
@@ -319,12 +319,33 @@ void Experiment::add_link(core::AsNumber a, core::AsNumber b,
   build_legacy_link(spec_.links.back());
 }
 
+ConvergenceResult Experiment::wait_converged(const WaitOpts& opts) {
+  WaitOpts effective = opts;
+  if (effective.quiet == core::Duration::zero()) {
+    effective.quiet = config_.timers.mrai * 2 + core::Duration::seconds(1);
+  }
+  net_.telemetry().metrics().counter("framework.wait_converged.runs").inc();
+  const ConvergenceResult result = detector_->wait(effective);
+  if (result.timed_out) {
+    net_.telemetry().metrics().counter("framework.wait_converged.timeouts").inc();
+  }
+  return result;
+}
+
 core::TimePoint Experiment::wait_converged(core::Duration quiet,
                                            core::Duration timeout) {
-  if (quiet == core::Duration::zero()) {
-    quiet = config_.timers.mrai * 2 + core::Duration::seconds(1);
+  return wait_converged(WaitOpts{quiet, timeout}).instant;
+}
+
+telemetry::Json Experiment::monitors_snapshot() const {
+  telemetry::Json arr = telemetry::Json::array();
+  for (const auto& m : monitors_) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry["kind"] = std::string{m->kind()};
+    entry["data"] = m->snapshot();
+    arr.push_back(std::move(entry));
   }
-  return detector_->run_until_converged(quiet, timeout);
+  return arr;
 }
 
 bool Experiment::all_know_prefix(const net::Prefix& prefix,

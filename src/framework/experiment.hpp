@@ -25,6 +25,7 @@
 #include "core/logger.hpp"
 #include "core/random.hpp"
 #include "framework/convergence.hpp"
+#include "framework/monitor_base.hpp"
 #include "net/address_allocator.hpp"
 #include "net/host.hpp"
 #include "net/network.hpp"
@@ -102,12 +103,63 @@ class Experiment {
   void add_link(core::AsNumber a, core::AsNumber b,
                 bgp::Relationship a_sees_b = bgp::Relationship::kPeer);
 
-  /// Drive the loop until routing is quiet for `quiet` (default 2x MRAI) or
-  /// `timeout` passes; returns the convergence instant.
-  core::TimePoint wait_converged(
-      core::Duration quiet = core::Duration::zero(),
-      core::Duration timeout = core::Duration::seconds(3600));
+  /// Drive the loop until routing is quiet for `opts.quiet` (zero = default
+  /// of 2x MRAI + 1 s) or `opts.timeout` passes. The result carries the
+  /// convergence instant, the timeout flag, and the quiet window actually
+  /// applied — no side-channel queries needed.
+  ConvergenceResult wait_converged(const WaitOpts& opts = {});
+
+  /// Positional-durations form. Prefer wait_converged(WaitOpts{...}).
+  [[deprecated("use wait_converged(WaitOpts{.quiet, .timeout})")]]
+  core::TimePoint wait_converged(core::Duration quiet, core::Duration timeout);
+  /// Side-channel for the deprecated overload; the structured result
+  /// carries `timed_out` directly.
+  [[deprecated("read ConvergenceResult::timed_out instead")]]
   bool last_wait_timed_out() const { return detector_->timed_out(); }
+
+  // --- monitors ------------------------------------------------------------
+
+  /// Construct a Monitor owned by this experiment. Monitors that declare an
+  /// Experiment&-first constructor get `*this` prepended to `args`; plain
+  /// constructors are forwarded as-is. Returns the live instance.
+  template <typename T, typename... Args>
+  T& attach_monitor(Args&&... args) {
+    static_assert(std::is_base_of_v<Monitor, T>,
+                  "attach_monitor requires a framework::Monitor subclass");
+    std::unique_ptr<T> owned;
+    if constexpr (std::is_constructible_v<T, Experiment&, Args...>) {
+      owned = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    } else {
+      owned = std::make_unique<T>(std::forward<Args>(args)...);
+    }
+    T& ref = *owned;
+    monitors_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Typed retrieval: the first attached monitor of type T, or nullptr.
+  template <typename T>
+  T* monitor() {
+    for (const auto& m : monitors_) {
+      if (auto* typed = dynamic_cast<T*>(m.get())) return typed;
+    }
+    return nullptr;
+  }
+  template <typename T>
+  const T* monitor() const {
+    for (const auto& m : monitors_) {
+      if (const auto* typed = dynamic_cast<const T*>(m.get())) return typed;
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<Monitor>>& monitors() const {
+    return monitors_;
+  }
+
+  /// One JSON object per attached monitor: [{kind, data}, ...], in
+  /// attachment order (the built-in convergence detector comes first).
+  telemetry::Json monitors_snapshot() const;
 
   /// Let virtual time pass (events run).
   void run_for(core::Duration d) { loop_.run(loop_.now() + d); }
@@ -142,6 +194,11 @@ class Experiment {
   core::Logger& logger() { return log_; }
   core::Rng& rng() { return rng_; }
   net::AddressAllocator& allocator() { return alloc_; }
+  /// The network's telemetry hub (metrics always collect; attach a
+  /// TelemetryMonitor to capture traces).
+  telemetry::Telemetry& telemetry() { return net_.telemetry(); }
+  /// Prefer monitor<ConvergenceDetector>().
+  [[deprecated("use monitor<ConvergenceDetector>()")]]
   ConvergenceDetector& detector() { return *detector_; }
   const topology::TopologySpec& spec() const { return spec_; }
   net::Prefix as_prefix(core::AsNumber as) { return alloc_.as_prefix(as); }
@@ -174,7 +231,10 @@ class Experiment {
   controller::RouteFlowController* routeflow_{nullptr};
   speaker::ClusterBgpSpeaker* speaker_{nullptr};
   bgp::RouteCollector* collector_{nullptr};
-  std::unique_ptr<ConvergenceDetector> detector_;
+  /// All attached monitors, in attachment order; owns the built-in
+  /// convergence detector (always monitors_[0]).
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  ConvergenceDetector* detector_{nullptr};
   bool started_{false};
 };
 

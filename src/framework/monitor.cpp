@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "framework/experiment.hpp"
+
 namespace bgpsdn::framework {
 
 RouteChangeTracker::RouteChangeTracker(core::Logger& logger) : logger_{logger} {
@@ -14,7 +16,23 @@ RouteChangeTracker::RouteChangeTracker(core::Logger& logger) : logger_{logger} {
   });
 }
 
+RouteChangeTracker::RouteChangeTracker(Experiment& experiment)
+    : RouteChangeTracker{experiment.logger()} {}
+
 RouteChangeTracker::~RouteChangeTracker() { logger_.remove_sink(sink_id_); }
+
+telemetry::Json RouteChangeTracker::snapshot() const {
+  telemetry::Json j = telemetry::Json::object();
+  j["total"] = static_cast<std::int64_t>(changes_.size());
+  std::int64_t lost = 0;
+  for (const auto& c : changes_) lost += c.lost ? 1 : 0;
+  j["lost"] = lost;
+  j["first_ns"] =
+      changes_.empty() ? 0 : changes_.front().when.nanos_since_origin();
+  j["last_ns"] =
+      changes_.empty() ? 0 : changes_.back().when.nanos_since_origin();
+  return j;
+}
 
 std::size_t RouteChangeTracker::count_for(const std::string& router_prefix) const {
   std::size_t n = 0;
@@ -52,7 +70,26 @@ UpdateRateMonitor::UpdateRateMonitor(core::Logger& logger,
   });
 }
 
+UpdateRateMonitor::UpdateRateMonitor(Experiment& experiment,
+                                     core::Duration bucket_width)
+    : UpdateRateMonitor{experiment.logger(), bucket_width} {}
+
 UpdateRateMonitor::~UpdateRateMonitor() { logger_.remove_sink(sink_id_); }
+
+telemetry::Json UpdateRateMonitor::snapshot() const {
+  telemetry::Json j = telemetry::Json::object();
+  j["total"] = static_cast<std::int64_t>(total_);
+  j["bucket_width_ns"] = width_.count_nanos();
+  telemetry::Json buckets = telemetry::Json::array();
+  for (const auto& [bucket, count] : buckets_) {
+    telemetry::Json entry = telemetry::Json::array();
+    entry.push_back(static_cast<std::int64_t>(bucket));
+    entry.push_back(static_cast<std::int64_t>(count));
+    buckets.push_back(std::move(entry));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
 
 std::string UpdateRateMonitor::to_string() const {
   std::string out;

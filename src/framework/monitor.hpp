@@ -13,6 +13,7 @@
 
 #include "core/logger.hpp"
 #include "core/time.hpp"
+#include "framework/monitor_base.hpp"
 
 namespace bgpsdn::framework {
 
@@ -24,12 +25,18 @@ struct RouteChange {
   bool lost{false};
 };
 
-class RouteChangeTracker {
+class RouteChangeTracker : public Monitor {
  public:
   explicit RouteChangeTracker(core::Logger& logger);
-  ~RouteChangeTracker();
+  /// Convenience form for Experiment::attach_monitor.
+  explicit RouteChangeTracker(Experiment& experiment);
+  ~RouteChangeTracker() override;
   RouteChangeTracker(const RouteChangeTracker&) = delete;
   RouteChangeTracker& operator=(const RouteChangeTracker&) = delete;
+
+  const char* kind() const override { return "route_changes"; }
+  /// {total, lost, first_ns, last_ns}
+  telemetry::Json snapshot() const override;
 
   const std::vector<RouteChange>& changes() const { return changes_; }
   std::size_t count_for(const std::string& router_prefix) const;
@@ -46,12 +53,18 @@ class RouteChangeTracker {
 
 /// Counts routing-relevant events into fixed-width time buckets — the
 /// "updates per second" view of a convergence event.
-class UpdateRateMonitor {
+class UpdateRateMonitor : public Monitor {
  public:
   UpdateRateMonitor(core::Logger& logger, core::Duration bucket_width);
-  ~UpdateRateMonitor();
+  /// Convenience form for Experiment::attach_monitor.
+  UpdateRateMonitor(Experiment& experiment, core::Duration bucket_width);
+  ~UpdateRateMonitor() override;
   UpdateRateMonitor(const UpdateRateMonitor&) = delete;
   UpdateRateMonitor& operator=(const UpdateRateMonitor&) = delete;
+
+  const char* kind() const override { return "update_rate"; }
+  /// {total, bucket_width_ns, buckets:[[index,count]..]}
+  telemetry::Json snapshot() const override;
 
   /// bucket index -> update_tx count.
   const std::map<std::uint64_t, std::uint64_t>& buckets() const { return buckets_; }

@@ -1,0 +1,28 @@
+// Monitor — the common interface of every experiment observer.
+//
+// ConvergenceDetector, RouteChangeTracker, UpdateRateMonitor,
+// ConnectivityMonitor and TelemetryMonitor all implement it, which gives
+// Experiment one uniform attachment point (attach_monitor<T>() / typed
+// monitor<T>() retrieval) and every observer a machine-readable snapshot()
+// that feeds the JSON bench documents.
+#pragma once
+
+#include "telemetry/json.hpp"
+
+namespace bgpsdn::framework {
+
+class Experiment;
+
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  /// Stable identifier of the monitor flavour ("convergence",
+  /// "route_changes", "update_rate", "connectivity", "telemetry").
+  virtual const char* kind() const = 0;
+
+  /// Machine-readable state snapshot (deterministic for a given run).
+  virtual telemetry::Json snapshot() const = 0;
+};
+
+}  // namespace bgpsdn::framework

@@ -9,6 +9,7 @@
 
 #include "bgp/mrt.hpp"
 #include "controller/route_compiler.hpp"
+#include "framework/telemetry_monitor.hpp"
 #include "framework/visualize.hpp"
 #include "topology/datasets.hpp"
 #include "topology/generators.hpp"
@@ -215,6 +216,7 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     if (!have_topology_) fail(line, "no topology declared");
     if (seed_override_) config_.seed = *seed_override_;
     experiment_ = std::make_unique<Experiment>(spec_, members_, config_);
+    if (capture_telemetry_) experiment_->attach_monitor<TelemetryMonitor>();
     for (const auto as : hosts_) experiment_->add_host(as);
     for (const auto& [as, pfx] : pre_announce_) {
       experiment_->announce_prefix(as, pfx);
@@ -252,13 +254,14 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     core::Duration timeout = core::Duration::seconds(3600);
     if (t.size() > 1) quiet = core::Duration::seconds_f(parse_number(line, t[1]));
     if (t.size() > 2) timeout = core::Duration::seconds_f(parse_number(line, t[2]));
-    const auto conv = exp.wait_converged(quiet, timeout);
-    if (exp.last_wait_timed_out()) fail(line, "convergence timed out");
+    const ConvergenceResult conv =
+        exp.wait_converged(WaitOpts{quiet, timeout});
+    if (conv.timed_out) fail(line, "convergence timed out");
     char buf[64];
     std::snprintf(buf, sizeof buf, "converged %.3f s after the last event",
-                  (conv - last_event_).to_seconds());
+                  conv.since(last_event_).to_seconds());
     result.output.push_back(buf);
-    result.convergence_seconds.push_back((conv - last_event_).to_seconds());
+    result.convergence_seconds.push_back(conv.since(last_event_).to_seconds());
   } else if (cmd == "expect-route" || cmd == "expect-no-route") {
     need(2);
     auto& exp = running(line);

@@ -55,6 +55,10 @@ class ScenarioRunner {
   /// script — how one script becomes many parallel seeded trials.
   void override_seed(std::uint64_t seed) { seed_override_ = seed; }
 
+  /// Attach a TelemetryMonitor to the experiment as soon as `start`
+  /// constructs it, so traces cover the whole run (bgpsdn_run --json).
+  void set_capture_telemetry(bool on) { capture_telemetry_ = on; }
+
   /// The experiment after a run (valid once `start` executed); lets callers
   /// inspect beyond what the script printed.
   Experiment* experiment() { return experiment_.get(); }
@@ -74,6 +78,7 @@ class ScenarioRunner {
 
   ExperimentConfig config_{};
   std::optional<std::uint64_t> seed_override_;
+  bool capture_telemetry_{false};
   topology::TopologySpec spec_{};
   bool have_topology_{false};
   std::set<core::AsNumber> members_;

@@ -1,0 +1,40 @@
+#include "framework/telemetry_monitor.hpp"
+
+#include "framework/experiment.hpp"
+
+namespace bgpsdn::framework {
+
+TelemetryMonitor::TelemetryMonitor(Experiment& experiment, std::size_t max_spans)
+    : experiment_{experiment}, sink_{max_spans} {
+  sink_id_ = experiment_.network().telemetry().add_sink(&sink_);
+}
+
+TelemetryMonitor::~TelemetryMonitor() {
+  experiment_.network().telemetry().remove_sink(sink_id_);
+}
+
+telemetry::Json TelemetryMonitor::snapshot() const {
+  const net::Network& net = experiment_.network();
+  telemetry::Json j = telemetry::Json::object();
+  j["metrics"] = net.telemetry().metrics().snapshot();
+
+  const net::NetworkStats& stats = net.stats();
+  telemetry::Json net_json = telemetry::Json::object();
+  net_json["sent"] = static_cast<std::int64_t>(stats.sent);
+  net_json["delivered"] = static_cast<std::int64_t>(stats.delivered);
+  net_json["dropped_loss"] = static_cast<std::int64_t>(stats.dropped_loss);
+  net_json["dropped_link_down"] =
+      static_cast<std::int64_t>(stats.dropped_link_down);
+  net_json["dropped_ttl"] = static_cast<std::int64_t>(stats.dropped_ttl);
+  net_json["dropped_no_port"] =
+      static_cast<std::int64_t>(stats.dropped_no_port);
+  j["net"] = std::move(net_json);
+
+  telemetry::Json trace = telemetry::Json::object();
+  trace["spans"] = static_cast<std::int64_t>(sink_.lines().size());
+  trace["dropped"] = static_cast<std::int64_t>(sink_.dropped());
+  j["trace"] = std::move(trace);
+  return j;
+}
+
+}  // namespace bgpsdn::framework

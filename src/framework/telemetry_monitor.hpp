@@ -1,0 +1,42 @@
+// TelemetryMonitor — the telemetry subsystem exposed as a regular Monitor.
+//
+// Attaching one to an Experiment turns trace collection on: it registers a
+// JSONL sink with the network's Telemetry hub (spans start flowing from
+// that instant) and its snapshot() bundles the metrics registry, packet
+// stats and trace accounting into one deterministic JSON document —
+// byte-identical for a given seed at any BGPSDN_JOBS value.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "framework/monitor_base.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace bgpsdn::framework {
+
+class TelemetryMonitor final : public Monitor {
+ public:
+  explicit TelemetryMonitor(
+      Experiment& experiment,
+      std::size_t max_spans = telemetry::JsonlTraceSink::kDefaultMaxSpans);
+  ~TelemetryMonitor() override;
+  TelemetryMonitor(const TelemetryMonitor&) = delete;
+  TelemetryMonitor& operator=(const TelemetryMonitor&) = delete;
+
+  const char* kind() const override { return "telemetry"; }
+  /// {metrics:{counters,gauges,histograms}, net:{sent,delivered,...},
+  ///  trace:{spans,dropped}}
+  telemetry::Json snapshot() const override;
+
+  /// The collected trace, one JSON object per line.
+  std::string trace_jsonl() const { return sink_.jsonl(); }
+  const telemetry::JsonlTraceSink& sink() const { return sink_; }
+
+ private:
+  Experiment& experiment_;
+  telemetry::JsonlTraceSink sink_;
+  std::size_t sink_id_;
+};
+
+}  // namespace bgpsdn::framework

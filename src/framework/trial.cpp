@@ -90,9 +90,9 @@ SweepResult ParamSweepRunner::run(std::size_t points,
   result.points.reserve(points);
   for (std::size_t p = 0; p < points; ++p) {
     SweepPointResult row;
-    const std::vector<double> slice(values.begin() + p * runs_,
-                                    values.begin() + (p + 1) * runs_);
-    row.summary = summarize(slice);
+    row.values.assign(values.begin() + p * runs_,
+                      values.begin() + (p + 1) * runs_);
+    row.summary = summarize(row.values);
     for (std::size_t r = 0; r < runs_; ++r) {
       row.trial_seconds += seconds[p * runs_ + r];
     }

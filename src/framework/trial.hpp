@@ -61,6 +61,9 @@ class TrialRunner {
 /// seconds its trials cost (the serial-equivalent time of the row).
 struct SweepPointResult {
   Summary summary;
+  /// The raw per-seed values behind the summary, in seed order — what the
+  /// JSON bench reports list verbatim.
+  std::vector<double> values;
   double trial_seconds{0};
 
   /// Effective throughput had the row run alone: trials per second of

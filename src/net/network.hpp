@@ -18,6 +18,7 @@
 #include "core/random.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::net {
 
@@ -122,6 +123,12 @@ class Network {
   /// tables by session id, so uniqueness must span all nodes of a network.
   core::SessionIdAllocator& session_ids() { return session_ids_; }
 
+  /// Telemetry hub scoped to this network (metrics + trace fan-out). Nodes
+  /// reach it through Node::telemetry(); external observers attach trace
+  /// sinks and read metric snapshots here.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
  private:
   void register_node(std::unique_ptr<Node> node, std::string name);
   void deliver(core::LinkId link_id, int direction, const Packet& packet);
@@ -135,6 +142,7 @@ class Network {
   std::vector<std::vector<core::LinkId>> ports_;
   NetworkStats stats_;
   core::SessionIdAllocator session_ids_;
+  telemetry::Telemetry telemetry_;
 };
 
 }  // namespace bgpsdn::net

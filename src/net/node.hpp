@@ -17,6 +17,10 @@ class Logger;
 class Rng;
 }  // namespace bgpsdn::core
 
+namespace bgpsdn::telemetry {
+class Telemetry;
+}  // namespace bgpsdn::telemetry
+
 namespace bgpsdn::net {
 
 class Network;
@@ -62,6 +66,10 @@ class Node {
   core::EventLoop& loop() const;
   core::Logger& logger() const;
   core::Rng& rng() const;
+
+  /// The owning network's telemetry hub, or nullptr for detached nodes
+  /// (bare unit-test instances) — callers must tolerate its absence.
+  telemetry::Telemetry* telemetry() const;
 
   /// Next BGP session id. Attached nodes draw from the owning Network's
   /// allocator (ids unique network-wide — controller tables depend on it);

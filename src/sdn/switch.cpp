@@ -3,6 +3,7 @@
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "net/network.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::sdn {
 
@@ -83,6 +84,20 @@ void SdnSwitch::handle_control(const net::Packet& packet) {
                    "flow_mod",
                    (fm.command == FlowModCommand::kAdd ? "add " : "del ") +
                        fm.match.to_string());
+      if (auto* tel = telemetry()) {
+        tel->metrics().counter("sdn.switch.flow_mods").inc();
+        tel->metrics()
+            .histogram("sdn.switch.table_size")
+            .record(static_cast<std::int64_t>(table_.size()));
+        if (tel->tracing()) {
+          auto span = telemetry::TraceSpan::instant(loop().now(), "sdn",
+                                                    "flow_mod", "sw." + name());
+          span.arg("op", fm.command == FlowModCommand::kAdd ? "add" : "del")
+              .arg("match", fm.match.to_string())
+              .arg("table_size", static_cast<std::int64_t>(table_.size()));
+          tel->emit(span);
+        }
+      }
       break;
     }
     case OfType::kPacketOut: {

@@ -4,6 +4,7 @@
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "net/network.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bgpsdn::speaker {
 
@@ -46,6 +47,16 @@ void ClusterBgpSpeaker::announce(PeeringId id, const net::Prefix& prefix,
   logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                "speaker_announce",
                "peering " + std::to_string(id) + " " + m.to_string());
+  if (auto* tel = telemetry()) {
+    tel->metrics().counter("speaker.announces_tx").inc();
+    if (tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "speaker",
+                                                "announce", session_log_name());
+      span.arg("peering", static_cast<std::int64_t>(id))
+          .arg("prefix", prefix.to_string());
+      tel->emit(span);
+    }
+  }
   slot.session->send_update(m);
 }
 
@@ -59,6 +70,16 @@ void ClusterBgpSpeaker::withdraw(PeeringId id, const net::Prefix& prefix) {
   logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                "speaker_withdraw",
                "peering " + std::to_string(id) + " " + prefix.to_string());
+  if (auto* tel = telemetry()) {
+    tel->metrics().counter("speaker.withdraws_tx").inc();
+    if (tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "speaker",
+                                                "withdraw", session_log_name());
+      span.arg("peering", static_cast<std::int64_t>(id))
+          .arg("prefix", prefix.to_string());
+      tel->emit(span);
+    }
+  }
   slot.session->send_update(m);
 }
 
@@ -147,6 +168,7 @@ void ClusterBgpSpeaker::session_update(bgp::Session& session,
                                        const bgp::UpdateMessage& update) {
   Slot* slot = slot_of(session);
   ++counters_.updates_rx;
+  if (auto* tel = telemetry()) tel->metrics().counter("speaker.updates_rx").inc();
   logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                "speaker_rx",
                "peering " + std::to_string(slot->info.id) + " " +

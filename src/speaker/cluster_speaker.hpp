@@ -103,6 +103,7 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
   core::Rng& session_rng() override;
   core::Logger& session_logger() override;
   std::string session_log_name() const override;
+  telemetry::Telemetry* session_telemetry() override { return telemetry(); }
 
  private:
   struct Slot {

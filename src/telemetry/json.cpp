@@ -1,0 +1,297 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bgpsdn::telemetry {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  return std::get<Object>(value_)[key];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(value_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  return 0;
+}
+
+void Json::append_quoted(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += std::get<bool>(value_) ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(std::get<std::int64_t>(value_)));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      const double v = std::get<double>(value_);
+      if (!std::isfinite(v)) {
+        out += "null";  // JSON has no Inf/NaN; degrade predictably.
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.12g", v);
+      out += buf;
+      break;
+    }
+    case Type::kString:
+      append_quoted(out, std::get<std::string>(value_));
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : std::get<Array>(value_)) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : std::get<Object>(value_)) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_quoted(out, key);
+        out.push_back(':');
+        item.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over the rendered subset: no comments, strict
+// separators, \uXXXX escapes decoded only for the control-plane range the
+// dumper emits (BMP escapes are preserved verbatim as text otherwise).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  std::optional<Json> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token{text_.substr(start, pos_ - start)};
+    try {
+      if (is_double) return Json{std::stod(token)};
+      return Json{std::stoll(token)};
+    } catch (const std::out_of_range&) {
+      try {
+        return Json{std::stod(token)};
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == 'n') return literal("null") ? std::optional<Json>{Json{}} : std::nullopt;
+    if (c == 't') return literal("true") ? std::optional<Json>{Json{true}} : std::nullopt;
+    if (c == 'f') return literal("false") ? std::optional<Json>{Json{false}} : std::nullopt;
+    if (c == '"') {
+      auto s = string();
+      if (!s) return std::nullopt;
+      return Json{std::move(*s)};
+    }
+    if (c == '[') {
+      ++pos_;
+      Json arr = Json::array();
+      skip_ws();
+      if (eat(']')) return arr;
+      while (true) {
+        auto item = value();
+        if (!item) return std::nullopt;
+        arr.push_back(std::move(*item));
+        if (eat(']')) return arr;
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      Json obj = Json::object();
+      skip_ws();
+      if (eat('}')) return obj;
+      while (true) {
+        skip_ws();
+        auto key = string();
+        if (!key) return std::nullopt;
+        if (!eat(':')) return std::nullopt;
+        auto item = value();
+        if (!item) return std::nullopt;
+        obj[*key] = std::move(*item);
+        if (eat('}')) return obj;
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    return number();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser{text}.run();
+}
+
+}  // namespace bgpsdn::telemetry

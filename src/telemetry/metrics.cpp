@@ -1,0 +1,103 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace bgpsdn::telemetry {
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  const auto v = static_cast<std::uint64_t>(value < 0 ? 0 : value);
+  if (v < kSubCount) return static_cast<std::size_t>(v);
+  const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+  const unsigned group = msb - kSubBits;  // 0 for the first log range
+  const auto sub =
+      static_cast<std::size_t>((v >> (msb - kSubBits)) - kSubCount);
+  return (static_cast<std::size_t>(group) + 1) * kSubCount + sub;
+}
+
+std::int64_t Histogram::bucket_lower(std::size_t index) {
+  if (index < kSubCount) return static_cast<std::int64_t>(index);
+  const std::size_t group = index / kSubCount - 1;
+  const std::size_t sub = index % kSubCount;
+  const std::uint64_t base = std::uint64_t{1} << (group + kSubBits);
+  const std::uint64_t step = base >> kSubBits;
+  return static_cast<std::int64_t>(base + sub * step);
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t index) {
+  if (index < kSubCount) return static_cast<std::int64_t>(index);
+  const std::size_t group = index / kSubCount - 1;
+  const std::size_t sub = index % kSubCount;
+  const std::uint64_t base = std::uint64_t{1} << (group + kSubBits);
+  const std::uint64_t step = base >> kSubBits;
+  return static_cast<std::int64_t>(base + (sub + 1) * step - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the target sample (1-based), then walk the cumulative counts.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Json Histogram::to_json() const {
+  Json j = Json::object();
+  j["count"] = static_cast<std::int64_t>(count_);
+  j["sum"] = sum_;
+  j["min"] = min();
+  j["max"] = max();
+  j["mean"] = mean();
+  j["p50"] = quantile(0.50);
+  j["p90"] = quantile(0.90);
+  j["p99"] = quantile(0.99);
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    Json entry = Json::array();
+    entry.push_back(bucket_lower(i));
+    entry.push_back(static_cast<std::int64_t>(buckets_[i]));
+    buckets.push_back(std::move(entry));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
+Json MetricsRegistry::snapshot() const {
+  Json j = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = c.value();
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g.value();
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) histograms[name] = h.to_json();
+  j["counters"] = std::move(counters);
+  j["gauges"] = std::move(gauges);
+  j["histograms"] = std::move(histograms);
+  return j;
+}
+
+}  // namespace bgpsdn::telemetry

@@ -1,0 +1,38 @@
+#include "telemetry/sinks.hpp"
+
+namespace bgpsdn::telemetry {
+
+std::string span_to_jsonl(const TraceSpan& span) {
+  Json j = Json::object();
+  j["t_ns"] = span.start.nanos_since_origin();
+  j["dur_ns"] = (span.end - span.start).count_nanos();
+  j["cat"] = span.category;
+  j["name"] = span.name;
+  j["comp"] = span.component;
+  Json args = Json::object();
+  for (const auto& [key, value] : span.args) args[key] = value;
+  j["args"] = std::move(args);
+  return j.dump();
+}
+
+void JsonlTraceSink::on_span(const TraceSpan& span) {
+  if (lines_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  lines_.push_back(span_to_jsonl(span));
+}
+
+std::string JsonlTraceSink::jsonl() const {
+  std::size_t total = 0;
+  for (const auto& line : lines_) total += line.size() + 1;
+  std::string out;
+  out.reserve(total);
+  for (const auto& line : lines_) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace bgpsdn::telemetry

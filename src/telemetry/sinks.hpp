@@ -1,0 +1,46 @@
+// Trace sinks: JSONL export of spans, bounded in memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace bgpsdn::telemetry {
+
+/// Renders each span as one compact JSON line:
+///   {"args":{...},"cat":"bgp","comp":"router-65001","dur_ns":0,
+///    "name":"decision","t_ns":12000000}
+/// Lines are buffered in memory (simulations are short); a cap bounds the
+/// footprint and overflow is counted rather than silently swallowed.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  static constexpr std::size_t kDefaultMaxSpans = 200000;
+
+  explicit JsonlTraceSink(std::size_t max_spans = kDefaultMaxSpans)
+      : max_spans_{max_spans} {}
+
+  void on_span(const TraceSpan& span) override;
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::size_t dropped() const { return dropped_; }
+
+  /// All lines joined with trailing newlines — the .jsonl file body.
+  std::string jsonl() const;
+
+  void clear() {
+    lines_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t max_spans_;
+  std::vector<std::string> lines_;
+  std::size_t dropped_ = 0;
+};
+
+/// Render one span as its JSONL line (used by the sink and by tests).
+std::string span_to_jsonl(const TraceSpan& span);
+
+}  // namespace bgpsdn::telemetry

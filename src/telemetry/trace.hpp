@@ -1,0 +1,105 @@
+// Trace spans stamped with virtual simulation time.
+//
+// A TraceSpan covers an interval of virtual time (start == end for instant
+// events) in one component: a BGP UPDATE being received and processed, an
+// MRAI window, a controller recompute batch, a session FSM transition, a
+// flow-table mutation. Spans are only materialized when at least one sink
+// is attached — the `tracing()` check is a single vector-emptiness test, so
+// instrumented hot paths cost one branch when telemetry is off.
+//
+// Because spans carry virtual time only (never wall clock) and simulations
+// are deterministic per seed, the span stream is byte-identical across
+// BGPSDN_JOBS values and across machines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bgpsdn::telemetry {
+
+struct TraceSpan {
+  core::TimePoint start{};
+  core::TimePoint end{};
+  const char* category = "";  // span taxonomy: "bgp", "sdn", "ctrl", ...
+  const char* name = "";      // e.g. "decision", "recompute_batch", "fsm"
+  std::string component;      // emitting entity, e.g. "router-65001"
+  std::vector<std::pair<std::string, Json>> args;
+
+  TraceSpan() = default;
+  TraceSpan(core::TimePoint s, core::TimePoint e, const char* cat,
+            const char* n, std::string comp)
+      : start{s}, end{e}, category{cat}, name{n}, component{std::move(comp)} {}
+
+  /// Zero-duration span.
+  static TraceSpan instant(core::TimePoint when, const char* cat,
+                           const char* n, std::string comp) {
+    return TraceSpan{when, when, cat, n, std::move(comp)};
+  }
+
+  TraceSpan& arg(std::string key, Json value) {
+    args.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  core::Duration duration() const { return end - start; }
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_span(const TraceSpan& span) = 0;
+};
+
+/// Per-network telemetry hub: a metrics registry plus the trace fan-out.
+/// Metrics are always on (plain integer adds); traces only flow while a
+/// sink is attached.
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// True when at least one trace sink is attached. Instrumentation must
+  /// check this before building a span.
+  bool tracing() const { return !sinks_.empty(); }
+
+  /// Register a sink (not owned). Returns an id for remove_sink.
+  std::size_t add_sink(TraceSink* sink) {
+    sinks_.push_back(SinkEntry{next_id_, sink});
+    return next_id_++;
+  }
+
+  void remove_sink(std::size_t id) {
+    for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+      if (it->id == id) {
+        sinks_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void emit(const TraceSpan& span) {
+    for (const auto& entry : sinks_) entry.sink->on_span(span);
+  }
+
+ private:
+  struct SinkEntry {
+    std::size_t id;
+    TraceSink* sink;
+  };
+
+  MetricsRegistry metrics_;
+  std::vector<SinkEntry> sinks_;
+  std::size_t next_id_ = 1;
+};
+
+}  // namespace bgpsdn::telemetry

@@ -73,8 +73,8 @@ TEST(RouteFlow, DataPlaneEndToEnd) {
   ASSERT_FALSE(path.empty());
   EXPECT_EQ(path.back(), as1);
 
-  framework::ConnectivityMonitor mon{exp.loop(), h1, h3,
-                                     core::Duration::millis(100)};
+  auto& mon = exp.attach_monitor<framework::ConnectivityMonitor>(
+      h1, h3, core::Duration::millis(100));
   mon.start();
   exp.run_for(core::Duration::seconds(2));
   mon.stop();
@@ -146,12 +146,13 @@ TEST(RouteFlow, NoCentralizationGainVersusIdr) {
     const auto pfx = *net::Prefix::parse("10.0.0.0/16");
     exp.announce_prefix(core::AsNumber{1}, pfx);
     EXPECT_TRUE(exp.start(core::Duration::seconds(600)));
-    exp.wait_converged(core::Duration::seconds(5), core::Duration::seconds(600));
+    exp.wait_converged(framework::WaitOpts{core::Duration::seconds(5),
+                                           core::Duration::seconds(600)});
     const auto t0 = exp.loop().now();
     exp.withdraw_prefix(core::AsNumber{1}, pfx);
-    const auto conv = exp.wait_converged(core::Duration::seconds(5),
-                                         core::Duration::seconds(1200));
-    return (conv - t0).to_seconds();
+    const auto conv = exp.wait_converged(framework::WaitOpts{
+        core::Duration::seconds(5), core::Duration::seconds(1200)});
+    return conv.since(t0).to_seconds();
   };
   const double idr = run_style(framework::ControllerStyle::kIdrCentralized);
   const double rf = run_style(framework::ControllerStyle::kRouteFlowMirror);

@@ -98,9 +98,9 @@ TEST(HybridExperiment, DataPlaneEndToEndThroughCluster) {
   const auto rev = exp.trace_route(as3, h1.address());
   ASSERT_FALSE(rev.empty());
 
-  // Live probes.
-  framework::ConnectivityMonitor mon{exp.loop(), h1, h3,
-                                     core::Duration::millis(100)};
+  // Live probes, via the monitor attachment API.
+  auto& mon = exp.attach_monitor<framework::ConnectivityMonitor>(
+      h1, h3, core::Duration::millis(100));
   mon.start();
   exp.run_for(core::Duration::seconds(2));
   mon.stop();

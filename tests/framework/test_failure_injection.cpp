@@ -31,7 +31,8 @@ TEST(FailureInjection, SessionsSurviveMildLoss) {
   exp.announce_prefix(core::AsNumber{1}, pfx);
   ASSERT_TRUE(exp.start(core::Duration::seconds(600)));
   exp.run_for(core::Duration::seconds(30));
-  exp.wait_converged(core::Duration::seconds(2), core::Duration::seconds(600));
+  exp.wait_converged(framework::WaitOpts{core::Duration::seconds(2),
+                                         core::Duration::seconds(600)});
   EXPECT_TRUE(exp.all_know_prefix(pfx));
 }
 
@@ -74,8 +75,9 @@ TEST(FailureInjection, RepeatedLinkFlappingEndsConsistent) {
     exp.restore_link(as1, core::AsNumber{2});
     exp.run_for(core::Duration::seconds(1));
   }
-  exp.wait_converged(core::Duration::zero(), core::Duration::seconds(600));
-  ASSERT_FALSE(exp.last_wait_timed_out());
+  const auto conv = exp.wait_converged(framework::WaitOpts{
+      core::Duration::zero(), core::Duration::seconds(600)});
+  ASSERT_FALSE(conv.timed_out);
   EXPECT_TRUE(exp.all_know_prefix(pfx));
   // The flapped neighbor ends on the direct path again.
   EXPECT_EQ(exp.router(core::AsNumber{2}).loc_rib().find(pfx)
@@ -94,8 +96,9 @@ TEST(FailureInjection, SimultaneousFailuresRerouteEverything) {
   // Cut half of the origin's links at the same instant.
   exp.fail_link(as1, core::AsNumber{2});
   exp.fail_link(as1, core::AsNumber{5});
-  exp.wait_converged(core::Duration::zero(), core::Duration::seconds(600));
-  ASSERT_FALSE(exp.last_wait_timed_out());
+  const auto conv = exp.wait_converged(framework::WaitOpts{
+      core::Duration::zero(), core::Duration::seconds(600)});
+  ASSERT_FALSE(conv.timed_out);
   for (const auto as : spec.ases) {
     if (as == as1) continue;
     EXPECT_FALSE(exp.trace_route(as, host.address()).empty()) << as.to_string();
@@ -113,7 +116,8 @@ TEST(FailureInjection, ControllerLinkLossStillConverges) {
   const auto pfx = *net::Prefix::parse("10.0.0.0/16");
   exp.announce_prefix(core::AsNumber{1}, pfx);
   ASSERT_TRUE(exp.start(core::Duration::seconds(600)));
-  exp.wait_converged(core::Duration::seconds(2), core::Duration::seconds(600));
+  exp.wait_converged(framework::WaitOpts{core::Duration::seconds(2),
+                                         core::Duration::seconds(600)});
   const auto* d = exp.idr_controller()->decision_for(pfx);
   ASSERT_NE(d, nullptr);
   EXPECT_TRUE(d->reachable(exp.member_switch(core::AsNumber{3}).dpid()));

@@ -46,7 +46,7 @@ TrialTrace traced_trial(std::uint64_t seed) {
   const auto conv = exp.wait_converged();
 
   TrialTrace trace;
-  trace.seconds = (conv - t0).to_seconds();
+  trace.seconds = conv.since(t0).to_seconds();
   for (const auto& rec : exp.logger().records()) {
     trace.log_lines.push_back(rec.to_string());
   }
@@ -65,7 +65,7 @@ double quick_trial(std::uint64_t seed) {
   EXPECT_TRUE(exp.start());
   const auto t0 = exp.loop().now();
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  return (exp.wait_converged() - t0).to_seconds();
+  return exp.wait_converged().since(t0).to_seconds();
 }
 
 // The determinism regression at the heart of the reentrancy refactor: a

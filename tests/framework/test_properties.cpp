@@ -32,7 +32,7 @@ TEST(Properties, SameSeedSameTrace) {
     const auto t0 = exp.loop().now();
     exp.withdraw_prefix(core::AsNumber{1}, pfx);
     const auto conv = exp.wait_converged();
-    return std::tuple{(conv - t0).count_nanos(),
+    return std::tuple{conv.since(t0).count_nanos(),
                       exp.router(core::AsNumber{2}).counters().updates_rx,
                       exp.network().stats().delivered};
   };
@@ -186,8 +186,9 @@ TEST_P(WithdrawalCleanup, NoRouteSurvivesAnywhere) {
   ASSERT_TRUE(exp.all_know_prefix(pfx));
 
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  exp.wait_converged(core::Duration::zero(), core::Duration::seconds(600));
-  ASSERT_FALSE(exp.last_wait_timed_out());
+  const auto conv = exp.wait_converged(
+      framework::WaitOpts{core::Duration::zero(), core::Duration::seconds(600)});
+  ASSERT_FALSE(conv.timed_out);
   EXPECT_TRUE(exp.all_know_prefix(pfx, /*expect_present=*/false));
   // Stronger: Adj-RIB-Ins are clean too (no stale candidates), and the
   // switches hold no data rule for the prefix.
@@ -226,7 +227,8 @@ TEST(Properties, RecomputeBatchesBursts) {
   const auto passes0 = exp.idr_controller()->counters().recompute_passes;
   const auto updates0 = exp.cluster_speaker()->counters().updates_rx;
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  exp.wait_converged(core::Duration::seconds(11), core::Duration::seconds(600));
+  exp.wait_converged(framework::WaitOpts{core::Duration::seconds(11),
+                                         core::Duration::seconds(600)});
   const auto passes = exp.idr_controller()->counters().recompute_passes - passes0;
   const auto updates = exp.cluster_speaker()->counters().updates_rx - updates0;
   EXPECT_GT(updates, passes * 2) << "batching should amortize many updates "

@@ -1,0 +1,101 @@
+// Deterministic JSON value: construction, dump stability, parse round-trip.
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace bgpsdn::telemetry {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json{nullptr}.dump(), "null");
+  EXPECT_EQ(Json{true}.dump(), "true");
+  EXPECT_EQ(Json{false}.dump(), "false");
+  EXPECT_EQ(Json{std::int64_t{42}}.dump(), "42");
+  EXPECT_EQ(Json{std::int64_t{-7}}.dump(), "-7");
+  EXPECT_EQ(Json{1.5}.dump(), "1.5");
+  EXPECT_EQ(Json{std::string{"hi"}}.dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectKeysAreSorted) {
+  Json j = Json::object();
+  j["zebra"] = std::int64_t{1};
+  j["alpha"] = std::int64_t{2};
+  j["mid"] = std::int64_t{3};
+  EXPECT_EQ(j.dump(), "{\"alpha\":2,\"mid\":3,\"zebra\":1}");
+}
+
+TEST(Json, NestedStructure) {
+  Json j = Json::object();
+  j["list"] = Json::array();
+  j["list"].push_back(std::int64_t{1});
+  j["list"].push_back(std::string{"two"});
+  j["obj"]["inner"] = true;
+  EXPECT_EQ(j.dump(), "{\"list\":[1,\"two\"],\"obj\":{\"inner\":true}}");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json{std::string{"a\"b\\c\n"}}.dump(), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(Json{std::string{"\x01"}}.dump(), "\"\\u0001\"");
+}
+
+TEST(Json, NonFiniteDoublesDumpAsNull) {
+  EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+  EXPECT_EQ(Json{std::nan("")}.dump(), "null");
+}
+
+TEST(Json, ParseRoundTrip) {
+  Json j = Json::object();
+  j["n"] = std::int64_t{-3};
+  j["f"] = 0.25;
+  j["s"] = std::string{"esc\"aped\n"};
+  j["arr"] = Json::array();
+  j["arr"].push_back(nullptr);
+  j["arr"].push_back(false);
+  const std::string doc = j.dump();
+  const auto parsed = Json::parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, j);
+  EXPECT_EQ(parsed->dump(), doc);
+}
+
+TEST(Json, ParseNumbers) {
+  auto i = Json::parse("123");
+  ASSERT_TRUE(i.has_value());
+  EXPECT_TRUE(i->is_int());
+  EXPECT_EQ(i->as_int(), 123);
+
+  auto d = Json::parse("1.5e2");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->is_double());
+  EXPECT_DOUBLE_EQ(d->as_double(), 150.0);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("true trailing").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const auto j = Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, EqualityIsStructural) {
+  Json a = Json::object();
+  a["x"] = std::int64_t{1};
+  Json b = Json::object();
+  b["x"] = std::int64_t{1};
+  EXPECT_EQ(a, b);
+  b["x"] = std::int64_t{2};
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace bgpsdn::telemetry

@@ -1,0 +1,161 @@
+// Counter/Gauge/Histogram semantics, with the histogram bucket-edge cases
+// the log-linear layout must get right.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace bgpsdn::telemetry {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Histogram, SingleValueIsExactEverywhere) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.quantile(0.0), 1234);
+  EXPECT_EQ(h.quantile(0.5), 1234);
+  EXPECT_EQ(h.quantile(1.0), 1234);
+}
+
+TEST(Histogram, ZeroSample) {
+  Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-500);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.sum(), 0);
+}
+
+TEST(Histogram, MaxInt64DoesNotOverflowBucketMath) {
+  Histogram h;
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  h.record(big);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), big);
+  // Quantiles clamp to the exact max, even though the bucket is coarse.
+  EXPECT_EQ(h.quantile(1.0), big);
+  EXPECT_EQ(h.quantile(0.5), big);
+}
+
+TEST(Histogram, LinearRangeIsExact) {
+  // Values below kSubCount each get their own bucket: quantiles are exact.
+  Histogram h;
+  for (std::int64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 15);
+  const std::int64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 7);
+  EXPECT_LE(p50, 8);
+}
+
+TEST(Histogram, BucketIndexMonotoneAndBoundsConsistent) {
+  std::size_t prev = 0;
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{15}, std::int64_t{16},
+        std::int64_t{17}, std::int64_t{31}, std::int64_t{32}, std::int64_t{100},
+        std::int64_t{1000}, std::int64_t{1} << 40}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "index not monotone at " << v;
+    prev = idx;
+    EXPECT_LE(Histogram::bucket_lower(idx), v) << "lower bound above " << v;
+    EXPECT_GE(Histogram::bucket_upper(idx), v) << "upper bound below " << v;
+  }
+}
+
+TEST(Histogram, PowerOfTwoEdges) {
+  // 2^k and 2^k - 1 land in different buckets once past the linear range.
+  EXPECT_NE(Histogram::bucket_index(31), Histogram::bucket_index(32));
+  EXPECT_NE(Histogram::bucket_index(255), Histogram::bucket_index(256));
+  // Within one sub-bucket's width, values share a bucket.
+  EXPECT_EQ(Histogram::bucket_index(256), Histogram::bucket_index(256 + 15));
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 100000; ++v) h.record(v);
+  // Log-linear with 16 sub-buckets → upper bound within ~6.25% of exact.
+  const std::int64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 50000);
+  EXPECT_LE(p50, 53200);
+  const std::int64_t p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 99000);
+  EXPECT_LE(p99, 105300);
+}
+
+TEST(Histogram, JsonSnapshotShape) {
+  Histogram h;
+  h.record(5);
+  h.record(5);
+  h.record(300);
+  const Json j = h.to_json();
+  EXPECT_EQ(j.find("count")->as_int(), 3);
+  EXPECT_EQ(j.find("min")->as_int(), 5);
+  EXPECT_EQ(j.find("max")->as_int(), 300);
+  EXPECT_EQ(j.find("sum")->as_int(), 310);
+  const Json* buckets = j.find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(), 2u);  // only non-empty buckets listed
+  EXPECT_EQ(buckets->at(0).at(0).as_int(), 5);  // lower bound of first bucket
+  EXPECT_EQ(buckets->at(0).at(1).as_int(), 2);  // its count
+}
+
+TEST(MetricsRegistry, StableRefsAndSnapshot) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.a");
+  reg.counter("x.b").inc(2);
+  a.inc(1);  // the ref stays valid across later insertions
+  reg.gauge("g").set(-4);
+  reg.histogram("h").record(7);
+
+  EXPECT_EQ(reg.find_counter("x.a")->value(), 1);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+
+  const Json snap = reg.snapshot();
+  EXPECT_EQ(snap.find("counters")->find("x.a")->as_int(), 1);
+  EXPECT_EQ(snap.find("counters")->find("x.b")->as_int(), 2);
+  EXPECT_EQ(snap.find("gauges")->find("g")->as_int(), -4);
+  EXPECT_EQ(snap.find("histograms")->find("h")->find("count")->as_int(), 1);
+  // Deterministic dump: keys sorted, repeatable.
+  EXPECT_EQ(snap.dump(), reg.snapshot().dump());
+}
+
+}  // namespace
+}  // namespace bgpsdn::telemetry

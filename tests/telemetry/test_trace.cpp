@@ -1,0 +1,86 @@
+// Trace spans and sinks: JSONL round-trip, sink lifecycle, no-op cost path.
+#include "telemetry/sinks.hpp"
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsdn::telemetry {
+namespace {
+
+core::TimePoint at_ns(std::int64_t ns) {
+  return core::TimePoint::from_nanos(ns);
+}
+
+TEST(TraceSpan, InstantHasZeroDuration) {
+  const auto s = TraceSpan::instant(at_ns(42), "bgp", "fsm", "r1.s1");
+  EXPECT_EQ(s.start, s.end);
+  EXPECT_EQ(s.duration(), core::Duration::zero());
+}
+
+TEST(TraceSpan, JsonlLineIsDeterministic) {
+  TraceSpan s{at_ns(1000), at_ns(3000), "ctrl", "recompute_batch", "idr.c0"};
+  s.arg("prefixes", Json{std::int64_t{4}});
+  const std::string line = span_to_jsonl(s);
+  EXPECT_EQ(line,
+            "{\"args\":{\"prefixes\":4},\"cat\":\"ctrl\",\"comp\":\"idr.c0\","
+            "\"dur_ns\":2000,\"name\":\"recompute_batch\",\"t_ns\":1000}");
+}
+
+TEST(TraceSpan, JsonlRoundTripsThroughParser) {
+  TraceSpan s{at_ns(5), at_ns(5), "bgp", "update_rx", "router-2"};
+  s.arg("from", Json{std::string{"1.0.0.1"}});
+  s.arg("nlri", Json{std::int64_t{1}});
+  const auto parsed = Json::parse(span_to_jsonl(s));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("cat")->as_string(), "bgp");
+  EXPECT_EQ(parsed->find("name")->as_string(), "update_rx");
+  EXPECT_EQ(parsed->find("comp")->as_string(), "router-2");
+  EXPECT_EQ(parsed->find("t_ns")->as_int(), 5);
+  EXPECT_EQ(parsed->find("dur_ns")->as_int(), 0);
+  EXPECT_EQ(parsed->find("args")->find("from")->as_string(), "1.0.0.1");
+  EXPECT_EQ(parsed->find("args")->find("nlri")->as_int(), 1);
+}
+
+TEST(Telemetry, TracingFlagFollowsSinks) {
+  Telemetry hub;
+  EXPECT_FALSE(hub.tracing());
+  JsonlTraceSink sink;
+  const auto id = hub.add_sink(&sink);
+  EXPECT_TRUE(hub.tracing());
+  hub.remove_sink(id);
+  EXPECT_FALSE(hub.tracing());
+}
+
+TEST(Telemetry, EmitFansOutToAllSinks) {
+  Telemetry hub;
+  JsonlTraceSink a, b;
+  hub.add_sink(&a);
+  hub.add_sink(&b);
+  hub.emit(TraceSpan::instant(at_ns(1), "sdn", "flow_mod", "sw.3"));
+  EXPECT_EQ(a.lines().size(), 1u);
+  EXPECT_EQ(b.lines().size(), 1u);
+  EXPECT_EQ(a.lines()[0], b.lines()[0]);
+}
+
+TEST(JsonlTraceSink, CapCountsDrops) {
+  JsonlTraceSink sink{2};
+  for (int i = 0; i < 5; ++i) {
+    sink.on_span(TraceSpan::instant(at_ns(i), "bgp", "fsm", "x"));
+  }
+  EXPECT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  sink.clear();
+  EXPECT_TRUE(sink.lines().empty());
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(JsonlTraceSink, JsonlBodyJoinsWithNewlines) {
+  JsonlTraceSink sink;
+  sink.on_span(TraceSpan::instant(at_ns(1), "bgp", "fsm", "x"));
+  sink.on_span(TraceSpan::instant(at_ns(2), "bgp", "fsm", "y"));
+  const std::string body = sink.jsonl();
+  EXPECT_EQ(body, sink.lines()[0] + "\n" + sink.lines()[1] + "\n");
+}
+
+}  // namespace
+}  // namespace bgpsdn::telemetry

@@ -16,19 +16,29 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "framework/report.hpp"
 #include "framework/scenario.hpp"
 #include "framework/stats.hpp"
+#include "framework/telemetry_monitor.hpp"
 #include "framework/trial.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--trials N] [--base-seed S] [--jobs J] <scenario-file | ->\n";
+            << " [--trials N] [--base-seed S] [--jobs J] [--json PATH] "
+               "<scenario-file | ->\n"
+               "  --json PATH  write a bgpsdn.bench/1 JSON document: single "
+               "runs include\n"
+               "               the full telemetry capture (metrics, monitors, "
+               "trace stats),\n"
+               "               --trials runs include the boxplot point and "
+               "footer\n";
 }
 
 }  // namespace
@@ -37,6 +47,7 @@ int main(int argc, char** argv) {
   std::size_t trials = 1;
   std::uint64_t base_seed = 1000;
   std::size_t jobs = 0;  // 0 = BGPSDN_JOBS / hardware_concurrency
+  std::string json_path;
   std::string input;
   bool have_input = false;
 
@@ -74,6 +85,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       jobs = static_cast<std::size_t>(v);
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json needs a path\n";
+        return 1;
+      }
+      json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -108,9 +125,38 @@ int main(int argc, char** argv) {
   }
 
   if (trials == 1) {
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
     bgpsdn::framework::ScenarioRunner runner;
+    runner.set_capture_telemetry(!json_path.empty());
     const auto result = runner.run(script);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
     for (const auto& line : result.output) std::cout << line << "\n";
+    if (!json_path.empty()) {
+      namespace fw = bgpsdn::framework;
+      namespace tel = bgpsdn::telemetry;
+      fw::BenchReport report{"bgpsdn_run"};
+      report.set_param("scenario", tel::Json{input});
+      report.set_param("trials", tel::Json{std::int64_t{1}});
+      tel::Json extra = tel::Json::object();
+      if (auto* exp = runner.experiment(); exp != nullptr) {
+        extra["monitors"] = exp->monitors_snapshot();
+        tel::Json snap = exp->telemetry().metrics().snapshot();
+        for (const auto& [name, value] : snap["counters"].entries()) {
+          report.add_counter(name, value.as_int());
+        }
+      }
+      report.add_point("wait_converged_s",
+                       fw::summarize(result.convergence_seconds),
+                       result.convergence_seconds, std::move(extra));
+      report.set_footer(1, 1, wall, wall);
+      if (!report.write_file(json_path)) {
+        std::cerr << "failed to write " << json_path << "\n";
+        return 1;
+      }
+      std::printf("# json: %s\n", json_path.c_str());
+    }
     if (!result.ok) {
       std::cerr << "FAILED: " << result.error << "\n";
       return 1;
@@ -122,12 +168,24 @@ int main(int argc, char** argv) {
   if (jobs == 0) jobs = bgpsdn::framework::default_jobs();
   std::vector<bgpsdn::framework::ScenarioResult> results(trials);
   std::vector<double> trial_seconds(trials, 0.0);
+  // Per-trial counter snapshots, index-addressed and summed in trial order
+  // afterwards — deterministic at any job count.
+  std::vector<std::map<std::string, std::int64_t>> trial_counters(
+      json_path.empty() ? 0 : trials);
   const auto t0 = Clock::now();
   bgpsdn::framework::parallel_for_index(trials, jobs, [&](std::size_t i) {
     const auto s0 = Clock::now();
     bgpsdn::framework::ScenarioRunner runner;
     runner.override_seed(base_seed + i);
     results[i] = runner.run(script);
+    if (!json_path.empty()) {
+      if (auto* exp = runner.experiment(); exp != nullptr) {
+        bgpsdn::telemetry::Json snap = exp->telemetry().metrics().snapshot();
+        for (const auto& [name, value] : snap["counters"].entries()) {
+          trial_counters[i][name] += value.as_int();
+        }
+      }
+    }
     trial_seconds[i] = std::chrono::duration<double>(Clock::now() - s0).count();
   });
   const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -162,5 +220,29 @@ int main(int argc, char** argv) {
       "# wall %.2f s, serial-equivalent %.2f s, speedup %.2fx, %.2f trials/s\n",
       wall, serial, wall > 0 ? serial / wall : 0.0,
       wall > 0 ? static_cast<double>(trials) / wall : 0.0);
+  if (!json_path.empty()) {
+    namespace fw = bgpsdn::framework;
+    namespace tel = bgpsdn::telemetry;
+    fw::BenchReport report{"bgpsdn_run"};
+    report.set_param("scenario", tel::Json{input});
+    report.set_param("trials",
+                     tel::Json{static_cast<std::int64_t>(trials)});
+    report.set_param("base_seed",
+                     tel::Json{static_cast<std::int64_t>(base_seed)});
+    report.add_point("wait_converged_s", fw::summarize(final_conv),
+                     final_conv);
+    for (const auto& per_trial : trial_counters) {
+      for (const auto& [name, value] : per_trial) {
+        report.add_counter(name, value);
+      }
+    }
+    report.set_footer(static_cast<std::int64_t>(trials),
+                      static_cast<std::int64_t>(jobs), wall, serial);
+    if (!report.write_file(json_path)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::printf("# json: %s\n", json_path.c_str());
+  }
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,169 @@
+// Chaos bench: data-plane time-to-recovery under injected faults, with and
+// without the centralized controller.
+//
+// The paper argues centralization accelerates reconvergence; the robustness
+// question is what it costs when the central component itself fails. Each
+// row injects one FaultPlan into a converged 10-AS hybrid clique (members
+// 7-10, a host behind legacy AS 1) and measures how long until every AS —
+// legacy FIBs and member flow tables alike — can trace a live data-plane
+// path to the host again:
+//
+//   bgp_linkfail      all-legacy baseline, one clique link fails
+//   hybrid_linkfail   same failure with the controller in charge
+//   degraded_linkfail same failure while degraded to distributed BGP
+//   ctrl_crash        the controller crashes (switches flush; fallback
+//                     reconverges the cluster over the relay links)
+//   ctrl_restart      the controller returns and resyncs from the speaker
+//   speaker_restart   the cluster speaker crashes silently and returns;
+//                     peers rediscover it via hold-timer expiry
+//
+// Fast timers (MRAI 0.3 s, hold 6 s, recompute 100 ms) keep the virtual
+// clock short; recovery is probed every 100 ms and censored at 60 s.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "framework/faults.hpp"
+
+using namespace bgpsdn;
+
+namespace {
+
+constexpr std::size_t kCliqueSize = 10;
+constexpr std::uint64_t kBaseSeed = 9000;
+const core::AsNumber kHostAs{1};
+constexpr double kTimeoutS = 60.0;
+
+struct Row {
+  const char* label;
+  bool with_members;
+  /// Crash the controller (and let the fallback reconverge) before t0.
+  bool pre_degrade;
+  /// FaultPlan armed at t0 — the disruption being measured.
+  const char* plan;
+};
+
+constexpr Row kRows[] = {
+    {"bgp_linkfail", false, false, "at 0 link-down 1 10"},
+    {"hybrid_linkfail", true, false, "at 0 link-down 1 10"},
+    {"degraded_linkfail", true, true, "at 0 link-down 1 10"},
+    {"ctrl_crash", true, false, "at 0 controller-crash"},
+    {"ctrl_restart", true, true, "at 0 controller-restart"},
+    {"speaker_restart", true, false,
+     "at 0 speaker-crash\nat 8 speaker-restart"},
+};
+
+framework::ExperimentConfig fast_config(std::uint64_t seed) {
+  framework::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.timers.mrai = core::Duration::millis(300);
+  cfg.timers.hold = core::Duration::seconds(6);
+  cfg.timers.keepalive = core::Duration::seconds(2);
+  cfg.recompute_delay = core::Duration::millis(100);
+  return cfg;
+}
+
+bool all_reach(framework::Experiment& exp, net::Ipv4Addr host) {
+  for (const auto as : exp.spec().ases) {
+    if (as == kHostAs) continue;
+    if (exp.trace_route(as, host).empty()) return false;
+  }
+  return true;
+}
+
+/// Virtual seconds from arming the row's plan until every AS reaches the
+/// host again (100 ms probe; kTimeoutS when censored). -1 on setup failure.
+double run_row(const Row& row, std::uint64_t seed,
+               std::map<std::string, std::int64_t>* counters) {
+  auto cfg = fast_config(seed);
+  const auto spec = topology::clique(kCliqueSize);
+  std::set<core::AsNumber> members;
+  if (row.with_members) {
+    for (std::uint32_t as = 7; as <= kCliqueSize; ++as) {
+      members.insert(core::AsNumber{as});
+    }
+  }
+  framework::Experiment exp{spec, members, cfg};
+  const auto host_addr = exp.add_host(kHostAs).address();
+  if (!exp.start(core::Duration::seconds(600))) return -1.0;
+
+  const auto probe_until_reach = [&]() -> double {
+    const auto t0 = exp.loop().now();
+    while ((exp.loop().now() - t0).to_seconds() < kTimeoutS) {
+      exp.run_for(core::Duration::millis(100));
+      if (all_reach(exp, host_addr)) {
+        return (exp.loop().now() - t0).to_seconds();
+      }
+    }
+    return kTimeoutS;  // censored
+  };
+
+  if (row.pre_degrade) {
+    exp.crash_controller();
+    if (probe_until_reach() >= kTimeoutS) return -1.0;
+  }
+
+  exp.attach_monitor<framework::FaultInjector>(
+      framework::FaultPlan::parse(row.plan));
+  const double recovery = probe_until_reach();
+  if (counters != nullptr) bench::accumulate_counters(exp, *counters);
+  return recovery;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  const std::size_t runs = bench::default_runs();
+  const std::size_t points = std::size(kRows);
+  std::printf("# data-plane time-to-recovery [s] under injected faults, "
+              "%zu-AS clique, members 7-%zu\n",
+              kCliqueSize, kCliqueSize);
+  std::printf("# boxplots over %zu runs; 100 ms probe, censored at %.0f s\n",
+              runs, kTimeoutS);
+  std::printf("%s\n", framework::boxplot_header("fault").c_str());
+
+  std::vector<std::map<std::string, std::int64_t>> task_counters(
+      cli.want_json() ? points * runs : 0);
+  std::vector<double> results;
+  const auto timing = bench::run_trial_grid(
+      points, runs, results, [&](std::size_t point, std::size_t run) {
+        auto* counters =
+            cli.want_json() ? &task_counters[point * runs + run] : nullptr;
+        return run_row(kRows[point], kBaseSeed + run, counters);
+      });
+
+  framework::BenchReport report{"bench_chaos"};
+  for (std::size_t p = 0; p < points; ++p) {
+    std::vector<double> values{results.begin() + p * runs,
+                               results.begin() + (p + 1) * runs};
+    const auto summary = framework::summarize(values);
+    std::printf("%s\n",
+                framework::boxplot_row(kRows[p].label, summary).c_str());
+    telemetry::Json extra = telemetry::Json::object();
+    extra["fault"] = std::string{kRows[p].plan};
+    report.add_point(kRows[p].label, summary, values, std::move(extra));
+  }
+  bench::print_parallel_footer(timing);
+
+  if (cli.want_json()) {
+    report.set_param("clique_size",
+                     telemetry::Json{static_cast<std::int64_t>(kCliqueSize)});
+    report.set_param("members", telemetry::Json{std::string{"7-10"}});
+    report.set_param("runs",
+                     telemetry::Json{static_cast<std::int64_t>(runs)});
+    report.set_param("timeout_s", telemetry::Json{kTimeoutS});
+    for (const auto& per_task : task_counters) {
+      for (const auto& [name, value] : per_task) {
+        report.add_counter(name, value);
+      }
+    }
+    report.set_footer(static_cast<std::int64_t>(timing.trials),
+                      static_cast<std::int64_t>(timing.jobs),
+                      timing.wall_seconds, timing.trial_seconds);
+    bench::finish_report(report, cli);
+  }
+  return 0;
+}

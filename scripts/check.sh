@@ -32,6 +32,10 @@ for s in scenarios/*.bgpsdn; do
   ./build/tools/bgpsdn_run "$s" > /dev/null
   ./build/tools/bgpsdn_run --trials 4 "$s" > /dev/null
 done
+# Externally-supplied fault plans compose with any scenario.
+echo "===== scenarios/chaos_recovery.bgpsdn --faults scenarios/chaos.plan"
+./build/tools/bgpsdn_run --faults scenarios/chaos.plan \
+  scenarios/chaos_recovery.bgpsdn > /dev/null
 
 # JSON-output job: every --json emitter must produce a document that still
 # matches the frozen bgpsdn.bench/1 schema. Validated with the stdlib-only
@@ -41,15 +45,19 @@ echo "===== bench json schema"
 mkdir -p build/json
 BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
   ./build/bench/bench_fig2_withdrawal --json build/json/fig2.json > /dev/null
+BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
+  ./build/bench/bench_chaos --json build/json/chaos.json > /dev/null
 ./build/tools/bgpsdn_run --json build/json/run_single.json \
   scenarios/fig2_point.bgpsdn > /dev/null
 ./build/tools/bgpsdn_run --trials 4 --json build/json/run_trials.json \
   scenarios/fig2_point.bgpsdn > /dev/null
 if command -v python3 > /dev/null 2>&1; then
   python3 scripts/validate_bench_json.py \
-    build/json/fig2.json build/json/run_single.json build/json/run_trials.json
+    build/json/fig2.json build/json/chaos.json \
+    build/json/run_single.json build/json/run_trials.json
 elif command -v jq > /dev/null 2>&1; then
-  for j in build/json/fig2.json build/json/run_single.json \
+  for j in build/json/fig2.json build/json/chaos.json \
+           build/json/run_single.json \
            build/json/run_trials.json; do
     jq -e '.schema == "bgpsdn.bench/1"
            and (.bench | type == "string")
@@ -64,6 +72,23 @@ else
   echo "WARNING: neither python3 nor jq found; skipping JSON schema check" >&2
 fi
 
+# ASan+UBSan job: the fault-injection, crash-recovery and corruption-fuzz
+# paths deliberately feed sessions garbage bytes and tear subsystems down
+# mid-flight — exactly where lifetime and UB bugs would hide. Rebuild with
+# both sanitizers and run every fault/chaos/fuzz test.
+echo "===== asan+ubsan"
+cmake -B build-asan "${GENERATOR[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "$(nproc)" \
+  --target test_framework test_bgp test_net
+./build-asan/tests/test_framework \
+  --gtest_filter='FaultPlanParse.*:FaultInjector.*:FaultDsl.*:FaultDeterminism.*:CrashRecovery.*'
+./build-asan/tests/test_bgp --gtest_filter='*CodecFuzz*:*LiveSessionFuzz*'
+./build-asan/tests/test_net \
+  --gtest_filter='*LinkParams*:*RuntimeLoss*:*Corruption*'
+
 # ThreadSanitizer job: rebuild the test binaries with -fsanitize=thread and
 # run everything that exercises the parallel trial runners. Simulations are
 # single-threaded by design; this guards the one place threads meet — the
@@ -75,7 +100,7 @@ cmake -B build-tsan "${GENERATOR[@]}" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$(nproc)" --target test_framework test_core
 ./build-tsan/tests/test_framework \
-  --gtest_filter='Determinism.*:TrialRunnerParallel.*:ParamSweepRunnerParallel.*:ParallelForIndex.*:DefaultJobs.*'
+  --gtest_filter='Determinism.*:FaultDeterminism.*:TrialRunnerParallel.*:ParamSweepRunnerParallel.*:ParallelForIndex.*:DefaultJobs.*'
 ./build-tsan/tests/test_core --gtest_filter='EventLoop.*'
 
 echo "ALL CHECKS PASSED"

@@ -31,6 +31,14 @@ FOOTER_KEYS = {
 }
 NUMBER = (int, float)
 
+# bench_chaos documents additionally promise these fields: the sweep
+# parameters and, on every point, the armed fault plan.
+CHAOS_PARAMS = {"clique_size", "members", "runs", "timeout_s"}
+CHAOS_LABELS = {
+    "bgp_linkfail", "hybrid_linkfail", "degraded_linkfail", "ctrl_crash",
+    "ctrl_restart", "speaker_restart",
+}
+
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -94,7 +102,27 @@ def validate(path):
         if not isinstance(footer[key], int) or footer[key] < 0:
             fail(path, f"footer.{key} must be a non-negative integer")
 
+    if doc["bench"] == "bench_chaos":
+        validate_chaos(path, doc)
+
     print(f"{path}: ok ({doc['bench']}, {len(doc['points'])} points)")
+
+
+def validate_chaos(path, doc):
+    missing = CHAOS_PARAMS - set(doc["params"])
+    if missing:
+        fail(path, f"bench_chaos params missing {sorted(missing)}")
+    labels = {point["label"] for point in doc["points"]}
+    if labels != CHAOS_LABELS:
+        fail(path, f"bench_chaos labels {sorted(labels)} != {sorted(CHAOS_LABELS)}")
+    timeout = doc["params"]["timeout_s"]
+    for i, point in enumerate(doc["points"]):
+        where = f"points[{i}]"
+        if not isinstance(point["extra"].get("fault"), str):
+            fail(path, f"{where}.extra.fault must be the armed plan string")
+        for v in point["values"]:
+            if not 0 <= v <= timeout:
+                fail(path, f"{where}: recovery {v} outside [0, {timeout}]")
 
 
 def main():

@@ -103,6 +103,14 @@ void Session::stop(const std::string& reason, bool auto_restart) {
   cancel_timers();
   ++epoch_;
   transition(SessionState::kIdle);
+  // Every stop path forgets what the dead "connection" negotiated: hold
+  // time, codec width and capabilities are per-connection state (RFC 4271
+  // §8 releases all resources on ManualStop/AutomaticStop). Keeping them
+  // would make a restarted session run OpenSent on the stale peer's hold
+  // time and decode with the stale AS width.
+  negotiated_hold_s_ = 0;
+  peer_four_octet_ = false;
+  codec_ = CodecOptions{};
   if (was_established) {
     ++counters_.flaps;
     log("session_down", reason);

@@ -125,6 +125,9 @@ class Session {
   const SessionCounters& counters() const { return counters_; }
   /// Negotiated codec (4-octet AS iff both sides advertised it).
   const CodecOptions& codec() const { return codec_; }
+  /// Negotiated hold time in seconds; 0 until an OPEN has been accepted on
+  /// the current connection (stop() resets it).
+  std::uint16_t negotiated_hold_s() const { return negotiated_hold_s_; }
 
  private:
   /// Single funnel for every FSM state change: updates counters, emits an

@@ -34,6 +34,28 @@ class ClusterController : public sdn::ControllerBase,
   /// Called once by the builder after every switch, link and peering has
   /// been declared (implementations that precompute state hook in here).
   virtual void finalize() {}
+
+  /// Emulate a controller process crash: switch channels and application
+  /// state (learned routes, pushed flows, originations) are lost. The
+  /// experiment framework pairs this with failing the control links so
+  /// switches observe the outage and degrade to standalone mode.
+  void crash() {
+    base_crash();
+    on_crash();
+  }
+
+  /// Restart after crash(): the application comes back empty and resyncs —
+  /// switches re-handshake when their links heal, the speaker replays its
+  /// retained Adj-RIBs-In, and the experiment replays originations.
+  void restart() {
+    base_restart();
+    on_restart();
+  }
+
+ protected:
+  /// Application-state teardown/rebuild hooks for crash()/restart().
+  virtual void on_crash() {}
+  virtual void on_restart() {}
 };
 
 }  // namespace bgpsdn::controller

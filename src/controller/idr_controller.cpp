@@ -28,6 +28,24 @@ void IdrController::withdraw_origin(const net::Prefix& prefix) {
   mark_dirty(prefix);
 }
 
+// --- crash / restart --------------------------------------------------------
+
+void IdrController::on_crash() {
+  external_routes_.clear();
+  origins_.clear();
+  installed_.clear();
+  decisions_.clear();
+  dirty_.clear();
+  recompute_pending_ = false;
+  if (auto* tel = telemetry()) tel->metrics().counter("ctrl.idr.crashes").inc();
+}
+
+void IdrController::on_restart() {
+  // Nothing to rebuild here: switches re-Hello (-> mark_all_dirty), the
+  // experiment replays originations and the speaker replays its RIBs.
+  if (auto* tel = telemetry()) tel->metrics().counter("ctrl.idr.restarts").inc();
+}
+
 // --- speaker input ----------------------------------------------------------
 
 void IdrController::on_peer_established(const speaker::Peering&) {
@@ -124,6 +142,7 @@ void IdrController::on_port_status(const sdn::SwitchChannel& channel,
 // --- recomputation ----------------------------------------------------------
 
 void IdrController::mark_dirty(const net::Prefix& prefix) {
+  if (crashed()) return;
   dirty_.insert(prefix);
   if (recompute_pending_) return;
   recompute_pending_ = true;
@@ -132,6 +151,7 @@ void IdrController::mark_dirty(const net::Prefix& prefix) {
 }
 
 void IdrController::mark_all_dirty() {
+  if (crashed()) return;
   for (const auto& prefix : known_prefixes()) dirty_.insert(prefix);
   if (dirty_.empty()) return;
   if (recompute_pending_) return;
@@ -149,6 +169,9 @@ std::set<net::Prefix> IdrController::known_prefixes() const {
 }
 
 void IdrController::run_recompute() {
+  // A batch timer armed before a crash may still fire; the dead process
+  // computes nothing.
+  if (crashed()) return;
   recompute_pending_ = false;
   ++idr_counters_.recompute_passes;
   const auto batch = std::move(dirty_);

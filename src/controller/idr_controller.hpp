@@ -80,6 +80,14 @@ class IdrController : public ClusterController {
   std::size_t route_count(const net::Prefix& prefix) const;
 
  protected:
+  /// Crash drops the whole application state (external RIB, originations,
+  /// pushed-flow mirror, decisions, dirty set); the declared cluster graph
+  /// survives like any other static config, but port states are refreshed
+  /// from scratch as switches re-handshake. Restart comes back empty and
+  /// resyncs from the speaker replay + re-originations.
+  void on_crash() override;
+  void on_restart() override;
+
   void on_switch_connected(const sdn::SwitchChannel& channel) override;
   void on_packet_in(const sdn::SwitchChannel& channel,
                     const sdn::OfPacketIn& in) override;

@@ -17,9 +17,10 @@
 namespace bgpsdn::controller {
 
 /// Data-plane rules install at this priority; the cluster builder's static
-/// BGP-relay rules sit above them.
-inline constexpr std::uint16_t kDataRulePriority = 100;
-inline constexpr std::uint16_t kRelayRulePriority = 200;
+/// BGP-relay rules sit above them. Canonical values live in sdn/flow.hpp so
+/// the switch's standalone-mode flush agrees on the band boundary.
+inline constexpr std::uint16_t kDataRulePriority = sdn::kDataRulePriority;
+inline constexpr std::uint16_t kRelayRulePriority = sdn::kRelayRulePriority;
 
 struct CompiledFlows {
   /// Desired action per switch for the prefix. Switches missing from the

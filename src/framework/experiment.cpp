@@ -82,6 +82,7 @@ void Experiment::build() {
       // connect() returns ends in argument order: a=controller, b=switch.
       sw->set_controller_port(l.b.port);
       controller_->switch_graph().add_switch(sw->dpid(), as);
+      control_links_.push_back(link);
     }
   }
 
@@ -232,6 +233,7 @@ net::Host& Experiment::add_host(core::AsNumber as) {
     const auto id = net_.connect(host.id(), sw.id(), kControlLink);
     const auto& l = net_.link(id);
     controller_->originate(sw.dpid(), prefix, l.b.port);
+    member_origins_[prefix] = {sw.dpid(), l.b.port};
   } else {
     bgp::BgpRouter& r = *routers_.at(as);
     const auto id = net_.connect(host.id(), r.id(), kControlLink);
@@ -268,7 +270,12 @@ bool Experiment::start(core::Duration timeout) {
 
 void Experiment::announce_prefix(core::AsNumber as, const net::Prefix& prefix) {
   if (members_.count(as) > 0) {
-    controller_->originate(switches_.at(as)->dpid(), prefix, std::nullopt);
+    member_origins_[prefix] = {switches_.at(as)->dpid(), std::nullopt};
+    if (controller_crashed_) {
+      fallback_->originate(prefix, member_origins_.at(prefix));
+    } else {
+      controller_->originate(switches_.at(as)->dpid(), prefix, std::nullopt);
+    }
   } else {
     routers_.at(as)->originate(prefix);
   }
@@ -276,34 +283,100 @@ void Experiment::announce_prefix(core::AsNumber as, const net::Prefix& prefix) {
 
 void Experiment::withdraw_prefix(core::AsNumber as, const net::Prefix& prefix) {
   if (members_.count(as) > 0) {
-    controller_->withdraw_origin(prefix);
+    member_origins_.erase(prefix);
+    if (controller_crashed_) {
+      fallback_->withdraw_origin(prefix);
+    } else {
+      controller_->withdraw_origin(prefix);
+    }
   } else {
     routers_.at(as)->withdraw_origin(prefix);
   }
 }
 
-void Experiment::fail_link(core::AsNumber a, core::AsNumber b) {
+core::LinkId Experiment::link_between(core::AsNumber a, core::AsNumber b) const {
   const auto get_node = [this](core::AsNumber as) {
-    return members_.count(as) > 0 ? switches_.at(as)->id() : routers_.at(as)->id();
+    if (members_.count(as) > 0) return switches_.at(as)->id();
+    const auto it = routers_.find(as);
+    if (it == routers_.end()) {
+      throw std::invalid_argument{"unknown AS " + as.to_string()};
+    }
+    return it->second->id();
   };
   const auto id = net_.find_link(get_node(a), get_node(b));
   if (!id.is_valid()) {
     throw std::invalid_argument{"no link " + a.to_string() + " <-> " +
                                 b.to_string()};
   }
-  net_.set_link_up(id, false);
+  return id;
+}
+
+void Experiment::fail_link(core::AsNumber a, core::AsNumber b) {
+  net_.set_link_up(link_between(a, b), false);
 }
 
 void Experiment::restore_link(core::AsNumber a, core::AsNumber b) {
-  const auto get_node = [this](core::AsNumber as) {
-    return members_.count(as) > 0 ? switches_.at(as)->id() : routers_.at(as)->id();
-  };
-  const auto id = net_.find_link(get_node(a), get_node(b));
-  if (!id.is_valid()) {
-    throw std::invalid_argument{"no link " + a.to_string() + " <-> " +
-                                b.to_string()};
+  net_.set_link_up(link_between(a, b), true);
+}
+
+void Experiment::crash_controller() {
+  if (controller_ == nullptr || idr_ == nullptr) {
+    throw std::logic_error{
+        "controller crash-recovery requires the IDR controller style"};
   }
-  net_.set_link_up(id, true);
+  if (controller_crashed_) return;
+  controller_crashed_ = true;
+  log_.log(loop_.now(), core::LogLevel::kWarn, "experiment", "controller_crash",
+           "cluster degrades to distributed BGP");
+  net_.telemetry().metrics().counter("framework.controller_crashes").inc();
+  controller_->crash();
+  // The dead process's channels go with it; switches observe the link loss,
+  // flush controller-installed rules, and enter standalone mode.
+  for (const auto link : control_links_) net_.set_link_up(link, false);
+  if (!fallback_) {
+    fallback_ = std::make_unique<controller::FallbackRouting>(
+        loop_, log_, &net_.telemetry(), controller_->switch_graph(), *speaker_);
+  }
+  fallback_->activate(member_origins_);
+}
+
+void Experiment::restart_controller() {
+  if (!controller_crashed_) return;
+  controller_crashed_ = false;
+  log_.log(loop_.now(), core::LogLevel::kInfo, "experiment",
+           "controller_restart", "controller resyncs from speaker RIBs");
+  net_.telemetry().metrics().counter("framework.controller_restarts").inc();
+  fallback_->deactivate();
+  controller_->restart();
+  controller_->bind_speaker(*speaker_);
+  // Heal the control channel; each switch re-handshakes and the controller
+  // re-learns the datapath mapping.
+  for (const auto link : control_links_) net_.set_link_up(link, true);
+  // Resync: replay member originations, then the speaker's retained
+  // Adj-RIBs-In — together these reproduce the never-crashed input set.
+  for (const auto& [prefix, origin] : member_origins_) {
+    controller_->originate(origin.dpid, prefix, origin.host_port);
+  }
+  speaker_->replay_to(*controller_);
+}
+
+void Experiment::crash_speaker() {
+  if (speaker_ == nullptr) {
+    throw std::logic_error{"no cluster speaker in this experiment"};
+  }
+  if (speaker_->crashed()) return;
+  log_.log(loop_.now(), core::LogLevel::kWarn, "experiment", "speaker_crash",
+           "external sessions drop silently");
+  net_.telemetry().metrics().counter("framework.speaker_crashes").inc();
+  speaker_->crash();
+}
+
+void Experiment::restart_speaker() {
+  if (speaker_ == nullptr || !speaker_->crashed()) return;
+  log_.log(loop_.now(), core::LogLevel::kInfo, "experiment", "speaker_restart",
+           "external sessions re-establish");
+  net_.telemetry().metrics().counter("framework.speaker_restarts").inc();
+  speaker_->restart();
 }
 
 void Experiment::add_link(core::AsNumber a, core::AsNumber b,
@@ -402,6 +475,10 @@ std::vector<core::AsNumber> Experiment::trace_route(core::AsNumber from,
       cur_node = r.id();
       out = r.fib_lookup(dst);
       if (!out) return {};
+    }
+    const auto egress = net_.link_at(cur_node, *out);
+    if (!egress.is_valid() || !net_.link_is_up(egress)) {
+      return {};  // forwarding into a downed link: unreachable right now
     }
     const auto peer = net_.peer_of(cur_node, *out);
     if (!peer.node.is_valid()) return {};

@@ -19,6 +19,7 @@
 
 #include "bgp/collector.hpp"
 #include "bgp/router.hpp"
+#include "controller/fallback.hpp"
 #include "controller/idr_controller.hpp"
 #include "controller/routeflow.hpp"
 #include "core/event_loop.hpp"
@@ -95,6 +96,41 @@ class Experiment {
 
   void fail_link(core::AsNumber a, core::AsNumber b);
   void restore_link(core::AsNumber a, core::AsNumber b);
+
+  // --- fault commands ------------------------------------------------------
+
+  /// Crash the cluster controller process: switch channels and application
+  /// state are lost, every control link goes down (switches flush their
+  /// data rules and enter standalone mode), and the cluster degrades to
+  /// distributed BGP — the FallbackRouting engine takes over the speaker,
+  /// reseeded from its retained Adj-RIBs-In and the recorded member
+  /// originations. Requires the IDR controller style.
+  void crash_controller();
+
+  /// Restart a crashed controller: the fallback stands down, control links
+  /// heal (switches flush degraded-mode rules and re-handshake), and the
+  /// controller resyncs — replayed member originations plus the speaker's
+  /// Adj-RIBs-In reproduce the Loc-RIBs of a never-crashed run.
+  void restart_controller();
+
+  /// Crash / restart the cluster BGP speaker process. Crash drops every
+  /// external session silently (peers discover via hold-timer expiry);
+  /// restart reconnects and peers re-send their tables.
+  void crash_speaker();
+  void restart_speaker();
+
+  bool controller_crashed() const { return controller_crashed_; }
+  bool speaker_crashed() const {
+    return speaker_ != nullptr && speaker_->crashed();
+  }
+  /// The degraded-mode engine; created lazily on the first controller
+  /// crash, nullptr before that.
+  controller::FallbackRouting* fallback() { return fallback_.get(); }
+
+  /// The link between two ASes (member or legacy); throws
+  /// std::invalid_argument when no such link exists. For targeted
+  /// degradation via network().set_link_loss/set_link_corruption.
+  core::LinkId link_between(core::AsNumber a, core::AsNumber b) const;
 
   /// Grow the topology while running ("dynamically changing the topology"):
   /// wire a new peering between two *legacy* ASes; sessions start
@@ -231,6 +267,15 @@ class Experiment {
   controller::RouteFlowController* routeflow_{nullptr};
   speaker::ClusterBgpSpeaker* speaker_{nullptr};
   bgp::RouteCollector* collector_{nullptr};
+  /// Controller<->switch control links, in build order (failed together on
+  /// a controller crash, restored on restart).
+  std::vector<core::LinkId> control_links_;
+  /// Member originations as declared through the experiment API — the
+  /// resync source for restarts and the fallback (the controller's own
+  /// origin table dies with it).
+  std::map<net::Prefix, controller::FallbackRouting::Origin> member_origins_;
+  std::unique_ptr<controller::FallbackRouting> fallback_;
+  bool controller_crashed_{false};
   /// All attached monitors, in attachment order; owns the built-in
   /// convergence detector (always monitors_[0]).
   std::vector<std::unique_ptr<Monitor>> monitors_;

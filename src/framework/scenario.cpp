@@ -222,6 +222,11 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
       experiment_->announce_prefix(as, pfx);
     }
     if (!experiment_->start()) fail(line, "sessions failed to establish");
+    if (!fault_plan_.events.empty()) {
+      // Arm after the initial bring-up so fault times count from the
+      // converged state ("fault 0 controller-crash" = right after start).
+      experiment_->attach_monitor<FaultInjector>(fault_plan_);
+    }
     last_event_ = experiment_->loop().now();
     result.output.push_back("started: " + spec_.summary() + ", " +
                             std::to_string(members_.size()) + " SDN member(s)");
@@ -245,6 +250,43 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     auto& exp = running(line);
     exp.restore_link(parse_as(line, t[1]), parse_as(line, t[2]));
     last_event_ = exp.loop().now();
+  } else if (cmd == "fault-seed") {
+    need(1);
+    forbid_after_start();
+    fault_plan_.seed = static_cast<std::uint64_t>(parse_number(line, t[1]));
+  } else if (cmd == "fault") {
+    if (t.size() < 3) fail(line, "usage: fault <seconds> <event...>");
+    const auto at = core::Duration::seconds_f(parse_number(line, t[1]));
+    if (at < core::Duration::zero()) fail(line, "fault time must be >= 0");
+    FaultEvent event;
+    try {
+      event = FaultPlan::parse_event({t.begin() + 2, t.end()}, at);
+    } catch (const std::invalid_argument& e) {
+      fail(line, e.what());
+    }
+    if (started()) {
+      // Post-start faults arm immediately, relative to now.
+      FaultPlan one;
+      one.seed = fault_plan_.seed;
+      one.events.push_back(event);
+      experiment_->attach_monitor<FaultInjector>(std::move(one));
+      last_event_ = experiment_->loop().now();
+    } else {
+      fault_plan_.events.push_back(event);
+    }
+  } else if (cmd == "crash" || cmd == "restart") {
+    need(1);
+    auto& exp = running(line);
+    const bool crash = cmd == "crash";
+    if (t[1] == "controller") {
+      crash ? exp.crash_controller() : exp.restart_controller();
+    } else if (t[1] == "speaker") {
+      crash ? exp.crash_speaker() : exp.restart_speaker();
+    } else {
+      fail(line, "usage: " + cmd + " controller|speaker");
+    }
+    last_event_ = exp.loop().now();
+    result.output.push_back(cmd + " " + t[1]);
   } else if (cmd == "run") {
     need(1);
     running(line).run_for(core::Duration::seconds_f(parse_number(line, t[1])));

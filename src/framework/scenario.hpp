@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "framework/experiment.hpp"
+#include "framework/faults.hpp"
 
 namespace bgpsdn::framework {
 
@@ -59,6 +60,12 @@ class ScenarioRunner {
   /// constructs it, so traces cover the whole run (bgpsdn_run --json).
   void set_capture_telemetry(bool on) { capture_telemetry_ = on; }
 
+  /// Seed the fault plan before the script runs (bgpsdn_run --faults).
+  /// Script `fault` / `fault-seed` commands extend/override it. The plan
+  /// arms when `start` completes, so event times count from the converged
+  /// initial state.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+
   /// The experiment after a run (valid once `start` executed); lets callers
   /// inspect beyond what the script printed.
   Experiment* experiment() { return experiment_.get(); }
@@ -85,6 +92,9 @@ class ScenarioRunner {
   std::vector<core::AsNumber> hosts_;
   /// Originations issued before start.
   std::vector<std::pair<core::AsNumber, net::Prefix>> pre_announce_;
+  /// Fault events declared before start (plus any CLI-provided plan);
+  /// armed as one FaultInjector when `start` completes.
+  FaultPlan fault_plan_;
   std::unique_ptr<Experiment> experiment_;
   /// Virtual time of the most recent event command (withdraw/announce/
   /// fail-link/...) — wait-converged reports relative to it.

@@ -1,6 +1,32 @@
 #include "net/network.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace bgpsdn::net {
+
+namespace {
+
+/// Clamp a probability into [0, 1]; NaN is a caller error, not a value.
+double checked_probability(double p, const char* what) {
+  if (std::isnan(p)) {
+    throw std::invalid_argument{std::string{what} + " must not be NaN"};
+  }
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+}  // namespace
+
+void LinkParams::validate() const {
+  if (delay < core::Duration::zero()) {
+    throw std::invalid_argument{"LinkParams: negative delay"};
+  }
+  if (std::isnan(loss) || loss < 0.0 || loss > 1.0) {
+    throw std::invalid_argument{"LinkParams: loss outside [0, 1]"};
+  }
+}
 
 const char* to_string(Protocol p) {
   switch (p) {
@@ -49,6 +75,7 @@ void Network::register_node(std::unique_ptr<Node> node, std::string name) {
 }
 
 core::LinkId Network::connect(core::NodeId a, core::NodeId b, LinkParams params) {
+  params.validate();
   const core::LinkId id{static_cast<std::uint32_t>(links_.size())};
   const core::PortId pa{static_cast<std::uint32_t>(ports_.at(a.value()).size())};
   const core::PortId pb{static_cast<std::uint32_t>(ports_.at(b.value()).size())};
@@ -80,6 +107,19 @@ void Network::send(core::NodeId from, core::PortId port, Packet packet) {
     ++stats_.dropped_loss;
     return;
   }
+  if (link.corrupt > 0.0 && !packet.payload.empty() &&
+      rng_.chance(link.corrupt)) {
+    // In-flight corruption: flip 1-3 payload bits. The packet is delivered
+    // anyway — surviving garbage is the receiver's problem (codecs must
+    // reject it without crashing; BGP answers with a NOTIFICATION).
+    const auto flips = rng_.uniform_int(1, 3);
+    const auto bits = static_cast<std::int64_t>(packet.payload.size()) * 8;
+    for (std::int64_t i = 0; i < flips; ++i) {
+      const auto bit = static_cast<std::size_t>(rng_.uniform_int(0, bits - 1));
+      packet.payload[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    }
+    ++stats_.corrupted;
+  }
 
   const int dir = (link.a.node == from && link.a.port == port) ? 0 : 1;
   core::TimePoint depart = loop_.now();
@@ -110,6 +150,15 @@ void Network::deliver(core::LinkId link_id, int direction, const Packet& packet)
   Packet received = packet;
   received.ttl = static_cast<std::uint8_t>(received.ttl - 1);
   nodes_[dst.node.value()]->handle_packet(dst.port, received);
+}
+
+void Network::set_link_loss(core::LinkId id, double loss) {
+  links_.at(id.value()).params.loss = checked_probability(loss, "link loss");
+}
+
+void Network::set_link_corruption(core::LinkId id, double probability) {
+  links_.at(id.value()).corrupt =
+      checked_probability(probability, "link corruption");
 }
 
 void Network::set_link_up(core::LinkId id, bool up) {

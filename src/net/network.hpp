@@ -29,6 +29,11 @@ struct LinkParams {
   std::uint64_t bandwidth_bps{0};
   /// Independent per-packet drop probability.
   double loss{0.0};
+
+  /// Throws std::invalid_argument on a negative delay or a loss outside
+  /// [0, 1] (NaN included). Called by Network::connect so a bad topology
+  /// spec fails at build time, not as silent mis-delivery mid-run.
+  void validate() const;
 };
 
 /// One attachment point of a link.
@@ -42,6 +47,10 @@ struct Link {
   LinkEnd b;
   LinkParams params;
   bool up{true};
+  /// Per-packet probability of in-flight payload corruption (fault
+  /// injection); corrupted packets are still delivered, with 1-3 seeded
+  /// bit flips applied.
+  double corrupt{0.0};
   /// Earliest instant each direction's transmitter is free (bandwidth model).
   core::TimePoint tx_free[2]{};
 };
@@ -54,6 +63,8 @@ struct NetworkStats {
   std::uint64_t dropped_link_down{0};
   std::uint64_t dropped_ttl{0};
   std::uint64_t dropped_no_port{0};
+  /// Packets whose payload was bit-flipped in flight (still delivered).
+  std::uint64_t corrupted{0};
 };
 
 class Network {
@@ -85,10 +96,15 @@ class Network {
   bool link_is_up(core::LinkId id) const { return links_.at(id.value()).up; }
 
   /// Change a link's drop probability at runtime (degradation injection;
-  /// no notification — endpoints only observe the loss itself).
-  void set_link_loss(core::LinkId id, double loss) {
-    links_.at(id.value()).params.loss = loss;
-  }
+  /// no notification — endpoints only observe the loss itself). Values
+  /// outside [0, 1] are clamped; NaN throws std::invalid_argument.
+  void set_link_loss(core::LinkId id, double loss);
+
+  /// Change a link's payload-corruption probability at runtime (fault
+  /// injection). Same clamping/NaN contract as set_link_loss. Corrupted
+  /// packets get 1-3 bit flips from the network RNG, so corruption is
+  /// deterministic per seed.
+  void set_link_corruption(core::LinkId id, double probability);
 
   /// The (node, port) on the other side of a local port; invalid ids if the
   /// port is unused.

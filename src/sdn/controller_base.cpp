@@ -6,7 +6,22 @@
 
 namespace bgpsdn::sdn {
 
+void ControllerBase::base_crash() {
+  crashed_ = true;
+  switches_.clear();
+  dpid_by_port_.clear();
+  logger().log(loop().now(), core::LogLevel::kWarn, "ctrl." + name(), "crash",
+               "controller process down");
+}
+
+void ControllerBase::base_restart() {
+  crashed_ = false;
+  logger().log(loop().now(), core::LogLevel::kInfo, "ctrl." + name(), "restart",
+               "controller process up, awaiting switch handshakes");
+}
+
 void ControllerBase::handle_packet(core::PortId ingress, const net::Packet& packet) {
+  if (crashed_) return;  // a dead process reads no sockets
   if (packet.proto != net::Protocol::kOfControl) return;
   const auto msg = decode(packet.payload);
   if (!msg) {
@@ -61,6 +76,7 @@ void ControllerBase::handle_packet(core::PortId ingress, const net::Packet& pack
 }
 
 void ControllerBase::send_to(Dpid dpid, const OfMessage& message) {
+  if (crashed_) return;
   const auto it = switches_.find(dpid);
   if (it == switches_.end() || !it->second.connected) return;
   net::Packet pkt;

@@ -45,7 +45,18 @@ class ControllerBase : public net::Node {
   }
   const ControllerCounters& base_counters() const { return counters_; }
 
+  /// True between base_crash() and base_restart(): the process is "dead" —
+  /// incoming control traffic is ignored, nothing can be sent.
+  bool crashed() const { return crashed_; }
+
  protected:
+  /// Emulate process death: forget every switch channel and go deaf. The
+  /// node object stays (it anchors the network ports); derived controllers
+  /// drop their own application state alongside.
+  void base_crash();
+  /// Come back empty: channels rebuild as switches re-Hello when their
+  /// control links return.
+  void base_restart();
   /// Application hooks.
   virtual void on_switch_connected(const SwitchChannel& channel) { (void)channel; }
   virtual void on_packet_in(const SwitchChannel& channel, const OfPacketIn& in) {
@@ -69,6 +80,7 @@ class ControllerBase : public net::Node {
   std::map<Dpid, SwitchChannel> switches_;
   std::unordered_map<std::uint32_t, Dpid> dpid_by_port_;
   ControllerCounters counters_;
+  bool crashed_{false};
 };
 
 }  // namespace bgpsdn::sdn

@@ -51,6 +51,13 @@ std::size_t FlowTable::remove_by_dst(const net::Prefix& dst) {
   return old - entries_.size();
 }
 
+std::size_t FlowTable::remove_below_priority(std::uint16_t floor) {
+  const auto old = entries_.size();
+  std::erase_if(entries_,
+                [&](const FlowEntry& e) { return e.priority < floor; });
+  return old - entries_.size();
+}
+
 const FlowEntry* FlowTable::lookup(core::PortId ingress, const net::Packet& p,
                                    bool account) {
   FlowEntry* best = nullptr;

@@ -17,6 +17,15 @@
 
 namespace bgpsdn::sdn {
 
+/// Priority bands shared by everything that programs switch tables.
+/// Data-plane routing rules sit below control-plane plumbing (the static
+/// BGP relay paths), so a switch that loses its controller can flush all
+/// routing state (`remove_below_priority(kRelayRulePriority)`) while the
+/// relay rules — and with them the cluster speaker's reachability —
+/// survive.
+inline constexpr std::uint16_t kDataRulePriority = 100;
+inline constexpr std::uint16_t kRelayRulePriority = 200;
+
 struct FlowMatch {
   /// Wildcard when unset.
   std::optional<core::PortId> in_port;
@@ -74,6 +83,10 @@ class FlowTable {
 
   /// Remove every entry whose dst prefix equals `dst` (any priority/port).
   std::size_t remove_by_dst(const net::Prefix& dst);
+
+  /// Remove every entry with priority strictly below `floor` (standalone-
+  /// mode flush: drop routing state, keep control-plane plumbing).
+  std::size_t remove_below_priority(std::uint16_t floor);
 
   /// Find the winning entry (and bump its counters if `account`).
   const FlowEntry* lookup(core::PortId ingress, const net::Packet& p,

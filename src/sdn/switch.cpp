@@ -24,8 +24,11 @@ void SdnSwitch::send_to_controller(const OfMessage& message) {
 }
 
 void SdnSwitch::handle_packet(core::PortId ingress, const net::Packet& packet) {
-  if (controller_port_ && ingress == *controller_port_ &&
-      packet.proto == net::Protocol::kOfControl) {
+  // Control messages normally arrive only on the controller channel; in
+  // standalone mode the speaker's relay links are the surviving control
+  // path, so any port may carry FlowMods.
+  if (packet.proto == net::Protocol::kOfControl &&
+      ((controller_port_ && ingress == *controller_port_) || standalone_)) {
     handle_control(packet);
     return;
   }
@@ -34,6 +37,7 @@ void SdnSwitch::handle_packet(core::PortId ingress, const net::Packet& packet) {
   const FlowEntry* entry = table_.lookup(ingress, packet);
   if (entry == nullptr) {
     ++counters_.table_misses;
+    if (standalone_) return;  // nobody to punt to
     OfPacketIn in;
     in.in_port = ingress;
     in.reason = PacketInReason::kNoMatch;
@@ -119,11 +123,61 @@ void SdnSwitch::handle_control(const net::Packet& packet) {
 }
 
 void SdnSwitch::on_link_state(core::PortId port, bool up) {
-  if (controller_port_ && port == *controller_port_) return;
+  if (controller_port_ && port == *controller_port_) {
+    if (up) {
+      exit_standalone();
+    } else {
+      enter_standalone();
+    }
+    return;
+  }
   OfPortStatus status;
   status.port = port;
   status.up = up;
   send_to_controller(status);
+}
+
+void SdnSwitch::flush_data_rules(const char* why) {
+  const auto flushed = table_.remove_below_priority(kRelayRulePriority);
+  counters_.standalone_flushed += flushed;
+  logger().log(loop().now(), core::LogLevel::kInfo, "sw." + name(), why,
+               "flushed " + std::to_string(flushed) + " data rules");
+}
+
+void SdnSwitch::enter_standalone() {
+  if (standalone_) return;
+  standalone_ = true;
+  ++counters_.standalone_entries;
+  // Fail-secure: the dead controller cannot retract stale routes, so drop
+  // every data rule. Relay rules survive — the cluster speaker keeps its
+  // external BGP sessions and becomes the degraded control path.
+  flush_data_rules("standalone_enter");
+  if (auto* tel = telemetry()) {
+    tel->metrics().counter("sdn.switch.standalone_entries").inc();
+    if (tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "sdn",
+                                                "standalone", "sw." + name());
+      span.arg("up", false);
+      tel->emit(span);
+    }
+  }
+}
+
+void SdnSwitch::exit_standalone() {
+  if (!standalone_) return;
+  standalone_ = false;
+  // Rules installed over the degraded path are stale the moment a live
+  // controller is back; flush again and re-handshake so it can repush.
+  flush_data_rules("standalone_exit");
+  if (auto* tel = telemetry()) {
+    if (tel->tracing()) {
+      auto span = telemetry::TraceSpan::instant(loop().now(), "sdn",
+                                                "standalone", "sw." + name());
+      span.arg("up", true);
+      tel->emit(span);
+    }
+  }
+  start();
 }
 
 }  // namespace bgpsdn::sdn

@@ -24,6 +24,8 @@ struct SwitchCounters {
   std::uint64_t flow_mods{0};
   std::uint64_t packet_outs{0};
   std::uint64_t dropped{0};
+  std::uint64_t standalone_entries{0};  // controller-channel losses survived
+  std::uint64_t standalone_flushed{0};  // data rules dropped across flushes
 };
 
 class SdnSwitch : public net::Node {
@@ -48,16 +50,28 @@ class SdnSwitch : public net::Node {
   void handle_packet(core::PortId ingress, const net::Packet& packet) override;
   void on_link_state(core::PortId port, bool up) override;
 
+  /// True while the controller channel is down. In standalone mode the
+  /// switch flushes its data-priority rules (fail-secure: no forwarding on
+  /// state the dead controller can no longer retract), stops punting table
+  /// misses, and accepts FlowMods arriving over any port — the degraded
+  /// control path is the cluster speaker programming border switches
+  /// through the static BGP relay rules.
+  bool standalone() const { return standalone_; }
+
   const SwitchCounters& counters() const { return counters_; }
 
  private:
   void handle_control(const net::Packet& packet);
   void send_to_controller(const OfMessage& message);
+  void enter_standalone();
+  void exit_standalone();
+  void flush_data_rules(const char* why);
 
   core::AsNumber owner_as_;
   std::optional<core::PortId> controller_port_;
   FlowTable table_;
   SwitchCounters counters_;
+  bool standalone_{false};
 };
 
 }  // namespace bgpsdn::sdn

@@ -37,6 +37,7 @@ PeeringId ClusterBgpSpeaker::add_peering(core::PortId relay_port, Peering peerin
 
 void ClusterBgpSpeaker::announce(PeeringId id, const net::Prefix& prefix,
                                  const bgp::PathAttributes& attrs) {
+  if (crashed_) return;
   Slot& slot = *slots_.at(id);
   if (!slot.session->established()) return;
   if (!slot.rib_out.advertise(prefix, attrs)) return;  // duplicate
@@ -61,6 +62,7 @@ void ClusterBgpSpeaker::announce(PeeringId id, const net::Prefix& prefix,
 }
 
 void ClusterBgpSpeaker::withdraw(PeeringId id, const net::Prefix& prefix) {
+  if (crashed_) return;
   Slot& slot = *slots_.at(id);
   if (!slot.session->established()) return;
   if (!slot.rib_out.withdraw(prefix)) return;  // never advertised
@@ -84,9 +86,60 @@ void ClusterBgpSpeaker::withdraw(PeeringId id, const net::Prefix& prefix) {
 }
 
 void ClusterBgpSpeaker::reset_peering(PeeringId id, const std::string& reason) {
+  if (crashed_) return;
   Slot& slot = *slots_.at(id);
   ++counters_.resets;
   slot.session->stop(reason, /*auto_restart=*/true);
+}
+
+void ClusterBgpSpeaker::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++counters_.crashes;
+  logger().log(loop().now(), core::LogLevel::kWarn, session_log_name(), "crash",
+               "speaker process down, " + std::to_string(slots_.size()) +
+                   " sessions lost");
+  if (auto* tel = telemetry()) tel->metrics().counter("speaker.crashes").inc();
+  for (auto& slot : slots_) {
+    // Process death sends nothing; external peers discover the outage when
+    // their hold timers expire and then retry on their own. session_down()
+    // fires here so the listener withdraws state immediately.
+    slot->session->stop("speaker crashed");
+    slot->rib_in.clear();
+    slot->rib_out.clear();
+  }
+}
+
+void ClusterBgpSpeaker::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
+               "restart", "speaker process up, reconnecting sessions");
+  for (auto& slot : slots_) slot->session->start();
+}
+
+void ClusterBgpSpeaker::replay_to(SpeakerListener& listener) const {
+  if (crashed_) return;
+  for (const auto& slot : slots_) {
+    if (!slot->session->established()) continue;
+    listener.on_peer_established(slot->info);
+    for (const auto& [prefix, attrs] : slot->rib_in) {
+      bgp::UpdateMessage update;
+      update.attributes = attrs;
+      update.nlri.push_back(prefix);
+      listener.on_route_update(slot->info, update);
+    }
+  }
+}
+
+void ClusterBgpSpeaker::send_relay_control(PeeringId id,
+                                           const sdn::OfMessage& message) {
+  if (crashed_) return;
+  Slot& slot = *slots_.at(id);
+  net::Packet pkt;
+  pkt.proto = net::Protocol::kOfControl;
+  pkt.payload = sdn::encode(message);
+  send(slot.relay_port, std::move(pkt));
 }
 
 const Peering* ClusterBgpSpeaker::peering(PeeringId id) const {
@@ -106,17 +159,20 @@ bool ClusterBgpSpeaker::peering_established(PeeringId id) const {
 
 void ClusterBgpSpeaker::start() {
   started_ = true;
+  if (crashed_) return;
   for (auto& slot : slots_) slot->session->start();
 }
 
 void ClusterBgpSpeaker::handle_packet(core::PortId ingress,
                                       const net::Packet& packet) {
+  if (crashed_) return;  // a dead process reads no sockets
   if (packet.proto != net::Protocol::kBgp) return;
   const auto it = by_port_.find(ingress.value());
   if (it != by_port_.end()) it->second->session->receive(packet.payload);
 }
 
 void ClusterBgpSpeaker::on_link_state(core::PortId port, bool up) {
+  if (crashed_) return;
   // A relay link (speaker<->switch) changed; treat like a session link.
   const auto it = by_port_.find(port.value());
   if (it == by_port_.end()) return;
@@ -134,6 +190,7 @@ ClusterBgpSpeaker::Slot* ClusterBgpSpeaker::slot_of(const bgp::Session& session)
 
 void ClusterBgpSpeaker::session_transmit(bgp::Session& session,
                                          std::vector<std::byte> wire) {
+  if (crashed_) return;
   Slot* slot = slot_of(session);
   if (slot == nullptr) return;
   net::Packet pkt;
@@ -157,6 +214,7 @@ void ClusterBgpSpeaker::session_down(bgp::Session& session,
                                      const std::string& reason) {
   Slot* slot = slot_of(session);
   slot->rib_out.clear();
+  slot->rib_in.clear();
   logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
                "session_down",
                slot->info.cluster_as.to_string() + " <-> peer " +
@@ -168,6 +226,8 @@ void ClusterBgpSpeaker::session_update(bgp::Session& session,
                                        const bgp::UpdateMessage& update) {
   Slot* slot = slot_of(session);
   ++counters_.updates_rx;
+  for (const auto& prefix : update.withdrawn) slot->rib_in.erase(prefix);
+  for (const auto& prefix : update.nlri) slot->rib_in[prefix] = update.attributes;
   if (auto* tel = telemetry()) tel->metrics().counter("speaker.updates_rx").inc();
   logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                "speaker_rx",

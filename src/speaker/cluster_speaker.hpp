@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -62,6 +63,7 @@ struct SpeakerCounters {
   std::uint64_t announces_tx{0};
   std::uint64_t withdraws_tx{0};
   std::uint64_t resets{0};
+  std::uint64_t crashes{0};
 };
 
 class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
@@ -83,6 +85,28 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
   /// Controller API: hard-reset a session (e.g. after a border-port-down
   /// PortStatus). The session restarts automatically.
   void reset_peering(PeeringId id, const std::string& reason);
+
+  /// Emulate speaker process death: every session drops silently (no
+  /// NOTIFICATION — peers discover via hold-timer expiry) and both
+  /// per-peering RIBs are lost. While crashed, the speaker reads no
+  /// packets and sends nothing.
+  void crash();
+  /// Restart after crash(): sessions reconnect; peers re-send their full
+  /// tables on re-establishment, which repopulates the Adj-RIBs-In.
+  void restart();
+  bool crashed() const { return crashed_; }
+
+  /// Re-deliver current state to a (new) listener: on_peer_established for
+  /// every live peering, then one synthetic update per retained
+  /// Adj-RIB-In route. This is how a restarted controller — or the
+  /// degraded-mode fallback engine — resyncs without waiting for the
+  /// external world to re-announce.
+  void replay_to(SpeakerListener& listener) const;
+
+  /// Degraded-mode control path: ship an OpenFlow message to a peering's
+  /// border switch over its relay link (the switch accepts it while
+  /// standalone). Used by the fallback engine when the controller is down.
+  void send_relay_control(PeeringId id, const sdn::OfMessage& message);
 
   const Peering* peering(PeeringId id) const;
   std::vector<const Peering*> peerings() const;
@@ -111,6 +135,10 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
     core::PortId relay_port;
     std::unique_ptr<bgp::Session> session;
     bgp::AdjRibOut rib_out;
+    /// Routes as received on this peering (the speaker-side Adj-RIB-In),
+    /// kept for replay_to(): the degraded-mode engine and a restarted
+    /// controller resync from here. Cleared when the session drops.
+    std::map<net::Prefix, bgp::PathAttributes> rib_in;
   };
 
   Slot* slot_of(const bgp::Session& session);
@@ -118,6 +146,7 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
   bgp::Timers timers_;
   SpeakerListener* listener_{nullptr};
   bool started_{false};
+  bool crashed_{false};
   std::vector<std::unique_ptr<Slot>> slots_;        // index = PeeringId
   std::unordered_map<std::uint32_t, Slot*> by_port_;     // relay port -> slot
   std::unordered_map<std::uint32_t, Slot*> by_session_;  // session id -> slot

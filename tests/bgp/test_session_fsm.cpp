@@ -223,6 +223,33 @@ TEST_F(SessionFsmTest, FlapCounterTracksDowns) {
   EXPECT_EQ(a->session->counters().flaps, 2u);
 }
 
+TEST_F(SessionFsmTest, StopResetsNegotiatedHoldTime) {
+  // Regression: stop() must forget the dead connection's negotiated hold
+  // time. A restarted session that kept a short negotiated hold (4 s here)
+  // would expire its OpenSent hold timer off the stale value instead of the
+  // configured 9 s and NOTIFY/flap while the peer is merely slow to return.
+  auto cb = config(2, 65002, 65001);
+  cb.timers.hold = core::Duration::seconds(4);
+  b->session = std::make_unique<Session>(*b, cb);
+  a->session->start();
+  b->session->start();
+  run(core::Duration::seconds(2));
+  ASSERT_TRUE(a->session->established());
+  ASSERT_EQ(a->session->negotiated_hold_s(), 4u);
+
+  a->session->stop("maintenance");
+  EXPECT_EQ(a->session->negotiated_hold_s(), 0u);
+
+  // Restart towards a dead peer: only the configured hold may govern.
+  a->set_link_up(false);
+  b->set_link_up(false);
+  const auto notifications_before = a->session->counters().notifications_tx;
+  a->session->start();
+  run(core::Duration::seconds(5));  // past the stale 4 s, short of 9 s
+  EXPECT_EQ(a->session->state(), SessionState::kOpenSent);
+  EXPECT_EQ(a->session->counters().notifications_tx, notifications_before);
+}
+
 TEST_F(SessionFsmTest, StateNamesAreStable) {
   EXPECT_STREQ(to_string(SessionState::kIdle), "Idle");
   EXPECT_STREQ(to_string(SessionState::kEstablished), "Established");

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <limits>
+
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
 #include "core/random.hpp"
@@ -191,6 +194,69 @@ TEST_F(NetworkTest, HostIgnoresForeignProbes) {
   h1.send_probe(Ipv4Addr{10, 9, 9, 9}, 1);  // not h2's address
   loop.run();
   EXPECT_EQ(h2.probes_received(), 0u);
+}
+
+TEST_F(NetworkTest, LinkParamsValidatedAtConnect) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  EXPECT_THROW(net.connect(a.id(), b.id(), {core::Duration::millis(-1), 0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(net.connect(a.id(), b.id(), {core::Duration::zero(), 0, 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(net.connect(a.id(), b.id(), {core::Duration::zero(), 0, -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(net.connect(a.id(), b.id(),
+                           {core::Duration::zero(), 0,
+                            std::numeric_limits<double>::quiet_NaN()}),
+               std::invalid_argument);
+  // Boundary values are legal.
+  net.connect(a.id(), b.id(), {core::Duration::zero(), 0, 1.0});
+}
+
+TEST_F(NetworkTest, RuntimeLossClampsAndRejectsNaN) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto link = net.connect(a.id(), b.id());
+  net.set_link_loss(link, 7.0);  // clamps to 1.0: everything drops
+  Packet p;
+  net.send(a.id(), core::PortId{0}, p);
+  loop.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().dropped_loss, 1u);
+  net.set_link_loss(link, -3.0);  // clamps to 0.0: everything delivers
+  net.send(a.id(), core::PortId{0}, p);
+  loop.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_THROW(net.set_link_loss(link, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      net.set_link_corruption(link, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+}
+
+TEST_F(NetworkTest, CorruptionFlipsPayloadBitsAndCounts) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto link = net.connect(a.id(), b.id());
+  net.set_link_corruption(link, 1.0);
+  Packet p;
+  p.payload.assign(32, std::byte{0});
+  net.send(a.id(), core::PortId{0}, p);
+  loop.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  // Delivered (corruption is not loss), same size, 1-3 bits flipped.
+  const auto& got = b.received[0].second.payload;
+  ASSERT_EQ(got.size(), p.payload.size());
+  int flipped = 0;
+  for (const auto byte : got) flipped += std::popcount(std::to_integer<unsigned>(byte));
+  EXPECT_GE(flipped, 1);
+  EXPECT_LE(flipped, 3);
+  EXPECT_EQ(net.stats().corrupted, 1u);
+
+  // Empty payloads (pure signalling packets) are never corrupted.
+  net.send(a.id(), core::PortId{0}, Packet{});
+  loop.run();
+  EXPECT_EQ(net.stats().corrupted, 1u);
 }
 
 }  // namespace

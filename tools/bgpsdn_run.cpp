@@ -32,13 +32,17 @@ namespace {
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--trials N] [--base-seed S] [--jobs J] [--json PATH] "
-               "<scenario-file | ->\n"
+               "[--faults PATH] <scenario-file | ->\n"
                "  --json PATH  write a bgpsdn.bench/1 JSON document: single "
                "runs include\n"
                "               the full telemetry capture (metrics, monitors, "
                "trace stats),\n"
                "               --trials runs include the boxplot point and "
-               "footer\n";
+               "footer\n"
+               "  --faults PATH  arm a fault plan when the scenario's 'start' "
+               "completes\n"
+               "               (see src/framework/faults.hpp for the plan "
+               "grammar)\n";
 }
 
 }  // namespace
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_seed = 1000;
   std::size_t jobs = 0;  // 0 = BGPSDN_JOBS / hardware_concurrency
   std::string json_path;
+  std::string faults_path;
   std::string input;
   bool have_input = false;
 
@@ -91,6 +96,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       json_path = argv[++i];
+    } else if (arg == "--faults") {
+      if (i + 1 >= argc) {
+        std::cerr << "--faults needs a path\n";
+        return 1;
+      }
+      faults_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -124,11 +135,31 @@ int main(int argc, char** argv) {
     script = buf.str();
   }
 
+  bgpsdn::framework::FaultPlan fault_plan;
+  bool have_faults = false;
+  if (!faults_path.empty()) {
+    std::ifstream file{faults_path};
+    if (!file) {
+      std::cerr << "cannot open " << faults_path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    try {
+      fault_plan = bgpsdn::framework::FaultPlan::parse(buf.str());
+    } catch (const std::exception& e) {
+      std::cerr << faults_path << ": " << e.what() << "\n";
+      return 1;
+    }
+    have_faults = true;
+  }
+
   if (trials == 1) {
     using Clock = std::chrono::steady_clock;
     const auto t0 = Clock::now();
     bgpsdn::framework::ScenarioRunner runner;
     runner.set_capture_telemetry(!json_path.empty());
+    if (have_faults) runner.set_fault_plan(fault_plan);
     const auto result = runner.run(script);
     const double wall =
         std::chrono::duration<double>(Clock::now() - t0).count();
@@ -139,6 +170,7 @@ int main(int argc, char** argv) {
       fw::BenchReport report{"bgpsdn_run"};
       report.set_param("scenario", tel::Json{input});
       report.set_param("trials", tel::Json{std::int64_t{1}});
+      if (have_faults) report.set_param("faults", tel::Json{faults_path});
       tel::Json extra = tel::Json::object();
       if (auto* exp = runner.experiment(); exp != nullptr) {
         extra["monitors"] = exp->monitors_snapshot();
@@ -177,6 +209,7 @@ int main(int argc, char** argv) {
     const auto s0 = Clock::now();
     bgpsdn::framework::ScenarioRunner runner;
     runner.override_seed(base_seed + i);
+    if (have_faults) runner.set_fault_plan(fault_plan);
     results[i] = runner.run(script);
     if (!json_path.empty()) {
       if (auto* exp = runner.experiment(); exp != nullptr) {
@@ -229,6 +262,7 @@ int main(int argc, char** argv) {
                      tel::Json{static_cast<std::int64_t>(trials)});
     report.set_param("base_seed",
                      tel::Json{static_cast<std::int64_t>(base_seed)});
+    if (have_faults) report.set_param("faults", tel::Json{faults_path});
     report.add_point("wait_converged_s", fw::summarize(final_conv),
                      final_conv);
     for (const auto& per_trial : trial_counters) {

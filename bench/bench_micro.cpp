@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "bgp/attr_intern.hpp"
 #include "bgp/decision.hpp"
 #include "bgp/message.hpp"
 #include "controller/as_topology.hpp"
@@ -15,6 +16,7 @@
 #include "core/event_loop.hpp"
 #include "framework/experiment.hpp"
 #include "net/lpm.hpp"
+#include "sdn/flow.hpp"
 #include "topology/generators.hpp"
 
 namespace {
@@ -91,8 +93,10 @@ void BM_DecisionProcess(benchmark::State& state) {
     for (std::int64_t h = 0; h <= i % 7; ++h) {
       hops.emplace_back(static_cast<std::uint32_t>(100 + h));
     }
-    r.attributes.as_path = bgp::AsPath{std::move(hops)};
-    r.attributes.local_pref = 100;
+    bgp::PathAttributes attrs;
+    attrs.as_path = bgp::AsPath{std::move(hops)};
+    attrs.local_pref = 100;
+    r.attributes = bgp::AttrSetRef::intern(std::move(attrs));
     r.peer_bgp_id = net::Ipv4Addr{static_cast<std::uint32_t>(i + 1)};
     r.learned_from = core::SessionId{static_cast<std::uint32_t>(i)};
     routes.push_back(std::move(r));
@@ -121,6 +125,110 @@ void BM_LpmLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LpmLookup);
+
+// Flow table with n data-plane /24 rules plus the usual handful of
+// higher-priority relay rules, mirroring a border switch's steady state.
+sdn::FlowTable sample_flow_table(std::uint32_t n) {
+  sdn::FlowTable table;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sdn::FlowEntry e;
+    e.match.dst = net::Prefix{net::Ipv4Addr{(10u << 24) | (i << 8)}, 24};
+    e.priority = sdn::kDataRulePriority;
+    e.action = sdn::FlowAction::output(core::PortId{1 + i % 4});
+    table.add(std::move(e));
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    sdn::FlowEntry relay;
+    relay.match.in_port = core::PortId{100 + i};
+    relay.match.proto = net::Protocol::kBgp;
+    relay.priority = sdn::kRelayRulePriority;
+    relay.action = sdn::FlowAction::output(core::PortId{50});
+    table.add(std::move(relay));
+  }
+  return table;
+}
+
+template <bool kLinear>
+void BM_FlowTableLookupImpl(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto table = sample_flow_table(n);
+  net::Packet p;
+  p.proto = net::Protocol::kData;
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    p.dst = net::Ipv4Addr{(10u << 24) | ((x % n) << 8) | (x >> 28)};
+    const auto* e = kLinear ? table.lookup_linear(core::PortId{3}, p)
+                            : table.lookup(core::PortId{3}, p, false);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  BM_FlowTableLookupImpl<false>(state);
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(1024)->Arg(4096);
+
+void BM_FlowTableLookupLinear(benchmark::State& state) {
+  BM_FlowTableLookupImpl<true>(state);
+}
+BENCHMARK(BM_FlowTableLookupLinear)->Arg(1024)->Arg(4096);
+
+void BM_AttrIntern(benchmark::State& state) {
+  // Hit path: interning a bundle already in the pool (the common case once
+  // a route has been seen on one session) must cost a hash + one compare.
+  const auto canonical = bgp::AttrSetRef::intern([] {
+    bgp::PathAttributes a;
+    a.as_path = bgp::AsPath{{core::AsNumber{65001}, core::AsNumber{2},
+                             core::AsNumber{1}}};
+    a.next_hop = *net::Ipv4Addr::parse("172.16.0.1");
+    a.local_pref = 100;
+    a.communities = {1, 2, 3};
+    return a;
+  }());
+  for (auto _ : state) {
+    bgp::PathAttributes copy = *canonical;
+    benchmark::DoNotOptimize(bgp::AttrSetRef::intern(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttrIntern);
+
+template <bool kShared>
+void BM_UpdateFanoutImpl(benchmark::State& state) {
+  // One UPDATE fanned out to `n` peers, as a router flushing its Adj-RIBs-Out
+  // does after a decision change: identical attributes, identical codec
+  // options, n transmissions. Legacy encodes n times; the shared path encodes
+  // once and hands out refcounted views of the same buffer.
+  const auto n = state.range(0);
+  const auto u = sample_update(8);
+  const bgp::Message msg{u};
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::int64_t peer = 0; peer < n; ++peer) {
+      if constexpr (kShared) {
+        const net::Bytes wire = bgp::encode_shared(msg);
+        total += wire.size();
+      } else {
+        const auto wire = bgp::encode(msg);
+        total += wire.size();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_UpdateFanout(benchmark::State& state) {
+  BM_UpdateFanoutImpl<true>(state);
+}
+BENCHMARK(BM_UpdateFanout)->Arg(16)->Arg(64);
+
+void BM_UpdateFanoutLegacy(benchmark::State& state) {
+  BM_UpdateFanoutImpl<false>(state);
+}
+BENCHMARK(BM_UpdateFanoutLegacy)->Arg(16)->Arg(64);
 
 void BM_Dijkstra(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
@@ -157,9 +265,11 @@ void BM_AsTopologyDecide(benchmark::State& state) {
     speaker.add_peering(core::PortId{static_cast<std::uint32_t>(i)}, p);
     controller::ExternalRoute r;
     r.peering = static_cast<speaker::PeeringId>(i);
-    r.attributes.as_path =
+    bgp::PathAttributes rattrs;
+    rattrs.as_path =
         bgp::AsPath{{core::AsNumber{static_cast<std::uint32_t>(500 + i)},
                      core::AsNumber{999}}};
+    r.attributes = bgp::AttrSetRef::intern(std::move(rattrs));
     routes.push_back(std::move(r));
   }
   controller::AsTopologyGraph topo{graph, speaker};

@@ -69,8 +69,8 @@ int main() {
   for (const auto as : spec.ases) {
     if (exp.is_member(as) || as == service_as) continue;
     const auto* r = exp.router(as).loc_rib().find(service_pfx);
-    if (r == nullptr || !r->attributes.local_pref) continue;
-    switch (*r->attributes.local_pref) {
+    if (r == nullptr || !r->attributes->local_pref) continue;
+    switch (*r->attributes->local_pref) {
       case 130: ++customer_routes; break;
       case 100: ++peer_routes; break;
       case 70: ++provider_routes; break;

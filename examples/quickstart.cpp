@@ -47,8 +47,8 @@ int main() {
   const bgp::Route* route = as2.loc_rib().find(pfx);
   std::printf("\nAS2 (legacy BGP) best route for %s:\n", pfx.to_string().c_str());
   std::printf("  AS path [%s], next hop %s, %zu candidate(s) in Adj-RIB-In\n",
-              route->attributes.as_path.to_string().c_str(),
-              route->attributes.next_hop.to_string().c_str(),
+              route->attributes->as_path.to_string().c_str(),
+              route->attributes->next_hop.to_string().c_str(),
               as2.adj_rib_in().candidates(pfx).size());
 
   // ...the controller's decision for the cluster...

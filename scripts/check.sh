@@ -72,22 +72,78 @@ else
   echo "WARNING: neither python3 nor jq found; skipping JSON schema check" >&2
 fi
 
+# Determinism job: the same seeded bench must emit byte-identical points and
+# counters whether trials run serially or on a 4-worker pool. Only the
+# footer (wall-clock timings, jobs count) may differ. This is the
+# end-to-end guard on the interning pools, shared encode buffers, and the
+# reworked event loop: any cross-trial state leak shows up here.
+echo "===== bench json determinism (BGPSDN_JOBS=1 vs 4)"
+if command -v python3 > /dev/null 2>&1; then
+  BGPSDN_QUICK=1 BGPSDN_JOBS=1 \
+    ./build/bench/bench_fig2_withdrawal --json build/json/fig2_j1.json > /dev/null
+  BGPSDN_QUICK=1 BGPSDN_JOBS=4 \
+    ./build/bench/bench_fig2_withdrawal --json build/json/fig2_j4.json > /dev/null
+  BGPSDN_QUICK=1 BGPSDN_JOBS=1 \
+    ./build/bench/bench_chaos --json build/json/chaos_j1.json > /dev/null
+  BGPSDN_QUICK=1 BGPSDN_JOBS=4 \
+    ./build/bench/bench_chaos --json build/json/chaos_j4.json > /dev/null
+  BGPSDN_JOBS=1 ./build/tools/bgpsdn_run --trials 4 \
+    --json build/json/trials_j1.json scenarios/fig2_point.bgpsdn > /dev/null
+  BGPSDN_JOBS=4 ./build/tools/bgpsdn_run --trials 4 \
+    --json build/json/trials_j4.json scenarios/fig2_point.bgpsdn > /dev/null
+  python3 - <<'EOF'
+import json, sys
+for name in ("fig2", "chaos", "trials"):
+    docs = []
+    for jobs in (1, 4):
+        with open(f"build/json/{name}_j{jobs}.json") as f:
+            doc = json.load(f)
+        doc.pop("footer", None)  # wall-clock + jobs count legitimately differ
+        docs.append(json.dumps(doc, sort_keys=True))
+    if docs[0] != docs[1]:
+        sys.exit(f"{name}: bench JSON differs between BGPSDN_JOBS=1 and 4")
+    print(f"{name}: byte-identical across jobs counts (footer excluded)")
+EOF
+else
+  echo "WARNING: python3 not found; skipping determinism diff" >&2
+fi
+
+# Perf job: micro-bench medians gated against the committed baseline.
+# Tolerance is generous (25%) because this runs on whatever machine the
+# developer has; it exists to catch order-of-magnitude regressions in the
+# hot paths (event loop, flow lookup, fan-out encode, interning), not to
+# police noise. Refresh the baseline with:
+#   ./build/bench/bench_micro --json BENCH_baseline.json
+echo "===== perf gate"
+if command -v python3 > /dev/null 2>&1; then
+  ./build/bench/bench_micro --json build/json/micro.json > /dev/null
+  python3 scripts/compare_bench.py build/json/micro.json \
+    --baseline BENCH_baseline.json --tolerance 0.25
+else
+  echo "WARNING: python3 not found; skipping perf gate" >&2
+fi
+
 # ASan+UBSan job: the fault-injection, crash-recovery and corruption-fuzz
 # paths deliberately feed sessions garbage bytes and tear subsystems down
 # mid-flight — exactly where lifetime and UB bugs would hide. Rebuild with
-# both sanitizers and run every fault/chaos/fuzz test.
+# both sanitizers and run every fault/chaos/fuzz test, plus the refcounted
+# hot-path machinery: the attribute-interning pool (weak_ptr sweep,
+# canonical lifetime), the shared encode buffers, the COW byte payloads,
+# and the slot-slab event loop under churn.
 echo "===== asan+ubsan"
 cmake -B build-asan "${GENERATOR[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "$(nproc)" \
-  --target test_framework test_bgp test_net
+  --target test_framework test_bgp test_net test_core
 ./build-asan/tests/test_framework \
   --gtest_filter='FaultPlanParse.*:FaultInjector.*:FaultDsl.*:FaultDeterminism.*:CrashRecovery.*'
-./build-asan/tests/test_bgp --gtest_filter='*CodecFuzz*:*LiveSessionFuzz*'
+./build-asan/tests/test_bgp \
+  --gtest_filter='*CodecFuzz*:*LiveSessionFuzz*:AttrIntern.*:EncodeShared.*'
 ./build-asan/tests/test_net \
-  --gtest_filter='*LinkParams*:*RuntimeLoss*:*Corruption*'
+  --gtest_filter='*LinkParams*:*RuntimeLoss*:*Corruption*:Bytes.*'
+./build-asan/tests/test_core --gtest_filter='EventLoop.*'
 
 # ThreadSanitizer job: rebuild the test binaries with -fsanitize=thread and
 # run everything that exercises the parallel trial runners. Simulations are

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Performance gate: compare a bgpsdn.bench/1 JSON document to a baseline.
+
+Usage:
+    compare_bench.py CURRENT.json --baseline BASELINE.json [--tolerance 0.25]
+
+Points are matched by label; the comparison metric is the median
+seconds-per-iteration. A point regresses when it exceeds BOTH bounds:
+
+    current_median > baseline_median * (1 + tolerance)
+    current_median > baseline_median + min_delta
+
+The absolute min-delta floor (default 25 ns) exists for the nano-scale
+benches: a 20 ns lookup can drift several nanoseconds on a loaded machine
+— a large *ratio* but meaningless as a regression signal — while for
+micro- and millisecond-scale benches the floor is negligible and the
+relative tolerance alone decides.
+
+Exit status is non-zero if any shared label regresses. Labels present only
+in the current document are reported as new (not a failure, so adding a
+bench does not require regenerating the baseline in the same change);
+labels present only in the baseline fail, since silently dropping a bench
+would un-gate it.
+
+Stdlib only, by design: the gate must run anywhere the benches build.
+"""
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "bgpsdn.bench/1":
+        sys.exit(f"{path}: not a bgpsdn.bench/1 document")
+    medians = {}
+    for point in doc.get("points", []):
+        medians[point["label"]] = float(point["median"])
+    return medians
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="bench JSON to gate")
+    parser.add_argument("--baseline", required=True, help="reference bench JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-delta",
+        type=float,
+        default=25e-9,
+        help="absolute slowdown (seconds) below which a point never "
+        "regresses, regardless of ratio (default 25ns)",
+    )
+    args = parser.parse_args()
+
+    current = load_medians(args.current)
+    baseline = load_medians(args.baseline)
+
+    failures = []
+    width = max((len(label) for label in baseline), default=10)
+    for label in sorted(baseline):
+        base = baseline[label]
+        if label not in current:
+            failures.append(f"{label}: present in baseline but missing from run")
+            continue
+        cur = current[label]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if cur > base * (1.0 + args.tolerance) and cur > base + args.min_delta:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{label}: {cur:.3e}s vs baseline {base:.3e}s "
+                f"({ratio:.2f}x, tolerance {1.0 + args.tolerance:.2f}x)"
+            )
+        print(f"{label:<{width}}  {cur:>10.3e}s  baseline {base:>10.3e}s  "
+              f"{ratio:>5.2f}x  {verdict}")
+    for label in sorted(set(current) - set(baseline)):
+        print(f"{label:<{width}}  {current[label]:>10.3e}s  (new, no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} perf gate failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate ok: {len(baseline)} benches within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

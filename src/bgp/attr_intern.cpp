@@ -1,0 +1,92 @@
+#include "bgp/attr_intern.hpp"
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+namespace bgpsdn::bgp {
+
+namespace {
+
+/// Below this many entries the pool is never swept.
+constexpr std::size_t kPurgeFloor = 64;
+
+struct Pool {
+  std::unordered_multimap<std::size_t, std::weak_ptr<const PathAttributes>>
+      entries;
+  /// Sweep when entries reaches this; doubled after each sweep so the cost
+  /// amortizes to O(1) per intern.
+  std::size_t purge_threshold{kPurgeFloor};
+  std::uint64_t interns{0};
+  std::uint64_t hits{0};
+  std::uint64_t purges{0};
+
+  void sweep() {
+    std::erase_if(entries,
+                  [](const auto& kv) { return kv.second.expired(); });
+    purge_threshold = std::max(kPurgeFloor, entries.size() * 2);
+    ++purges;
+  }
+};
+
+Pool& pool() {
+  thread_local Pool p;
+  return p;
+}
+
+}  // namespace
+
+std::size_t hash_value(const PathAttributes& attrs) {
+  std::size_t h = static_cast<std::size_t>(attrs.origin);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (const auto as : attrs.as_path.hops()) mix(as.value());
+  mix(attrs.next_hop.bits());
+  mix(attrs.med ? (std::uint64_t{1} << 32) | *attrs.med : 0);
+  mix(attrs.local_pref ? (std::uint64_t{1} << 32) | *attrs.local_pref : 0);
+  for (const auto c : attrs.communities) mix(c);
+  return h;
+}
+
+AttrSetRef::AttrSetRef() {
+  // One shared default bundle per thread: default-constructed Routes and
+  // RIB slots all point here instead of each allocating empty vectors.
+  thread_local const std::shared_ptr<const PathAttributes> kDefault =
+      std::make_shared<const PathAttributes>();
+  ptr_ = kDefault;
+}
+
+AttrSetRef AttrSetRef::intern(PathAttributes attrs) {
+  Pool& p = pool();
+  ++p.interns;
+  const std::size_t h = hash_value(attrs);
+  const auto [lo, hi] = p.entries.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (auto sp = it->second.lock(); sp != nullptr && *sp == attrs) {
+      ++p.hits;
+      return AttrSetRef{std::move(sp)};
+    }
+  }
+  auto sp = std::make_shared<const PathAttributes>(std::move(attrs));
+  p.entries.emplace(h, sp);
+  if (p.entries.size() >= p.purge_threshold) p.sweep();
+  return AttrSetRef{std::move(sp)};
+}
+
+AttrPoolStats attr_pool_stats() {
+  const Pool& p = pool();
+  AttrPoolStats stats;
+  stats.entries = p.entries.size();
+  for (const auto& [h, wp] : p.entries) {
+    if (!wp.expired()) ++stats.live;
+  }
+  stats.interns = p.interns;
+  stats.hits = p.hits;
+  stats.purges = p.purges;
+  return stats;
+}
+
+void attr_pool_purge() { pool().sweep(); }
+
+}  // namespace bgpsdn::bgp

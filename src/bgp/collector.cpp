@@ -60,7 +60,7 @@ void RouteCollector::on_link_state(core::PortId port, bool up) {
   }
 }
 
-void RouteCollector::session_transmit(Session& session, std::vector<std::byte> wire) {
+void RouteCollector::session_transmit(Session& session, net::Bytes wire) {
   Peer* peer = by_session_.at(session.id().value());
   net::Packet pkt;
   pkt.src = peer->local_address;

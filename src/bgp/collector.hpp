@@ -42,7 +42,7 @@ class RouteCollector : public net::Node, public SessionHost {
   void on_link_state(core::PortId port, bool up) override;
 
   // SessionHost
-  void session_transmit(Session& session, std::vector<std::byte> wire) override;
+  void session_transmit(Session& session, net::Bytes wire) override;
   void session_established(Session& session) override;
   void session_down(Session& session, const std::string& reason) override;
   void session_update(Session& session, const UpdateMessage& update) override;

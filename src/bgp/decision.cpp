@@ -7,12 +7,12 @@ namespace {
 constexpr std::uint32_t kDefaultLocalPref = 100;
 
 std::uint32_t local_pref_of(const Route& r) {
-  return r.attributes.local_pref.value_or(kDefaultLocalPref);
+  return r.attributes->local_pref.value_or(kDefaultLocalPref);
 }
 
 std::uint32_t med_of(const Route& r) {
   // Missing MED is treated as the best (0), Quagga's default.
-  return r.attributes.med.value_or(0);
+  return r.attributes->med.value_or(0);
 }
 
 template <typename T>
@@ -28,11 +28,11 @@ int compare_routes(const Route& a, const Route& b) {
   // 1. LOCAL_PREF, higher wins.
   if (const int c = cmp(local_pref_of(b), local_pref_of(a))) return c;
   // 2. AS_PATH length, shorter wins.
-  if (const int c = cmp(a.attributes.as_path.length(), b.attributes.as_path.length()))
+  if (const int c = cmp(a.attributes->as_path.length(), b.attributes->as_path.length()))
     return c;
   // 3. ORIGIN, lower wins.
-  if (const int c = cmp(static_cast<int>(a.attributes.origin),
-                        static_cast<int>(b.attributes.origin)))
+  if (const int c = cmp(static_cast<int>(a.attributes->origin),
+                        static_cast<int>(b.attributes->origin)))
     return c;
   // 4. MED, lower wins.
   if (const int c = cmp(med_of(a), med_of(b))) return c;
@@ -69,9 +69,9 @@ const char* to_string(DecisionReason r) {
 
 DecisionReason decide_reason(const Route& a, const Route& b) {
   if (local_pref_of(a) != local_pref_of(b)) return DecisionReason::kLocalPref;
-  if (a.attributes.as_path.length() != b.attributes.as_path.length())
+  if (a.attributes->as_path.length() != b.attributes->as_path.length())
     return DecisionReason::kAsPathLength;
-  if (a.attributes.origin != b.attributes.origin) return DecisionReason::kOrigin;
+  if (a.attributes->origin != b.attributes->origin) return DecisionReason::kOrigin;
   if (med_of(a) != med_of(b)) return DecisionReason::kMed;
   if (a.installed_at != b.installed_at) return DecisionReason::kAge;
   if (a.peer_bgp_id != b.peer_bgp_id) return DecisionReason::kBgpId;

@@ -312,6 +312,42 @@ std::vector<std::byte> encode(const Message& message, const CodecOptions& opts) 
   return w.take();
 }
 
+net::Bytes encode_shared(const Message& message, const CodecOptions& opts) {
+  if (std::holds_alternative<KeepaliveMessage>(message)) {
+    // KEEPALIVE is 19 fixed bytes regardless of codec options: one wire
+    // image per thread serves every session for the whole run.
+    thread_local const std::shared_ptr<const std::vector<std::byte>> kWire =
+        std::make_shared<std::vector<std::byte>>(encode(Message{KeepaliveMessage{}}));
+    return net::Bytes::adopt(kWire);
+  }
+  if (const auto* update = std::get_if<UpdateMessage>(&message)) {
+    // Fan-out cache: a best-path change is advertised on every session
+    // back-to-back with identical content. Tiny per-thread ring, keyed by
+    // message value + codec width — encode once, share the buffer N ways.
+    struct Entry {
+      UpdateMessage msg;
+      bool four_octet{false};
+      std::shared_ptr<const std::vector<std::byte>> wire;
+    };
+    constexpr std::size_t kCacheSize = 8;
+    thread_local Entry cache[kCacheSize];
+    thread_local std::size_t next = 0;
+    for (const auto& e : cache) {
+      if (e.wire != nullptr && e.four_octet == opts.four_octet_as &&
+          e.msg == *update) {
+        return net::Bytes::adopt(e.wire);
+      }
+    }
+    std::shared_ptr<const std::vector<std::byte>> wire =
+        std::make_shared<std::vector<std::byte>>(encode(message, opts));
+    cache[next] = Entry{*update, opts.four_octet_as, wire};
+    next = (next + 1) % kCacheSize;
+    return net::Bytes::adopt(std::move(wire));
+  }
+  // OPEN / NOTIFICATION: rare, connection-scoped, not worth caching.
+  return net::Bytes{encode(message, opts)};
+}
+
 std::vector<UpdateMessage> split_update(const UpdateMessage& update,
                                         const CodecOptions& opts) {
   if (encode(update, opts).size() <= kMaxMessageSize) return {update};

@@ -14,6 +14,7 @@
 
 #include "bgp/path_attributes.hpp"
 #include "bgp/types.hpp"
+#include "net/bytes.hpp"
 #include "net/ip.hpp"
 
 namespace bgpsdn::bgp {
@@ -80,6 +81,13 @@ struct CodecOptions {
 
 /// Serialize to RFC 4271 wire format (16-byte marker, length, type, body).
 std::vector<std::byte> encode(const Message& message, const CodecOptions& opts = {});
+
+/// Serialize with buffer sharing (the encode-once fan-out path):
+/// KEEPALIVEs reuse one static wire image, and UPDATEs hit a small
+/// per-thread cache keyed by message value + codec so advertising one
+/// best-path change to N peers encodes once and shares the bytes N ways.
+/// Byte-for-byte identical to encode().
+net::Bytes encode_shared(const Message& message, const CodecOptions& opts = {});
 
 /// Split an UPDATE into pieces that each encode within kMaxMessageSize
 /// (withdrawn routes and NLRI distributed across messages; the attribute

@@ -86,7 +86,7 @@ std::vector<net::Prefix> LocRib::prefixes() const {
   return out;
 }
 
-bool AdjRibOut::advertise(const net::Prefix& prefix, const PathAttributes& attrs) {
+bool AdjRibOut::advertise(const net::Prefix& prefix, const AttrSetRef& attrs) {
   const auto it = advertised_.find(prefix);
   if (it != advertised_.end() && it->second == attrs) return false;
   advertised_[prefix] = attrs;
@@ -97,7 +97,7 @@ bool AdjRibOut::withdraw(const net::Prefix& prefix) {
   return advertised_.erase(prefix) > 0;
 }
 
-const PathAttributes* AdjRibOut::advertised(const net::Prefix& prefix) const {
+const AttrSetRef* AdjRibOut::advertised(const net::Prefix& prefix) const {
   const auto it = advertised_.find(prefix);
   return it == advertised_.end() ? nullptr : &it->second;
 }

@@ -13,15 +13,17 @@
 
 #include "core/ids.hpp"
 #include "core/time.hpp"
+#include "bgp/attr_intern.hpp"
 #include "bgp/path_attributes.hpp"
 #include "net/ip.hpp"
 
 namespace bgpsdn::bgp {
 
-/// One candidate route for one prefix.
+/// One candidate route for one prefix. Attributes are an interned handle:
+/// every route carrying the same bundle shares one canonical instance.
 struct Route {
   net::Prefix prefix;
-  PathAttributes attributes;
+  AttrSetRef attributes;
   /// Session the route was learned from; invalid for locally-originated.
   core::SessionId learned_from{core::SessionId::invalid()};
   /// Decision-process tiebreak inputs.
@@ -53,6 +55,17 @@ class AdjRibIn {
   /// All candidates for one prefix, deterministic order.
   std::vector<const Route*> candidates(const net::Prefix& prefix) const;
 
+  /// Allocation-free visitation of the candidates for one prefix, in the
+  /// same deterministic (session-ascending) order as candidates(). The
+  /// decision process runs per prefix on every received update; this avoids
+  /// the per-invocation vector the old interface forced.
+  template <typename Fn>
+  void for_each_candidate(const net::Prefix& prefix, Fn&& fn) const {
+    const auto it = by_prefix_.find(prefix);
+    if (it == by_prefix_.end()) return;
+    for (const auto& [sid, route] : it->second) fn(route);
+  }
+
   std::size_t route_count() const;
   std::vector<net::Prefix> prefixes() const;
 
@@ -83,22 +96,24 @@ class LocRib {
 };
 
 /// What has been advertised to one peer, for delta-based update generation.
+/// Stores interned attribute handles: a full-table advertisement holds one
+/// canonical bundle per distinct attribute set, not one copy per prefix.
 class AdjRibOut {
  public:
   /// Record an advertisement; returns false if identical attributes were
   /// already advertised (update suppressed).
-  bool advertise(const net::Prefix& prefix, const PathAttributes& attrs);
+  bool advertise(const net::Prefix& prefix, const AttrSetRef& attrs);
 
   /// Record a withdrawal; returns false if nothing was advertised.
   bool withdraw(const net::Prefix& prefix);
 
-  const PathAttributes* advertised(const net::Prefix& prefix) const;
+  const AttrSetRef* advertised(const net::Prefix& prefix) const;
   std::size_t size() const { return advertised_.size(); }
   void clear() { advertised_.clear(); }
   std::vector<net::Prefix> prefixes() const;
 
  private:
-  std::unordered_map<net::Prefix, PathAttributes> advertised_;
+  std::unordered_map<net::Prefix, AttrSetRef> advertised_;
 };
 
 }  // namespace bgpsdn::bgp

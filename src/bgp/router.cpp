@@ -13,6 +13,18 @@ namespace bgpsdn::bgp {
 namespace {
 /// Locally-originated routes always win the decision process.
 constexpr std::uint32_t kLocalRoutePref = 1000;
+
+/// Shared bundle for locally-originated candidates (one canonical instance
+/// per thread instead of a fresh PathAttributes per recompute).
+const AttrSetRef& local_route_attrs() {
+  thread_local const AttrSetRef attrs = [] {
+    PathAttributes a;
+    a.origin = Origin::kIgp;
+    a.local_pref = kLocalRoutePref;
+    return AttrSetRef::intern(std::move(a));
+  }();
+  return attrs;
+}
 }  // namespace
 
 void BgpRouter::add_peer(core::PortId port, PeerConfig peer_config) {
@@ -90,7 +102,7 @@ void BgpRouter::on_link_state(core::PortId port, bool up) {
 
 // --- SessionHost ----------------------------------------------------------
 
-void BgpRouter::session_transmit(Session& session, std::vector<std::byte> wire) {
+void BgpRouter::session_transmit(Session& session, net::Bytes wire) {
   Peer* peer = peer_of(session);
   if (peer == nullptr) return;
   net::Packet pkt;
@@ -172,6 +184,7 @@ void BgpRouter::init_metrics() {
     decision_runs_metric_ = &metrics.counter("bgp.decision.runs");
     best_changes_metric_ = &metrics.counter("bgp.decision.best_changes");
     updates_tx_metric_ = &metrics.counter("bgp.router.updates_tx");
+    decision_candidates_metric_ = &metrics.histogram("bgp.decision.candidates");
   }
 }
 std::string BgpRouter::session_log_name() const {
@@ -202,15 +215,16 @@ void BgpRouter::process_update(Peer& peer, const UpdateMessage& update) {
     }
     Route route;
     route.prefix = prefix;
-    route.attributes = attrs;
+    route.attributes = AttrSetRef::intern(std::move(attrs));
     route.learned_from = sid;
     route.peer_bgp_id = peer.session->peer_bgp_id();
     route.peer_address = peer.config.remote_address;
     route.installed_at = loop().now();
     // Re-announcements with unchanged attributes keep their age (the
     // decision process prefers older routes) and do not count as flaps.
+    // Interning makes this the pointer-identity fast path.
     const Route* existing = adj_rib_in_.find(prefix, sid);
-    if (existing != nullptr && existing->attributes == attrs) {
+    if (existing != nullptr && existing->attributes == route.attributes) {
       route.installed_at = existing->installed_at;
     } else if (existing != nullptr || dampener_.has_history(sid, prefix)) {
       // Attribute change or re-advertisement after a withdrawal: a flap.
@@ -240,28 +254,33 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
   init_metrics();
   if (decision_runs_metric_ != nullptr) decision_runs_metric_->inc();
   const std::uint64_t best_changes_before = counters_.best_changes;
-  std::vector<const Route*> candidates = adj_rib_in_.candidates(prefix);
-  if (config_.damping.enabled) {
-    std::erase_if(candidates, [&](const Route* r) {
-      return dampener_.is_suppressed(r->learned_from, prefix, loop().now());
-    });
-  }
+  // Incremental best-path selection over an allocation-free visitation of
+  // the Adj-RIB-In candidates (visited in session-ascending order, so ties
+  // resolve exactly as the old select_best-over-vector did).
+  const Route* best = nullptr;
+  std::size_t candidate_count = 0;
+  adj_rib_in_.for_each_candidate(prefix, [&](const Route& r) {
+    if (config_.damping.enabled &&
+        dampener_.is_suppressed(r.learned_from, prefix, loop().now())) {
+      return;
+    }
+    ++candidate_count;
+    if (best == nullptr || compare_routes(r, *best) < 0) best = &r;
+  });
   Route local;  // storage for the locally-originated candidate
   if (const auto it = local_prefixes_.find(prefix); it != local_prefixes_.end()) {
     local.prefix = prefix;
-    local.attributes.origin = Origin::kIgp;
-    local.attributes.local_pref = kLocalRoutePref;
+    local.attributes = local_route_attrs();
     local.installed_at = it->second;
-    candidates.push_back(&local);
+    ++candidate_count;
+    if (best == nullptr || compare_routes(local, *best) < 0) best = &local;
   }
 
-  if (auto* tel = telemetry()) {
-    tel->metrics()
-        .histogram("bgp.decision.candidates")
-        .record(static_cast<std::int64_t>(candidates.size()));
+  if (decision_candidates_metric_ != nullptr) {
+    decision_candidates_metric_->record(
+        static_cast<std::int64_t>(candidate_count));
   }
 
-  const Route* best = select_best(candidates);
   const Route* current = loc_rib_.find(prefix);
 
   if (best == nullptr) {
@@ -291,7 +310,7 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
     logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
                  "best_changed",
                  prefix.to_string() + " via [" +
-                     best->attributes.as_path.to_string() + "]");
+                     best->attributes->as_path.to_string() + "]");
   }
 
   if (auto* tel = telemetry()) {
@@ -303,7 +322,7 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
       auto span = telemetry::TraceSpan::instant(loop().now(), "bgp", "decision",
                                                 session_log_name());
       span.arg("prefix", prefix.to_string())
-          .arg("candidates", static_cast<std::int64_t>(candidates.size()))
+          .arg("candidates", static_cast<std::int64_t>(candidate_count))
           .arg("best_changed", counters_.best_changes != best_changes_before);
       tel->emit(span);
     }
@@ -322,20 +341,21 @@ std::optional<Relationship> BgpRouter::relationship_of_best(const Route& best) {
 
 BgpRouter::ExportAction BgpRouter::evaluate_export(Peer& peer,
                                                    const net::Prefix& prefix,
-                                                   PathAttributes& out_attrs) {
+                                                   AttrSetRef& out_attrs) {
   const Route* best = loc_rib_.find(prefix);
   if (best == nullptr) return ExportAction::kWithdraw;
   if (config_.split_horizon && best->learned_from == peer.session->id()) {
     return ExportAction::kWithdraw;
   }
-  PathAttributes attrs = best->attributes;
+  // Copy-out / edit / re-intern: the canonical bundle is immutable.
+  PathAttributes attrs = *best->attributes;
   if (!PolicyEngine::apply_export(peer.config.policy, relationship_of_best(*best),
                                   prefix, attrs, config_.asn)) {
     return ExportAction::kWithdraw;
   }
   attrs.as_path = attrs.as_path.prepend(config_.asn);
   attrs.next_hop = peer.config.local_address;
-  out_attrs = std::move(attrs);
+  out_attrs = AttrSetRef::intern(std::move(attrs));
   return ExportAction::kAnnounce;
 }
 
@@ -345,7 +365,7 @@ core::Duration BgpRouter::peer_mrai(const Peer& peer) const {
 
 void BgpRouter::schedule_peer_update(Peer& peer, const net::Prefix& prefix) {
   if (!peer.session->established()) return;
-  PathAttributes attrs;
+  AttrSetRef attrs;
   const ExportAction action = evaluate_export(peer, prefix, attrs);
   const bool announce = action == ExportAction::kAnnounce;
   const bool gated = (announce || config_.timers.mrai_applies_to_withdrawals) &&
@@ -357,7 +377,7 @@ void BgpRouter::schedule_peer_update(Peer& peer, const net::Prefix& prefix) {
     UpdateMessage msg;
     if (announce) {
       if (!peer.rib_out.advertise(prefix, attrs)) return;  // duplicate
-      msg.attributes = std::move(attrs);
+      msg.attributes = *attrs;
       msg.nlri.push_back(prefix);
     } else {
       if (!peer.rib_out.withdraw(prefix)) return;  // never advertised
@@ -418,15 +438,16 @@ void BgpRouter::flush_peer(Peer& peer) {
   }
   std::vector<net::Prefix> withdrawals;
   // Announcement groups keyed by attribute bundle (one bundle per UPDATE).
-  std::vector<std::pair<PathAttributes, std::vector<net::Prefix>>> groups;
+  // Interned handles make the group lookup a pointer compare.
+  std::vector<std::pair<AttrSetRef, std::vector<net::Prefix>>> groups;
   for (const auto& prefix : peer.pending) {
-    PathAttributes attrs;
+    AttrSetRef attrs;
     if (evaluate_export(peer, prefix, attrs) == ExportAction::kAnnounce) {
       if (!peer.rib_out.advertise(prefix, attrs)) continue;  // unchanged
       auto it = std::find_if(groups.begin(), groups.end(),
                              [&](const auto& g) { return g.first == attrs; });
       if (it == groups.end()) {
-        groups.push_back({std::move(attrs), {prefix}});
+        groups.push_back({attrs, {prefix}});
       } else {
         it->second.push_back(prefix);
       }
@@ -439,7 +460,7 @@ void BgpRouter::flush_peer(Peer& peer) {
   std::vector<UpdateMessage> messages;
   for (auto& [attrs, nlri] : groups) {
     UpdateMessage m;
-    m.attributes = std::move(attrs);
+    m.attributes = *attrs;
     m.nlri = std::move(nlri);
     messages.push_back(std::move(m));
   }

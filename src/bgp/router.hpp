@@ -92,7 +92,7 @@ class BgpRouter : public net::Node, public SessionHost {
   void on_link_state(core::PortId port, bool up) override;
 
   // --- SessionHost --------------------------------------------------------
-  void session_transmit(Session& session, std::vector<std::byte> wire) override;
+  void session_transmit(Session& session, net::Bytes wire) override;
   void session_established(Session& session) override;
   void session_down(Session& session, const std::string& reason) override;
   void session_update(Session& session, const UpdateMessage& update) override;
@@ -154,7 +154,7 @@ class BgpRouter : public net::Node, public SessionHost {
   /// right now (announce with attrs / withdraw / nothing).
   enum class ExportAction { kAnnounce, kWithdraw, kNone };
   ExportAction evaluate_export(Peer& peer, const net::Prefix& prefix,
-                               PathAttributes& out_attrs);
+                               AttrSetRef& out_attrs);
   /// Send everything pending for the peer; groups NLRI by attribute bundle.
   void flush_peer(Peer& peer);
   void arm_mrai(Peer& peer);
@@ -183,6 +183,7 @@ class BgpRouter : public net::Node, public SessionHost {
   telemetry::Counter* decision_runs_metric_{nullptr};
   telemetry::Counter* best_changes_metric_{nullptr};
   telemetry::Counter* updates_tx_metric_{nullptr};
+  telemetry::Histogram* decision_candidates_metric_{nullptr};
 };
 
 }  // namespace bgpsdn::bgp

@@ -140,7 +140,7 @@ void Session::fail(std::uint8_t code, std::uint8_t subcode,
 void Session::transmit(const Message& m) {
   // OPEN must be readable before negotiation; only UPDATE uses the
   // negotiated AS width, and it is only sent when established.
-  host_.session_transmit(*this, encode(m, codec_));
+  host_.session_transmit(*this, encode_shared(m, codec_));
   if (type_of(m) == MessageType::kKeepalive) ++counters_.keepalives_tx;
 }
 

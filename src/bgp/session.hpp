@@ -15,6 +15,7 @@
 #include "core/time.hpp"
 #include "bgp/message.hpp"
 #include "bgp/types.hpp"
+#include "net/bytes.hpp"
 #include "net/ip.hpp"
 
 namespace bgpsdn::core {
@@ -25,6 +26,7 @@ class Rng;
 
 namespace bgpsdn::telemetry {
 class Counter;
+class Histogram;
 class Telemetry;
 }  // namespace bgpsdn::telemetry
 
@@ -49,8 +51,9 @@ class SessionHost {
   virtual ~SessionHost() = default;
 
   /// Transmit wire bytes towards the peer (the host wraps them in a Packet
-  /// and picks the right port).
-  virtual void session_transmit(Session& session, std::vector<std::byte> wire) = 0;
+  /// and picks the right port). The buffer is copy-on-write shared: the
+  /// same encoded UPDATE fans out to many peers without re-encoding.
+  virtual void session_transmit(Session& session, net::Bytes wire) = 0;
 
   virtual void session_established(Session& session) = 0;
   virtual void session_down(Session& session, const std::string& reason) = 0;

@@ -53,7 +53,7 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
     const speaker::Peering* info = speaker_.peering(r.peering);
     if (info == nullptr) return;
     const auto weight =
-        static_cast<std::uint32_t>(1 + r.attributes.as_path.length());
+        static_cast<std::uint32_t>(1 + r.attributes->as_path.length());
     const auto it = egress.find(info->border_dpid);
     // Deterministic preference: lower weight, then lower peering id.
     if (it == egress.end() || weight < it->second.weight ||
@@ -65,7 +65,7 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
   // --- Pass 1: routes that never re-enter the cluster -------------------
   std::vector<const ExternalRoute*> crossing;
   for (const auto& r : routes) {
-    if (crosses_cluster(r.attributes.as_path)) {
+    if (crosses_cluster(r.attributes->as_path)) {
       crossing.push_back(&r);
     } else {
       consider_egress(r);
@@ -113,7 +113,7 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
       const sdn::Dpid border = info->border_dpid;
       if (res.dist.count(border) > 0) continue;  // already safely routed
       bool safe = true;
-      for (const auto as : r->attributes.as_path.hops()) {
+      for (const auto as : r->attributes->as_path.hops()) {
         const auto crossed = switches_.switch_of(as);
         if (!crossed) continue;
         if (component_of.at(*crossed) == component_of.at(border) ||
@@ -182,10 +182,10 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
       if (h.kind == PrefixDecision::HopKind::kLocalOrigin) break;
       if (h.kind == PrefixDecision::HopKind::kEgress) {
         const auto& choice = egress.at(cur);
-        for (const auto as : choice.route->attributes.as_path.hops()) {
+        for (const auto as : choice.route->attributes->as_path.hops()) {
           hops_out.push_back(as);
         }
-        origin = choice.route->attributes.origin;
+        origin = choice.route->attributes->origin;
         break;
       }
       cur = h.next_switch;

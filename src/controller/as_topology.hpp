@@ -38,6 +38,7 @@
 #include <optional>
 #include <vector>
 
+#include "bgp/attr_intern.hpp"
 #include "bgp/path_attributes.hpp"
 #include "controller/dijkstra.hpp"
 #include "controller/switch_graph.hpp"
@@ -45,10 +46,11 @@
 
 namespace bgpsdn::controller {
 
-/// One external route for the prefix under decision.
+/// One external route for the prefix under decision. Attributes are an
+/// interned handle shared with the speaker/controller RIB entry.
 struct ExternalRoute {
   speaker::PeeringId peering{0};
-  bgp::PathAttributes attributes;
+  bgp::AttrSetRef attributes;
 };
 
 /// The controller's routing decision for one prefix.

@@ -115,7 +115,7 @@ class FallbackRouting : public speaker::SpeakerListener {
   std::uint64_t epoch_{0};
   bool recompute_pending_{false};
 
-  std::map<net::Prefix, std::map<speaker::PeeringId, bgp::PathAttributes>>
+  std::map<net::Prefix, std::map<speaker::PeeringId, bgp::AttrSetRef>>
       external_routes_;
   std::map<net::Prefix, Origin> origins_;
   /// Flows this engine pushed over the relay path (diff target; the switch

@@ -69,10 +69,12 @@ void IdrController::on_route_update(const speaker::Peering& peering,
       mark_dirty(prefix);
     }
   }
+  if (update.nlri.empty()) return;
+  const auto attrs = bgp::AttrSetRef::intern(update.attributes);
   for (const auto& prefix : update.nlri) {
     auto& slot = external_routes_[prefix][peering.id];
-    if (slot == update.attributes) continue;  // duplicate announcement
-    slot = update.attributes;
+    if (slot == attrs) continue;  // duplicate announcement
+    slot = attrs;
     mark_dirty(prefix);
   }
 }

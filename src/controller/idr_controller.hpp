@@ -105,8 +105,8 @@ class IdrController : public ClusterController {
   speaker::ClusterBgpSpeaker* speaker_{nullptr};
   SwitchGraph graph_;
 
-  /// External RIB: prefix -> (peering -> attributes as received).
-  std::unordered_map<net::Prefix, std::map<speaker::PeeringId, bgp::PathAttributes>>
+  /// External RIB: prefix -> (peering -> interned attributes as received).
+  std::unordered_map<net::Prefix, std::map<speaker::PeeringId, bgp::AttrSetRef>>
       external_routes_;
   /// Cluster-originated prefixes: prefix -> (origin switch, host port).
   struct OriginInfo {

@@ -65,7 +65,7 @@ void GhostPeer::on_link_state(core::PortId, bool up) {
   }
 }
 
-void GhostPeer::session_transmit(bgp::Session&, std::vector<std::byte> wire) {
+void GhostPeer::session_transmit(bgp::Session&, net::Bytes wire) {
   net::Packet pkt;
   pkt.src = local_address_;
   pkt.dst = remote_address_;

@@ -78,7 +78,7 @@ class GhostPeer : public net::Node, public bgp::SessionHost {
 
   // SessionHost — the virtual router's updates come back through here and
   // are relayed to the real world.
-  void session_transmit(bgp::Session& session, std::vector<std::byte> wire) override;
+  void session_transmit(bgp::Session& session, net::Bytes wire) override;
   void session_established(bgp::Session& session) override;
   void session_down(bgp::Session& session, const std::string& reason) override;
   void session_update(bgp::Session& session, const bgp::UpdateMessage& update) override;

@@ -1,8 +1,50 @@
 #include "core/event_loop.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace bgpsdn::core {
+
+namespace {
+/// Compaction hysteresis: below this many tombstones the heap is left alone,
+/// so small churny loops never pay the rebuild.
+constexpr std::size_t kCompactFloor = 64;
+}  // namespace
+
+void EventLoop::sift_up(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventLoop::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventLoop::pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
 
 TimerId EventLoop::schedule(Duration delay, Callback cb) {
   if (delay < Duration::zero()) delay = Duration::zero();
@@ -11,37 +53,93 @@ TimerId EventLoop::schedule(Duration delay, Callback cb) {
 
 TimerId EventLoop::schedule_at(TimePoint when, Callback cb) {
   if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
-  pending_ids_.insert(id);
-  return TimerId{id};
+  if (heap_.empty()) next_seq_ = 0;
+  std::uint32_t index;
+  if (free_slots_.empty()) {
+    index = static_cast<std::uint32_t>(slot_count_++);
+    if ((index >> kSlabShift) == slabs_.size()) {
+      slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    }
+  } else {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& slot = slot_at(index);
+  slot.cb = std::move(cb);
+  slot.state = SlotState::kPending;
+  heap_.push_back(Entry{when.nanos_since_origin(), next_seq_++, index});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return TimerId{pack(index, slot.generation)};
+}
+
+bool EventLoop::is_pending(TimerId id) const {
+  const auto index = static_cast<std::uint32_t>(id.value());
+  if (index >= slot_count_) return false;
+  const Slot& slot = slot_at(index);
+  return slot.generation == static_cast<std::uint32_t>(id.value() >> 32) &&
+         slot.state == SlotState::kPending;
 }
 
 bool EventLoop::cancel(TimerId id) {
-  if (pending_ids_.count(id.value()) == 0) return false;
-  // Lazy deletion: mark and skip when popped. Entries stay in the heap but
-  // their callbacks are dropped.
-  const bool fresh = cancelled_.insert(id.value()).second;
-  if (fresh) pending_ids_.erase(id.value());
-  return fresh;
+  const auto index = static_cast<std::uint32_t>(id.value());
+  if (index >= slot_count_) return false;
+  Slot& slot = slot_at(index);
+  if (slot.generation != static_cast<std::uint32_t>(id.value() >> 32) ||
+      slot.state != SlotState::kPending) {
+    return false;
+  }
+  // Lazy deletion: the heap entry stays behind as a tombstone and is skipped
+  // when popped; compact() reclaims it if tombstones pile up before virtual
+  // time reaches it. The callback's captures are released right away.
+  slot.cb = Callback{};
+  slot.state = SlotState::kCancelled;
+  --live_;
+  ++tombstones_;
+  if (tombstones_ > kCompactFloor && tombstones_ > live_) compact();
+  return true;
+}
+
+void EventLoop::release_slot(std::uint32_t index) {
+  Slot& slot = slot_at(index);
+  slot.state = SlotState::kFree;
+  ++slot.generation;
+  free_slots_.push_back(index);
+}
+
+void EventLoop::compact() {
+  std::erase_if(heap_, [&](const Entry& e) {
+    if (slot_at(e.slot).state != SlotState::kCancelled) return false;
+    release_slot(e.slot);
+    return true;
+  });
+  // Floyd heapify: sift down every internal node, deepest first.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  tombstones_ = 0;
 }
 
 bool EventLoop::step(TimePoint until) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const std::uint32_t index = heap_.front().slot;
+    if (slot_at(index).state == SlotState::kCancelled) {
+      pop_root();
+      release_slot(index);
+      --tombstones_;
       continue;
     }
-    if (top.when > until) return false;
-    // Move the callback out before popping invalidates the reference.
-    Entry entry{top.when, top.seq, top.id, std::move(const_cast<Entry&>(top).cb)};
-    queue_.pop();
-    pending_ids_.erase(entry.id);
-    now_ = entry.when;
+    const TimePoint when = TimePoint::from_nanos(heap_.front().when_ns);
+    if (when > until) return false;
+    pop_root();
+    // Free the slot before invoking so the callback can re-schedule (reusing
+    // the slot) and so cancel() on the now-running timer reports false.
+    Callback cb = std::move(slot_at(index).cb);
+    release_slot(index);
+    --live_;
+    now_ = when;
     ++executed_;
-    entry.cb();
+    cb();
     return true;
   }
   return false;

@@ -4,14 +4,28 @@
 // delivery, protocol timer, and controller recomputation is an event. Events
 // at the same instant fire in the order they were scheduled (FIFO), which
 // keeps runs deterministic for a given seed.
+//
+// Hot-path design (see DESIGN.md §9):
+//  - Callbacks are core::SmallFunc — captures up to 64 bytes live inline in
+//    a slab slot, so scheduling a typical timer performs no allocation.
+//  - The timer queue is an implicit 4-ary min-heap of 24-byte POD entries
+//    (time, seq, slot): sift operations never move callbacks, and the wider
+//    fan-out halves the sift-down depth on the pop-dominated fire path.
+//  - A timer's slab slot is found by index straight from its TimerId
+//    (slot index + reuse generation packed into the 64-bit value), so
+//    cancel() and is_pending() are O(1) array reads instead of hash-set
+//    operations, and cancel() frees the callback's captures immediately.
+//  - Cancelled entries stay in the heap as tombstones, but the heap is
+//    compacted whenever tombstones outnumber live entries and slots are
+//    recycled through a free list — long cancel-heavy runs (fault/chaos
+//    plans re-arming hold timers forever) stay bounded.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "core/function.hpp"
 #include "core/ids.hpp"
 #include "core/time.hpp"
 
@@ -22,7 +36,7 @@ namespace bgpsdn::core {
 /// more on research questions than on state consistency").
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunc;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -40,13 +54,14 @@ class EventLoop {
   TimerId schedule_at(TimePoint when, Callback cb);
 
   /// Cancel a pending timer. Cancelling an already-fired or already-cancelled
-  /// timer is a no-op. Returns true if the timer was pending.
+  /// timer is a no-op. Returns true if the timer was pending (its callback —
+  /// and any resources the captures hold — is destroyed immediately).
   bool cancel(TimerId id);
 
-  bool is_pending(TimerId id) const { return cancelled_.count(id.value()) == 0 && pending_ids_.count(id.value()) > 0; }
+  bool is_pending(TimerId id) const;
 
-  /// Number of events still queued (including cancelled tombstones' live peers).
-  std::size_t pending_events() const { return pending_ids_.size(); }
+  /// Number of events still pending (cancelled tombstones excluded).
+  std::size_t pending_events() const { return live_; }
 
   /// Run until the queue is empty or `until` is reached, whichever is first.
   /// Returns the number of events executed.
@@ -63,26 +78,72 @@ class EventLoop {
   /// Total events executed since construction.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Heap entries currently held, including cancelled tombstones awaiting
+  /// compaction. Exposed so tests can assert the tombstone bound.
+  std::size_t queued_entries() const { return heap_.size(); }
+
+  /// Slab capacity (high-water mark of concurrently tracked timers).
+  /// Bounded by peak live + tombstones, not by how many timers ever
+  /// existed; exposed for the churn regression test.
+  std::size_t slots_allocated() const { return slot_count_; }
+
  private:
-  struct Entry {
-    TimePoint when;
-    std::uint64_t seq;  // FIFO tiebreak for simultaneous events
-    std::uint64_t id;
+  enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
+
+  /// One tracked timer. Slots are recycled through a free list; the
+  /// generation distinguishes a reused slot from stale TimerId handles.
+  struct Slot {
     Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t generation{0};
+    SlotState state{SlotState::kFree};
   };
 
+  /// 16-byte heap entry: four children share a cache line during sifts.
+  /// `seq` provides the FIFO tiebreak for simultaneous events; it is 32-bit
+  /// but the counter resets every time the heap drains, so a wrap would need
+  /// 2^32 events in flight at once without the queue ever emptying.
+  struct Entry {
+    std::int64_t when_ns;
+    std::uint32_t seq;
+    std::uint32_t slot;
+  };
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+    return a.seq < b.seq;
+  }
+
+  /// Slots live in fixed-size chunks so growth never relocates a callback
+  /// (and outstanding Slot addresses stay stable while callbacks run).
+  static constexpr std::size_t kSlabShift = 8;
+  static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
+
+  static std::uint64_t pack(std::uint32_t slot, std::uint32_t generation) {
+    return (std::uint64_t{generation} << 32) | slot;
+  }
+  Slot& slot_at(std::size_t index) {
+    return slabs_[index >> kSlabShift][index & (kSlabSize - 1)];
+  }
+  const Slot& slot_at(std::size_t index) const {
+    return slabs_[index >> kSlabShift][index & (kSlabSize - 1)];
+  }
+  /// Return a slot to the free list (bumping its generation so outstanding
+  /// TimerIds go stale).
+  void release_slot(std::uint32_t index);
+  /// Rebuild the heap without cancelled tombstones.
+  void compact();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Remove the root entry (heap must be non-empty).
+  void pop_root();
+
   TimePoint now_{TimePoint::origin()};
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::uint64_t next_seq_{0};
-  std::uint64_t next_id_{1};
+  std::vector<Entry> heap_;  // implicit 4-ary min-heap ordered by earlier()
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::size_t slot_count_{0};
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_{0};        // entries in the heap still pending
+  std::size_t tombstones_{0};  // cancelled entries still in the heap
+  std::uint32_t next_seq_{0};
   std::uint64_t executed_{0};
 };
 

@@ -1,0 +1,115 @@
+// SmallFunc — a move-only `void()` callable with small-buffer optimization.
+//
+// The event loop schedules millions of callbacks per run; std::function
+// heap-allocates for any capture larger than two pointers, which makes the
+// scheduler allocation-bound. SmallFunc stores captures up to kInlineSize
+// bytes in place (covering every hot callback in the tree: `[this, epoch]`,
+// `[this, peer, epoch]`, the link-delivery `[this, link_id, dir, packet]`)
+// and only falls back to the heap for oversized captures such as
+// by-value UpdateMessages.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bgpsdn::core {
+
+class SmallFunc {
+ public:
+  /// Inline capture budget. Sized for the link-delivery lambda (a Packet
+  /// with a shared payload handle plus a `this` pointer) — the hottest
+  /// allocation in the emulator. Callables larger than this heap-allocate.
+  static constexpr std::size_t kInlineSize = 64;
+
+  SmallFunc() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunc> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunc(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  SmallFunc(SmallFunc&& other) noexcept : vt_{other.vt_} {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  SmallFunc& operator=(SmallFunc&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.buf_, buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFunc(const SmallFunc&) = delete;
+  SmallFunc& operator=(const SmallFunc&) = delete;
+
+  ~SmallFunc() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct into `dst` from `src`, then destroy `src` (a relocate
+    /// keeps heap moves to a single pointer copy).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable{
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* src, void* dst) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable{
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* src, void* dst) {
+        Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*from);
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_{nullptr};
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace bgpsdn::core

@@ -350,7 +350,7 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     if (exp.is_member(as)) fail(line, "print-rib targets a legacy router");
     for (const auto& [pfx, route] : exp.router(as).loc_rib().all()) {
       result.output.push_back(as.to_string() + " " + pfx.to_string() + " via [" +
-                              route.attributes.as_path.to_string() + "]");
+                              route.attributes->as_path.to_string() + "]");
     }
   } else if (cmd == "print-trace") {
     need(2);

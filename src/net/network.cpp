@@ -114,9 +114,10 @@ void Network::send(core::NodeId from, core::PortId port, Packet packet) {
     // reject it without crashing; BGP answers with a NOTIFICATION).
     const auto flips = rng_.uniform_int(1, 3);
     const auto bits = static_cast<std::int64_t>(packet.payload.size()) * 8;
+    auto& bytes = packet.payload.mutate();  // un-share before writing
     for (std::int64_t i = 0; i < flips; ++i) {
       const auto bit = static_cast<std::size_t>(rng_.uniform_int(0, bits - 1));
-      packet.payload[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+      bytes[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
     }
     ++stats_.corrupted;
   }

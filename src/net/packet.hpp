@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "net/bytes.hpp"
 #include "net/ip.hpp"
 
 namespace bgpsdn::net {
@@ -30,7 +31,8 @@ struct Packet {
   Protocol proto{Protocol::kData};
   std::uint8_t ttl{64};
   /// Serialized upper-layer message (wire bytes for BGP / OF control).
-  std::vector<std::byte> payload;
+  /// Copy-on-write: forwarding and fan-out share one buffer.
+  Bytes payload;
   /// Probe/flow correlation id, echoed back by probe responders.
   std::uint64_t flow_label{0};
 

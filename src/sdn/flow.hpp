@@ -6,9 +6,11 @@
 // paper's use-case needs (L3 destination routing + control-plane relays).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ids.hpp"
@@ -73,6 +75,15 @@ struct FlowEntry {
 /// Priority-ordered flow table. Selection: among entries whose match
 /// accepts the packet, highest priority wins; ties broken by longer dst
 /// prefix, then insertion order (first wins).
+///
+/// lookup() is indexed: entries are bucketed by dst prefix length and hashed
+/// on the masked network bits, so a lookup probes one hash bucket per
+/// distinct prefix length present in the table (tracked in a bitmask)
+/// instead of scanning every entry. Because priority can beat prefix length,
+/// every present length is probed — there is no longest-match early exit —
+/// but the per-bucket candidate lists are tiny in practice. The index is
+/// rebuilt wholesale by the remove_* APIs (control-plane-rate operations);
+/// lookup (data-plane rate) never mutates it.
 class FlowTable {
  public:
   /// Insert or overwrite (same match+priority replaces).
@@ -92,12 +103,31 @@ class FlowTable {
   const FlowEntry* lookup(core::PortId ingress, const net::Packet& p,
                           bool account = true);
 
+  /// Reference implementation of lookup(): the original full linear scan.
+  /// Kept so tests and benches can pin the indexed lookup's selection
+  /// semantics (and speedup) against it; not for production use.
+  const FlowEntry* lookup_linear(core::PortId ingress, const net::Packet& p,
+                                 bool account = false);
+
   std::size_t size() const { return entries_.size(); }
   const std::vector<FlowEntry>& entries() const { return entries_; }
-  void clear() { entries_.clear(); }
+  void clear();
 
  private:
+  /// Masked network bits for `addr` at prefix length `len`.
+  static std::uint32_t key_at(std::uint32_t addr_bits, int len) {
+    return len == 0 ? 0u : addr_bits & (~std::uint32_t{0} << (32 - len));
+  }
+  void index_entry(std::size_t i);
+  void rebuild_index();
+
   std::vector<FlowEntry> entries_;
+  /// Entry indices (ascending = insertion order) bucketed by
+  /// [dst prefix length][masked dst network bits].
+  std::array<std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>, 33>
+      by_len_;
+  /// Bit L set iff by_len_[L] is non-empty.
+  std::uint64_t len_mask_{0};
 };
 
 }  // namespace bgpsdn::sdn

@@ -40,7 +40,9 @@ void ClusterBgpSpeaker::announce(PeeringId id, const net::Prefix& prefix,
   if (crashed_) return;
   Slot& slot = *slots_.at(id);
   if (!slot.session->established()) return;
-  if (!slot.rib_out.advertise(prefix, attrs)) return;  // duplicate
+  if (!slot.rib_out.advertise(prefix, bgp::AttrSetRef::intern(attrs))) {
+    return;  // duplicate
+  }
   bgp::UpdateMessage m;
   m.attributes = attrs;
   m.nlri.push_back(prefix);
@@ -125,7 +127,7 @@ void ClusterBgpSpeaker::replay_to(SpeakerListener& listener) const {
     listener.on_peer_established(slot->info);
     for (const auto& [prefix, attrs] : slot->rib_in) {
       bgp::UpdateMessage update;
-      update.attributes = attrs;
+      update.attributes = *attrs;
       update.nlri.push_back(prefix);
       listener.on_route_update(slot->info, update);
     }
@@ -189,7 +191,7 @@ ClusterBgpSpeaker::Slot* ClusterBgpSpeaker::slot_of(const bgp::Session& session)
 }
 
 void ClusterBgpSpeaker::session_transmit(bgp::Session& session,
-                                         std::vector<std::byte> wire) {
+                                         net::Bytes wire) {
   if (crashed_) return;
   Slot* slot = slot_of(session);
   if (slot == nullptr) return;
@@ -227,7 +229,10 @@ void ClusterBgpSpeaker::session_update(bgp::Session& session,
   Slot* slot = slot_of(session);
   ++counters_.updates_rx;
   for (const auto& prefix : update.withdrawn) slot->rib_in.erase(prefix);
-  for (const auto& prefix : update.nlri) slot->rib_in[prefix] = update.attributes;
+  if (!update.nlri.empty()) {
+    const auto attrs = bgp::AttrSetRef::intern(update.attributes);
+    for (const auto& prefix : update.nlri) slot->rib_in[prefix] = attrs;
+  }
   if (auto* tel = telemetry()) tel->metrics().counter("speaker.updates_rx").inc();
   logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                "speaker_rx",

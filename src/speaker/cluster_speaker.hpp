@@ -119,7 +119,7 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
   void on_link_state(core::PortId port, bool up) override;
 
   // SessionHost
-  void session_transmit(bgp::Session& session, std::vector<std::byte> wire) override;
+  void session_transmit(bgp::Session& session, net::Bytes wire) override;
   void session_established(bgp::Session& session) override;
   void session_down(bgp::Session& session, const std::string& reason) override;
   void session_update(bgp::Session& session, const bgp::UpdateMessage& update) override;
@@ -138,7 +138,8 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
     /// Routes as received on this peering (the speaker-side Adj-RIB-In),
     /// kept for replay_to(): the degraded-mode engine and a restarted
     /// controller resync from here. Cleared when the session drops.
-    std::map<net::Prefix, bgp::PathAttributes> rib_in;
+    /// Interned handles: every slot storing the same bundle shares it.
+    std::map<net::Prefix, bgp::AttrSetRef> rib_in;
   };
 
   Slot* slot_of(const bgp::Session& session);

@@ -13,9 +13,11 @@
 
 #include <bit>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "telemetry/json.hpp"
@@ -88,19 +90,24 @@ class Histogram {
 };
 
 /// Name → instrument map with stable addresses (nodes never move).
+///
+/// Backed by hash maps with transparent string_view lookup: the common
+/// "look up by name" call hashes the characters directly — no temporary
+/// std::string, no tree walk. Snapshot determinism is unaffected because
+/// Json objects sort their keys on insertion.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return slot(counters_, name); }
-  Gauge& gauge(const std::string& name) { return slot(gauges_, name); }
-  Histogram& histogram(const std::string& name) { return slot(histograms_, name); }
+  Counter& counter(std::string_view name) { return slot(counters_, name); }
+  Gauge& gauge(std::string_view name) { return slot(gauges_, name); }
+  Histogram& histogram(std::string_view name) { return slot(histograms_, name); }
 
-  const Counter* find_counter(const std::string& name) const {
+  const Counter* find_counter(std::string_view name) const {
     return find(counters_, name);
   }
-  const Gauge* find_gauge(const std::string& name) const {
+  const Gauge* find_gauge(std::string_view name) const {
     return find(gauges_, name);
   }
-  const Histogram* find_histogram(const std::string& name) const {
+  const Histogram* find_histogram(std::string_view name) const {
     return find(histograms_, name);
   }
 
@@ -109,20 +116,34 @@ class MetricsRegistry {
   Json snapshot() const;
 
  private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
   template <typename T>
-  T& slot(std::map<std::string, T>& map, const std::string& name) {
-    return map[name];  // std::map: insertion never invalidates other nodes
+  using Map =
+      std::unordered_map<std::string, T, StringHash, std::equal_to<>>;
+
+  template <typename T>
+  T& slot(Map<T>& map, std::string_view name) {
+    // Heterogeneous find avoids materialising a std::string on the hit
+    // path; only a genuinely new instrument pays for the key copy.
+    // unordered_map: rehashing never moves nodes, so addresses are stable.
+    const auto it = map.find(name);
+    if (it != map.end()) return it->second;
+    return map.emplace(std::string{name}, T{}).first->second;
   }
   template <typename T>
-  const T* find(const std::map<std::string, T>& map,
-                const std::string& name) const {
+  const T* find(const Map<T>& map, std::string_view name) const {
     const auto it = map.find(name);
     return it == map.end() ? nullptr : &it->second;
   }
 
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  Map<Counter> counters_;
+  Map<Gauge> gauges_;
+  Map<Histogram> histograms_;
 };
 
 }  // namespace bgpsdn::telemetry

@@ -1,0 +1,138 @@
+// Tests of the path-attribute interning pool (attr_intern.hpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgp/attr_intern.hpp"
+
+namespace bgpsdn::bgp {
+namespace {
+
+PathAttributes make_attrs(std::vector<std::uint32_t> path,
+                          std::uint32_t local_pref = 100) {
+  PathAttributes attrs;
+  std::vector<core::AsNumber> hops;
+  for (const auto as : path) hops.emplace_back(as);
+  attrs.as_path = AsPath{std::move(hops)};
+  attrs.local_pref = local_pref;
+  attrs.next_hop = net::Ipv4Addr{172, 16, 0, 1};
+  return attrs;
+}
+
+TEST(AttrIntern, SameBundleSharesOneCanonicalInstance) {
+  const auto a = AttrSetRef::intern(make_attrs({1, 2, 3}));
+  const auto b = AttrSetRef::intern(make_attrs({1, 2, 3}));
+  EXPECT_TRUE(a.same_set(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(&*a, &*b);
+}
+
+TEST(AttrIntern, DistinctBundlesGetDistinctInstances) {
+  const auto a = AttrSetRef::intern(make_attrs({1, 2, 3}));
+  const auto b = AttrSetRef::intern(make_attrs({1, 2, 4}));
+  const auto c = AttrSetRef::intern(make_attrs({1, 2, 3}, 200));
+  EXPECT_FALSE(a.same_set(b));
+  EXPECT_FALSE(a.same_set(c));
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(AttrIntern, DefaultRefPointsAtSharedDefaultBundle) {
+  const AttrSetRef a;
+  const AttrSetRef b;
+  EXPECT_TRUE(a.same_set(b));
+  EXPECT_EQ(*a, PathAttributes{});
+}
+
+TEST(AttrIntern, EqualityFallsBackToValueComparison) {
+  // Build one ref outside the pool's canonical instance by value-comparing
+  // against a plain bundle.
+  const auto a = AttrSetRef::intern(make_attrs({7}));
+  EXPECT_TRUE(a == make_attrs({7}));
+  EXPECT_FALSE(a == make_attrs({8}));
+}
+
+TEST(AttrIntern, HitAndMissCountersAdvance) {
+  const auto before = attr_pool_stats();
+  const auto a = AttrSetRef::intern(make_attrs({90, 91, 92}));
+  const auto mid = attr_pool_stats();
+  EXPECT_EQ(mid.interns, before.interns + 1);
+  EXPECT_EQ(mid.hits, before.hits);  // first sighting is a miss
+  const auto b = AttrSetRef::intern(make_attrs({90, 91, 92}));
+  const auto after = attr_pool_stats();
+  EXPECT_EQ(after.interns, mid.interns + 1);
+  EXPECT_EQ(after.hits, mid.hits + 1);
+  EXPECT_TRUE(a.same_set(b));
+}
+
+TEST(AttrIntern, ExpiredEntriesAreSweptAndCanonicalIsReplaced) {
+  attr_pool_purge();
+  const void* first_instance = nullptr;
+  {
+    const auto a = AttrSetRef::intern(make_attrs({50, 51}));
+    first_instance = &*a;
+  }
+  // The only holder died; the pool entry is now expired.
+  attr_pool_purge();
+  const auto stats = attr_pool_stats();
+  EXPECT_EQ(stats.entries, stats.live);
+  // Re-interning adopts a fresh canonical bundle (no stale revival).
+  const auto b = AttrSetRef::intern(make_attrs({50, 51}));
+  EXPECT_EQ(*b, make_attrs({50, 51}));
+  (void)first_instance;  // address may legitimately be reused
+}
+
+TEST(AttrIntern, CanonicalSurvivesWhileAnyHolderLives) {
+  const auto a = AttrSetRef::intern(make_attrs({60, 61}));
+  attr_pool_purge();  // must not drop the live entry
+  const auto b = AttrSetRef::intern(make_attrs({60, 61}));
+  EXPECT_TRUE(a.same_set(b));
+}
+
+TEST(AttrIntern, PoolStaysBoundedUnderChurn) {
+  attr_pool_purge();
+  const auto base = attr_pool_stats();
+  // Interning N distinct short-lived bundles must not grow the pool
+  // without bound: the lazy sweep reclaims expired entries.
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    const auto r = AttrSetRef::intern(make_attrs({i & 0xffff, i >> 16}));
+    ASSERT_EQ(r->as_path.length(), 2u);
+  }
+  attr_pool_purge();
+  const auto after = attr_pool_stats();
+  EXPECT_LE(after.entries, base.entries + 8);
+  EXPECT_GT(after.purges, base.purges);
+}
+
+TEST(AttrIntern, HashCoversAllComparedFields) {
+  const auto base = make_attrs({1});
+  auto origin = base;
+  origin.origin = Origin::kEgp;
+  auto med = base;
+  med.med = 5;
+  auto lp = base;
+  lp.local_pref = 7;
+  auto nh = base;
+  nh.next_hop = net::Ipv4Addr{10, 9, 8, 7};
+  auto comm = base;
+  comm.communities.push_back(0xdeadbeef);
+  EXPECT_NE(hash_value(base), hash_value(origin));
+  EXPECT_NE(hash_value(base), hash_value(med));
+  EXPECT_NE(hash_value(base), hash_value(lp));
+  EXPECT_NE(hash_value(base), hash_value(nh));
+  EXPECT_NE(hash_value(base), hash_value(comm));
+}
+
+TEST(AttrIntern, MedZeroDistinctFromAbsent) {
+  auto absent = make_attrs({1});
+  auto zero = make_attrs({1});
+  zero.med = 0;
+  EXPECT_NE(hash_value(absent), hash_value(zero));
+  const auto a = AttrSetRef::intern(absent);
+  const auto z = AttrSetRef::intern(zero);
+  EXPECT_FALSE(a.same_set(z));
+  EXPECT_FALSE(a == z);
+}
+
+}  // namespace
+}  // namespace bgpsdn::bgp

@@ -118,14 +118,15 @@ class CorruptingHost : public SessionHost {
   void connect_to(CorruptingHost& peer) { peer_ = &peer; }
   void set_corruption(double p) { corrupt_ = p; }
 
-  void session_transmit(Session&, std::vector<std::byte> wire) override {
+  void session_transmit(Session&, net::Bytes wire) override {
     if (corrupt_ > 0.0 && !wire.empty() && rng_.chance(corrupt_)) {
       const auto flips = rng_.uniform_int(1, 3);
       const auto bits = static_cast<std::int64_t>(wire.size()) * 8;
+      auto& bytes = wire.mutate();
       for (std::int64_t i = 0; i < flips; ++i) {
         const auto bit =
             static_cast<std::size_t>(rng_.uniform_int(0, bits - 1));
-        wire[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+        bytes[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
       }
       ++corrupted;
     }

@@ -285,5 +285,59 @@ TEST_P(BitFlipFuzz, NoCrashOnCorruption) {
 INSTANTIATE_TEST_SUITE_P(AllBytePositions, BitFlipFuzz,
                          ::testing::Range<std::size_t>(0, 90, 1));
 
+// --- encode_shared: the fan-out path must be indistinguishable on the wire.
+
+TEST(EncodeShared, UpdateBytesIdenticalToPlainEncode) {
+  UpdateMessage u;
+  u.attributes = sample_attrs();
+  u.nlri = {net::Prefix{net::Ipv4Addr{10, 1, 0, 0}, 16},
+            net::Prefix{net::Ipv4Addr{10, 2, 0, 0}, 16}};
+  u.withdrawn = {net::Prefix{net::Ipv4Addr{192, 168, 0, 0}, 24}};
+  for (const bool four_octet : {true, false}) {
+    const CodecOptions opts{.four_octet_as = four_octet};
+    const net::Bytes shared = encode_shared(Message{u}, opts);
+    EXPECT_EQ(shared.vec(), encode(u, opts)) << "four_octet=" << four_octet;
+  }
+}
+
+TEST(EncodeShared, KeepaliveBytesIdenticalAndStaticallyShared) {
+  const net::Bytes a = encode_shared(Message{KeepaliveMessage{}});
+  const net::Bytes b = encode_shared(Message{KeepaliveMessage{}});
+  EXPECT_EQ(a.vec(), encode(Message{KeepaliveMessage{}}));
+  EXPECT_EQ(a.data(), b.data());  // one static wire image per thread
+}
+
+TEST(EncodeShared, RepeatedUpdateSharesOneBuffer) {
+  UpdateMessage u;
+  u.attributes = sample_attrs();
+  u.nlri = {net::Prefix{net::Ipv4Addr{10, 9, 0, 0}, 16}};
+  const net::Bytes first = encode_shared(Message{u});
+  const net::Bytes second = encode_shared(Message{u});
+  EXPECT_EQ(first.data(), second.data());  // cache hit: encoded once
+  EXPECT_EQ(first.vec(), encode(u));
+}
+
+TEST(EncodeShared, CodecWidthIsPartOfTheCacheKey) {
+  UpdateMessage u;
+  u.attributes = sample_attrs();
+  u.nlri = {net::Prefix{net::Ipv4Addr{10, 8, 0, 0}, 16}};
+  const net::Bytes wide = encode_shared(Message{u}, {.four_octet_as = true});
+  const net::Bytes narrow = encode_shared(Message{u}, {.four_octet_as = false});
+  EXPECT_NE(wide.data(), narrow.data());
+  EXPECT_EQ(wide.vec(), encode(u, {.four_octet_as = true}));
+  EXPECT_EQ(narrow.vec(), encode(u, {.four_octet_as = false}));
+}
+
+TEST(EncodeShared, OpenFallsThroughToPlainEncoding) {
+  OpenMessage open;
+  open.my_as = core::AsNumber{65010};
+  open.bgp_id = *net::Ipv4Addr::parse("10.0.0.1");
+  const net::Bytes wire = encode_shared(Message{open});
+  EXPECT_EQ(wire.vec(), encode(Message{open}));
+  const auto back = decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::holds_alternative<OpenMessage>(*back));
+}
+
 }  // namespace
 }  // namespace bgpsdn::bgp

@@ -13,13 +13,23 @@ Route make_route(const char* prefix, std::uint32_t session,
   r.prefix = *net::Prefix::parse(prefix);
   std::vector<core::AsNumber> hops;
   for (const auto as : path) hops.emplace_back(as);
-  r.attributes.as_path = AsPath{std::move(hops)};
-  r.attributes.local_pref = local_pref;
-  r.attributes.next_hop = net::Ipv4Addr{172, 16, 0, 1};
+  PathAttributes attrs;
+  attrs.as_path = AsPath{std::move(hops)};
+  attrs.local_pref = local_pref;
+  attrs.next_hop = net::Ipv4Addr{172, 16, 0, 1};
+  r.attributes = AttrSetRef::intern(std::move(attrs));
   r.learned_from = core::SessionId{session};
   r.peer_bgp_id = net::Ipv4Addr{10, 0, 0, session % 256 == 0 ? 1 : session};
   r.peer_address = net::Ipv4Addr{172, 16, session, 1};
   return r;
+}
+
+/// Copy-out / edit / re-intern: the canonical bundle is immutable.
+template <typename Fn>
+void edit_attrs(Route& r, Fn&& fn) {
+  PathAttributes attrs = *r.attributes;
+  fn(attrs);
+  r.attributes = AttrSetRef::intern(std::move(attrs));
 }
 
 TEST(AdjRibIn, PutReplacesPerSession) {
@@ -29,7 +39,7 @@ TEST(AdjRibIn, PutReplacesPerSession) {
   EXPECT_EQ(rib.route_count(), 1u);
   const auto cands = rib.candidates(*net::Prefix::parse("10.0.0.0/16"));
   ASSERT_EQ(cands.size(), 1u);
-  EXPECT_EQ(cands[0]->attributes.as_path.to_string(), "4 1");
+  EXPECT_EQ(cands[0]->attributes->as_path.to_string(), "4 1");
 }
 
 TEST(AdjRibIn, MultipleSessionsCoexist) {
@@ -90,10 +100,10 @@ TEST(AdjRibOut, SuppressesDuplicateAdvertisements) {
   PathAttributes attrs;
   attrs.as_path = AsPath{{core::AsNumber{1}}};
   const auto p = *net::Prefix::parse("10.0.0.0/16");
-  EXPECT_TRUE(out.advertise(p, attrs));
-  EXPECT_FALSE(out.advertise(p, attrs));  // same attrs suppressed
+  EXPECT_TRUE(out.advertise(p, AttrSetRef::intern(attrs)));
+  EXPECT_FALSE(out.advertise(p, AttrSetRef::intern(attrs)));  // suppressed
   attrs.as_path = AsPath{{core::AsNumber{2}, core::AsNumber{1}}};
-  EXPECT_TRUE(out.advertise(p, attrs));  // changed attrs pass
+  EXPECT_TRUE(out.advertise(p, AttrSetRef::intern(attrs)));  // changed attrs
   EXPECT_TRUE(out.withdraw(p));
   EXPECT_FALSE(out.withdraw(p));  // nothing left to withdraw
 }
@@ -118,8 +128,8 @@ TEST(Decision, ShorterAsPathWins) {
 TEST(Decision, OriginBreaksPathTie) {
   auto a = make_route("10.0.0.0/16", 1, {1});
   auto b = make_route("10.0.0.0/16", 2, {2});
-  a.attributes.origin = Origin::kIgp;
-  b.attributes.origin = Origin::kEgp;
+  edit_attrs(a, [](PathAttributes& at) { at.origin = Origin::kIgp; });
+  edit_attrs(b, [](PathAttributes& at) { at.origin = Origin::kEgp; });
   EXPECT_LT(compare_routes(a, b), 0);
   EXPECT_EQ(decide_reason(a, b), DecisionReason::kOrigin);
 }
@@ -127,8 +137,8 @@ TEST(Decision, OriginBreaksPathTie) {
 TEST(Decision, LowerMedWins) {
   auto a = make_route("10.0.0.0/16", 1, {1});
   auto b = make_route("10.0.0.0/16", 2, {2});
-  a.attributes.med = 10;
-  b.attributes.med = 20;
+  edit_attrs(a, [](PathAttributes& at) { at.med = 10; });
+  edit_attrs(b, [](PathAttributes& at) { at.med = 20; });
   EXPECT_LT(compare_routes(a, b), 0);
   EXPECT_EQ(decide_reason(a, b), DecisionReason::kMed);
 }
@@ -136,7 +146,7 @@ TEST(Decision, LowerMedWins) {
 TEST(Decision, MissingMedTreatedAsZero) {
   auto a = make_route("10.0.0.0/16", 1, {1});
   auto b = make_route("10.0.0.0/16", 2, {2});
-  b.attributes.med = 5;
+  edit_attrs(b, [](PathAttributes& at) { at.med = 5; });
   EXPECT_LT(compare_routes(a, b), 0);  // absent (0) beats 5
 }
 

@@ -25,8 +25,8 @@ TEST(RouterConvergence, TwoRoutersEstablishAndExchange) {
 
   const bgp::Route* route = b.loc_rib().find(pfx);
   ASSERT_NE(route, nullptr);
-  EXPECT_EQ(route->attributes.as_path.to_string(), "1");
-  EXPECT_EQ(route->attributes.next_hop.is_unspecified(), false);
+  EXPECT_EQ(route->attributes->as_path.to_string(), "1");
+  EXPECT_EQ(route->attributes->next_hop.is_unspecified(), false);
 
   // A's own route is local.
   const bgp::Route* own = a.loc_rib().find(pfx);
@@ -48,7 +48,7 @@ TEST(RouterConvergence, LinePropagatesWithAsPathGrowth) {
 
   const bgp::Route* at_c = c.loc_rib().find(pfx);
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attributes.as_path.to_string(), "2 1");
+  EXPECT_EQ(at_c->attributes->as_path.to_string(), "2 1");
 }
 
 TEST(RouterConvergence, ShortestPathWinsInTriangle) {
@@ -67,7 +67,7 @@ TEST(RouterConvergence, ShortestPathWinsInTriangle) {
   // C hears [1] direct and [2 1] via B; direct must win.
   const bgp::Route* at_c = c.loc_rib().find(pfx);
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attributes.as_path.to_string(), "1");
+  EXPECT_EQ(at_c->attributes->as_path.to_string(), "1");
   // And the alternative is retained in Adj-RIB-In.
   EXPECT_EQ(c.adj_rib_in().candidates(pfx).size(), 2u);
 }
@@ -107,7 +107,7 @@ TEST(RouterConvergence, CliqueWithdrawalConvergesAndHunts) {
   topo.run_for(core::Duration::seconds(10));
   for (int i = 1; i < kN; ++i) {
     ASSERT_NE(routers[i]->loc_rib().find(pfx), nullptr) << "router " << i;
-    EXPECT_EQ(routers[i]->loc_rib().find(pfx)->attributes.as_path.to_string(), "1");
+    EXPECT_EQ(routers[i]->loc_rib().find(pfx)->attributes->as_path.to_string(), "1");
   }
 
   const auto updates_before = routers[2]->counters().updates_rx;
@@ -133,21 +133,21 @@ TEST(RouterConvergence, LinkFailureTriggersFailover) {
   a.originate(pfx);
   topo.start();
   topo.run_for(core::Duration::seconds(5));
-  ASSERT_EQ(c.loc_rib().find(pfx)->attributes.as_path.to_string(), "1");
+  ASSERT_EQ(c.loc_rib().find(pfx)->attributes->as_path.to_string(), "1");
 
   // Kill the direct A-C link; C must fail over to the path via B.
   topo.net().set_link_up(core::LinkId{2}, false);
   topo.run_for(core::Duration::seconds(30));
   const bgp::Route* at_c = c.loc_rib().find(pfx);
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attributes.as_path.to_string(), "2 1");
+  EXPECT_EQ(at_c->attributes->as_path.to_string(), "2 1");
 
   // Restore; C should return to the direct path.
   topo.net().set_link_up(core::LinkId{2}, true);
   topo.run_for(core::Duration::seconds(30));
   at_c = c.loc_rib().find(pfx);
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attributes.as_path.to_string(), "1");
+  EXPECT_EQ(at_c->attributes->as_path.to_string(), "1");
 }
 
 TEST(RouterConvergence, GaoRexfordValleyFree) {
@@ -193,8 +193,8 @@ TEST(RouterConvergence, GaoRexfordValleyFree) {
   // p2 must not export a customer route to a peer? Customer routes ARE
   // exported to peers (that is how the Internet works). So p1 sees both and
   // prefers the customer path.
-  EXPECT_EQ(at_p1->attributes.as_path.to_string(), "3");
-  EXPECT_EQ(at_p1->attributes.local_pref.value_or(0), 130u);
+  EXPECT_EQ(at_p1->attributes->as_path.to_string(), "3");
+  EXPECT_EQ(at_p1->attributes->local_pref.value_or(0), 130u);
 }
 
 }  // namespace

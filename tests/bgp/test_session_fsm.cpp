@@ -22,7 +22,7 @@ class Harness : public SessionHost {
   void connect_to(Harness& peer) { peer_ = &peer; }
   void set_link_up(bool up) { link_up_ = up; }
 
-  void session_transmit(Session&, std::vector<std::byte> wire) override {
+  void session_transmit(Session&, net::Bytes wire) override {
     if (!link_up_ || peer_ == nullptr || peer_->session == nullptr) return;
     Harness* peer = peer_;
     loop_.schedule(core::Duration::millis(1), [peer, wire = std::move(wire)] {

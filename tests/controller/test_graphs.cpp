@@ -129,7 +129,9 @@ class AsTopologyTest : public ::testing::Test {
     r.peering = id;
     std::vector<core::AsNumber> hops;
     for (const auto as : path) hops.emplace_back(as);
-    r.attributes.as_path = bgp::AsPath{std::move(hops)};
+    bgp::PathAttributes attrs;
+    attrs.as_path = bgp::AsPath{std::move(hops)};
+    r.attributes = bgp::AttrSetRef::intern(std::move(attrs));
     return r;
   }
 
@@ -270,7 +272,9 @@ class SubClusterTest : public ::testing::Test {
     r.peering = id;
     std::vector<core::AsNumber> hops;
     for (const auto as : path) hops.emplace_back(as);
-    r.attributes.as_path = bgp::AsPath{std::move(hops)};
+    bgp::PathAttributes attrs;
+    attrs.as_path = bgp::AsPath{std::move(hops)};
+    r.attributes = bgp::AttrSetRef::intern(std::move(attrs));
     return r;
   }
 

@@ -37,7 +37,7 @@ TEST(RouteFlow, LegacyPrefixProgramsFlowsViaMirror) {
   const auto* v3 = rf->virtual_router(exp.member_switch(as3).dpid());
   ASSERT_NE(v3, nullptr);
   ASSERT_NE(v3->loc_rib().find(pfx), nullptr);
-  EXPECT_EQ(v3->loc_rib().find(pfx)->attributes.as_path.to_string(), "1");
+  EXPECT_EQ(v3->loc_rib().find(pfx)->attributes->as_path.to_string(), "1");
   // And the sync loop compiled it into the real switch tables.
   EXPECT_TRUE(exp.all_know_prefix(pfx));
   EXPECT_GT(rf->counters().flow_adds, 0u);
@@ -56,7 +56,7 @@ TEST(RouteFlow, ClusterOriginReachesLegacyWorld) {
   const bgp::Route* at1 = exp.router(as1).loc_rib().find(pfx);
   ASSERT_NE(at1, nullptr);
   // The virtual AS3 router announced it; the ghost relayed it out.
-  EXPECT_EQ(at1->attributes.as_path.first()->value(), 3u);
+  EXPECT_EQ(at1->attributes->as_path.first()->value(), 3u);
   EXPECT_GT(exp.routeflow_controller()->counters().relayed_out, 0u);
 }
 

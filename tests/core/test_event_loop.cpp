@@ -210,6 +210,45 @@ TEST(EventLoop, PendingAccountingUnderChurn) {
   EXPECT_EQ(loop.pending_events(), 0u);
 }
 
+// Regression for the tombstone leak: a long fault/chaos run that keeps
+// re-arming and cancelling timers (hold timers reset on every keepalive) must
+// not grow the loop's internal structures without bound. One million
+// schedule+cancel cycles have to leave both the heap (tombstones awaiting
+// compaction) and the slot slab (recycled through the free list) small.
+TEST(EventLoop, MillionCancelledTimersStayBounded) {
+  EventLoop loop;
+  // A long-lived pending timer ensures bounds hold even when something real
+  // stays in the queue the whole time (a pinned hold timer).
+  bool pinned_ran = false;
+  loop.schedule(Duration::seconds(3600), [&] { pinned_ran = true; });
+  for (int i = 0; i < 1'000'000; ++i) {
+    const auto id = loop.schedule(Duration::seconds(90), [] { FAIL(); });
+    ASSERT_TRUE(loop.cancel(id));
+  }
+  EXPECT_EQ(loop.pending_events(), 1u);
+  // Tombstone compaction bounds the heap; slot recycling bounds the slab.
+  EXPECT_LE(loop.queued_entries(), 256u);
+  EXPECT_LE(loop.slots_allocated(), 256u);
+  loop.run();
+  EXPECT_TRUE(pinned_ran);
+  EXPECT_EQ(loop.events_executed(), 1u);
+}
+
+TEST(EventLoop, StaleTimerIdAfterSlotReuseIsNoop) {
+  EventLoop loop;
+  bool second_ran = false;
+  const auto first = loop.schedule(Duration::millis(1), [] {});
+  loop.run();
+  // The fired timer's slot is recycled for the next schedule; the stale
+  // handle must not cancel (or report pending for) the new occupant.
+  const auto second = loop.schedule(Duration::millis(1), [&] { second_ran = true; });
+  EXPECT_FALSE(loop.is_pending(first));
+  EXPECT_FALSE(loop.cancel(first));
+  EXPECT_TRUE(loop.is_pending(second));
+  loop.run();
+  EXPECT_TRUE(second_ran);
+}
+
 TEST(EventLoop, StepSkipsCancelledEvents) {
   EventLoop loop;
   bool survivor_ran = false;

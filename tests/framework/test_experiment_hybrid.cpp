@@ -75,11 +75,11 @@ TEST(HybridExperiment, ClusterOriginAnnouncedToLegacyTransparently) {
   // member AS.
   const bgp::Route* at1 = exp.router(as1).loc_rib().find(pfx);
   ASSERT_NE(at1, nullptr);
-  const auto first = at1->attributes.as_path.first();
+  const auto first = at1->attributes->as_path.first();
   ASSERT_TRUE(first.has_value());
   EXPECT_TRUE(*first == as3 || *first == as4);
   // Direct peering with AS3 should give the 1-hop path [3].
-  EXPECT_EQ(at1->attributes.as_path.to_string(), "3");
+  EXPECT_EQ(at1->attributes->as_path.to_string(), "3");
 }
 
 TEST(HybridExperiment, DataPlaneEndToEndThroughCluster) {
@@ -174,12 +174,12 @@ TEST(HybridExperiment, RuntimeLinkAdditionShortensPaths) {
   const auto pfx = *net::Prefix::parse("10.0.0.0/16");
   exp.announce_prefix(as1, pfx);
   ASSERT_TRUE(exp.start());
-  ASSERT_EQ(exp.router(as4).loc_rib().find(pfx)->attributes.as_path.to_string(),
+  ASSERT_EQ(exp.router(as4).loc_rib().find(pfx)->attributes->as_path.to_string(),
             "3 2 1");
 
   exp.add_link(as1, as4);
   exp.wait_converged();
-  EXPECT_EQ(exp.router(as4).loc_rib().find(pfx)->attributes.as_path.to_string(),
+  EXPECT_EQ(exp.router(as4).loc_rib().find(pfx)->attributes->as_path.to_string(),
             "1");
 
   // Duplicates and member endpoints are rejected.

@@ -81,7 +81,7 @@ TEST(FailureInjection, RepeatedLinkFlappingEndsConsistent) {
   EXPECT_TRUE(exp.all_know_prefix(pfx));
   // The flapped neighbor ends on the direct path again.
   EXPECT_EQ(exp.router(core::AsNumber{2}).loc_rib().find(pfx)
-                ->attributes.as_path.to_string(),
+                ->attributes->as_path.to_string(),
             "1");
 }
 

@@ -40,7 +40,7 @@ std::string rib_snapshot(Experiment& exp) {
     if (exp.is_member(as)) continue;
     for (const auto& [pfx, route] : exp.router(as).loc_rib().all()) {
       lines.push_back(as.to_string() + " " + pfx.to_string() + " [" +
-                      route.attributes.as_path.to_string() + "]");
+                      route.attributes->as_path.to_string() + "]");
     }
   }
   std::sort(lines.begin(), lines.end());

@@ -118,7 +118,7 @@ TEST(Properties, GaoRexfordPathsAreValleyFree) {
       if (route == nullptr) continue;  // policy may legitimately hide it
       // Walk the path from the origin towards `as` and classify each edge
       // as seen by the *receiver* of the advertisement.
-      std::vector<core::AsNumber> chain = route->attributes.as_path.hops();
+      std::vector<core::AsNumber> chain = route->attributes->as_path.hops();
       chain.insert(chain.begin(), as);  // as, ..., origin (traffic direction)
       // Walking from the origin end (advertisement direction), a valley-free
       // path is: customer steps (traffic downhill), then at most one peer
@@ -132,10 +132,10 @@ TEST(Properties, GaoRexfordPathsAreValleyFree) {
         // receiver sees advertiser as:
         if (*r == bgp::Relationship::kCustomer) {
           EXPECT_EQ(phase, 0) << "valley: customer edge after peak/peer ("
-                              << route->attributes.as_path.to_string() << ")";
+                              << route->attributes->as_path.to_string() << ")";
         } else if (*r == bgp::Relationship::kPeer) {
           EXPECT_EQ(phase, 0) << "valley: second peer edge or peer after uphill ("
-                              << route->attributes.as_path.to_string() << ")";
+                              << route->attributes->as_path.to_string() << ")";
           phase = 1;
         } else {
           phase = 2;  // uphill tail; anything after must also be uphill
@@ -159,7 +159,7 @@ TEST(Properties, MraiStylesConvergeToSameRibs) {
     std::vector<std::string> paths;
     for (const auto as : spec.ases) {
       const auto* r = exp.router(as).loc_rib().find(pfx);
-      paths.push_back(r == nullptr ? "-" : r->attributes.as_path.to_string());
+      paths.push_back(r == nullptr ? "-" : r->attributes->as_path.to_string());
     }
     return paths;
   };

@@ -131,7 +131,7 @@ expect-route 1 10.200.0.0/16
   const auto* route = runner.experiment()->router(core::AsNumber{1}).loc_rib().find(
       *net::Prefix::parse("10.200.0.0/16"));
   ASSERT_NE(route, nullptr);
-  EXPECT_EQ(route->attributes.as_path.to_string(), "4");
+  EXPECT_EQ(route->attributes->as_path.to_string(), "4");
 }
 
 TEST(Scenario, RouteFlowControllerSelectable) {

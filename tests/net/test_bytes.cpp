@@ -1,0 +1,78 @@
+// Tests of the copy-on-write payload buffer (net/bytes.hpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace bgpsdn::net {
+namespace {
+
+std::vector<std::byte> seq(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i);
+  return v;
+}
+
+TEST(Bytes, DefaultIsEmpty) {
+  Bytes b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_TRUE(b.vec().empty());
+}
+
+TEST(Bytes, CopyIsShallowShare) {
+  Bytes a{seq(64)};
+  Bytes b = a;
+  EXPECT_TRUE(a.is_shared());
+  EXPECT_TRUE(b.is_shared());
+  EXPECT_EQ(a.data(), b.data());  // one buffer
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bytes, MutateUnsharesBeforeWriting) {
+  Bytes a{seq(16)};
+  Bytes b = a;
+  b.mutate()[0] = std::byte{0xff};
+  EXPECT_EQ(a[0], std::byte{0});    // original untouched
+  EXPECT_EQ(b[0], std::byte{0xff});
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_FALSE(a.is_shared());
+}
+
+TEST(Bytes, MutateOnSoleOwnerWritesInPlace) {
+  Bytes a{seq(16)};
+  const auto* before = a.data();
+  a.mutate()[3] = std::byte{9};
+  EXPECT_EQ(a.data(), before);
+  EXPECT_EQ(a[3], std::byte{9});
+}
+
+TEST(Bytes, AdoptSharesExternalBuffer) {
+  auto buf = std::make_shared<std::vector<std::byte>>(seq(8));
+  Bytes a = Bytes::adopt(buf);
+  Bytes b = Bytes::adopt(buf);
+  EXPECT_EQ(a.data(), buf->data());
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_TRUE(a.is_shared());
+}
+
+TEST(Bytes, ComparesByContent) {
+  Bytes a{seq(8)};
+  Bytes b{seq(8)};  // distinct buffer, same content
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a == seq(8));
+  EXPECT_FALSE(a == seq(9));
+}
+
+TEST(Bytes, ImplicitVectorViewMatchesContent) {
+  Bytes a{seq(8)};
+  const std::vector<std::byte>& view = a;
+  EXPECT_EQ(view, seq(8));
+}
+
+}  // namespace
+}  // namespace bgpsdn::net

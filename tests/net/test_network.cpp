@@ -240,7 +240,7 @@ TEST_F(NetworkTest, CorruptionFlipsPayloadBitsAndCounts) {
   const auto link = net.connect(a.id(), b.id());
   net.set_link_corruption(link, 1.0);
   Packet p;
-  p.payload.assign(32, std::byte{0});
+  p.payload = std::vector<std::byte>(32, std::byte{0});
   net.send(a.id(), core::PortId{0}, p);
   loop.run();
   ASSERT_EQ(b.received.size(), 1u);
@@ -248,7 +248,7 @@ TEST_F(NetworkTest, CorruptionFlipsPayloadBitsAndCounts) {
   const auto& got = b.received[0].second.payload;
   ASSERT_EQ(got.size(), p.payload.size());
   int flipped = 0;
-  for (const auto byte : got) flipped += std::popcount(std::to_integer<unsigned>(byte));
+  for (const auto byte : got.vec()) flipped += std::popcount(std::to_integer<unsigned>(byte));
   EXPECT_GE(flipped, 1);
   EXPECT_LE(flipped, 3);
   EXPECT_EQ(net.stats().corrupted, 1u);

@@ -120,6 +120,81 @@ TEST(FlowTable, MissReturnsNull) {
   EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("11.0.0.1")), nullptr);
 }
 
+TEST(FlowTable, InsertionOrderBreaksFullTie) {
+  FlowTable t;
+  // Same priority, same prefix length, both match: the first-inserted entry
+  // must win (distinct in_port wildcarding keeps them separate entries).
+  FlowEntry first = entry("10.0.0.0/8", 5, 1);
+  FlowEntry second = entry("10.0.0.0/8", 5, 2);
+  second.match.proto = net::Protocol::kProbe;
+  t.add(first);
+  t.add(second);
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.0.0.1"))->action.port.value(),
+            1u);
+}
+
+TEST(FlowTable, PriorityBeatsLongerPrefix) {
+  FlowTable t;
+  // A more specific match must NOT shadow a higher-priority coarse rule —
+  // the relay-plumbing band depends on this.
+  t.add(entry("10.1.2.0/24", kDataRulePriority, 1));
+  t.add(entry("10.0.0.0/8", kRelayRulePriority, 2));
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.1.2.3"))->action.port.value(),
+            2u);
+}
+
+TEST(FlowTable, RemoveBelowPriorityKeepsIndexConsistent) {
+  FlowTable t;
+  t.add(entry("10.1.0.0/16", kDataRulePriority, 1));
+  t.add(entry("10.2.0.0/16", kDataRulePriority, 2));
+  t.add(entry("10.0.0.0/8", kRelayRulePriority, 3));
+  EXPECT_EQ(t.remove_below_priority(kRelayRulePriority), 2u);
+  // Lookups after the index rebuild still resolve through the survivor.
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.1.0.1"))->action.port.value(),
+            3u);
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.2.0.1"))->action.port.value(),
+            3u);
+}
+
+TEST(FlowTable, ClearResetsIndex) {
+  FlowTable t;
+  t.add(entry("10.0.0.0/8", 5, 1));
+  t.clear();
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.0.0.1")), nullptr);
+  t.add(entry("10.0.0.0/8", 5, 2));
+  EXPECT_EQ(t.lookup(core::PortId{0}, probe_to("10.0.0.1"))->action.port.value(),
+            2u);
+}
+
+// The indexed lookup must agree with the reference linear scan on every
+// probe, across mixed prefix lengths, priorities, wildcards, and full ties.
+TEST(FlowTable, IndexedLookupMatchesLinearReference) {
+  FlowTable t;
+  t.add(entry("0.0.0.0/0", 1, 1));
+  t.add(entry("10.0.0.0/8", kDataRulePriority, 2));
+  t.add(entry("10.1.0.0/16", kDataRulePriority, 3));
+  t.add(entry("10.1.2.0/24", kDataRulePriority, 4));
+  t.add(entry("10.1.2.0/24", kRelayRulePriority, 5));
+  t.add(entry("10.1.2.128/25", kDataRulePriority, 6));
+  FlowEntry ported = entry("10.1.0.0/16", kDataRulePriority, 7);
+  ported.match.in_port = core::PortId{9};
+  t.add(ported);
+  FlowEntry tied = entry("10.0.0.0/8", kDataRulePriority, 8);
+  tied.match.proto = net::Protocol::kProbe;
+  t.add(tied);
+
+  const char* probes[] = {"10.1.2.200", "10.1.2.3",  "10.1.9.9",
+                          "10.200.0.1", "192.0.2.1", "10.1.2.129"};
+  for (const char* dst : probes) {
+    for (std::uint32_t port : {0u, 9u}) {
+      const auto* indexed =
+          t.lookup(core::PortId{port}, probe_to(dst), /*account=*/false);
+      const auto* linear = t.lookup_linear(core::PortId{port}, probe_to(dst));
+      EXPECT_EQ(indexed, linear) << "dst=" << dst << " in_port=" << port;
+    }
+  }
+}
+
 TEST(FlowAction, Constructors) {
   EXPECT_EQ(FlowAction::drop().type, ActionType::kDrop);
   EXPECT_EQ(FlowAction::to_controller().type, ActionType::kToController);

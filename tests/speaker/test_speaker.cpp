@@ -124,7 +124,7 @@ TEST_F(SpeakerTest, AnnouncePropagatesToLegacyRouter) {
   loop.run(loop.now() + core::Duration::seconds(2));
   const bgp::Route* r = router->loc_rib().find(pfx);
   ASSERT_NE(r, nullptr);
-  EXPECT_EQ(r->attributes.as_path.to_string(), "7");
+  EXPECT_EQ(r->attributes->as_path.to_string(), "7");
 }
 
 TEST_F(SpeakerTest, DuplicateAnnouncementsSuppressed) {

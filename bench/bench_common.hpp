@@ -197,6 +197,8 @@ struct GridTiming {
 template <typename R, typename Fn>
 GridTiming run_trial_grid(std::size_t points, std::size_t runs,
                           std::vector<R>& results, Fn&& fn) {
+  // lint: wall-clock-ok(wall/serial-equivalent footer timing only; never
+  // feeds simulation state or the deterministic JSON points/counters)
   using Clock = std::chrono::steady_clock;
   GridTiming timing;
   timing.trials = points * runs;

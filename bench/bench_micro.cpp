@@ -354,11 +354,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // lint: wall-clock-ok(perf bench measures real elapsed time by design;
+  // wall_s lands in the footer which the determinism diff excludes)
   const auto t0 = std::chrono::steady_clock::now();
   CaptureReporter reporter;
   const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
   const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() -  // lint: wall-clock-ok(footer)
+          t0)
           .count();
   benchmark::Shutdown();
 

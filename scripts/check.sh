@@ -14,6 +14,41 @@ cmake -B build "${GENERATOR[@]}"
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
+# Lint job: the project-invariant analyzer (tools/lint) must report zero
+# fresh findings against the committed baseline. Rules and the suppression
+# pragma syntax are documented in DESIGN.md §10; regenerate the baseline
+# with --write-baseline only when a finding is intentional and annotated.
+echo "===== bgpsdn_lint"
+./build/tools/lint/bgpsdn_lint --baseline lint_baseline.json
+# Self-test: a deliberately planted violation must make the gate fail, so a
+# silently broken analyzer can't pass the suite.
+LINT_TMP="$(mktemp -d)"
+trap 'rm -rf "$LINT_TMP"' EXIT
+cat > "$LINT_TMP/injected.cpp" <<'EOF'
+#include <chrono>
+long bad() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+EOF
+if ./build/tools/lint/bgpsdn_lint --quiet "$LINT_TMP/injected.cpp"; then
+  echo "bgpsdn_lint self-test FAILED: injected violation not reported" >&2
+  exit 1
+fi
+echo "bgpsdn_lint: self-test ok (injected D1 violation detected)"
+
+# clang-tidy job: the curated check set in .clang-tidy runs over the
+# compilation database exported by CMake. clang-tidy is an optional tool;
+# soft-skip with a warning when it is not installed (same policy as the
+# python3/jq fallbacks below).
+echo "===== clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  mapfile -t TIDY_SOURCES < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+  clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "WARNING: clang-tidy not found; skipping clang-tidy job" >&2
+fi
+
 # Quick (3-run) versions of every experiment bench, at the machine's
 # parallelism (BGPSDN_JOBS caps the trial worker pool; see README).
 for b in build/bench/bench_*; do

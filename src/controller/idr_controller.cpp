@@ -220,11 +220,11 @@ void IdrController::recompute_prefix(const net::Prefix& prefix) {
 
   auto* tel = telemetry();
   const bool tracing = tel != nullptr && tel->tracing();
-  const auto phase = [&](const char* name_, std::int64_t detail) {
+  const auto phase = [&](const char* phase_name, std::int64_t detail) {
     // Phases of one recomputation share a virtual instant; instant spans
     // keep the taxonomy (graph_transform -> dijkstra -> flow_install)
     // visible in the trace without inventing fake durations.
-    auto span = telemetry::TraceSpan::instant(loop().now(), "ctrl", name_,
+    auto span = telemetry::TraceSpan::instant(loop().now(), "ctrl", phase_name,
                                               "idr." + name());
     span.arg("prefix", prefix.to_string()).arg("n", detail);
     tel->emit(span);

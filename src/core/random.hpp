@@ -62,6 +62,8 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  // lint: random-ok(always seeded via the constructor initializer from an
+  // explicit trial seed; never default-initialized)
   std::mt19937_64 engine_;
 };
 

@@ -414,6 +414,10 @@ void FaultInjector::apply(const Action& action) {
     case FaultKind::kSpeakerRestart:
       experiment_.restart_speaker();
       break;
+    case FaultKind::kLinkFlap:
+      // Flap trains are expanded into kLinkDown/kLinkUp cycles at schedule
+      // time (see expand()); a flap action never reaches apply().
+      break;
   }
 }
 

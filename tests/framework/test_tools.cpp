@@ -5,6 +5,7 @@
 #include "framework/connectivity.hpp"
 #include "framework/convergence.hpp"
 #include "framework/monitor.hpp"
+#include "framework/report.hpp"
 #include "framework/stats.hpp"
 #include "framework/trial.hpp"
 #include "net/network.hpp"
@@ -207,6 +208,36 @@ TEST(ConnectivityMonitor, CleanLinkIsLossless) {
   const auto rep = mon.report();
   EXPECT_DOUBLE_EQ(rep.delivery_ratio, 1.0);
   EXPECT_EQ(rep.longest_blackout, core::Duration::zero());
+}
+
+// D3 regression for the frozen bgpsdn.bench/1 schema: the `counters`
+// object must render byte-identically no matter in which order the bench
+// accumulated them (trial completion order varies with BGPSDN_JOBS).
+TEST(BenchReport, CountersIndependentOfInsertionOrder) {
+  BenchReport forward{"probe"};
+  forward.add_counter("bgp.updates", 10);
+  forward.add_counter("sdn.flow_mods", 3);
+  forward.add_counter("ctrl.recomputes", 5);
+  forward.add_counter("bgp.updates", 2);  // accumulation also order-free
+
+  BenchReport reverse{"probe"};
+  reverse.add_counter("bgp.updates", 2);
+  reverse.add_counter("ctrl.recomputes", 5);
+  reverse.add_counter("sdn.flow_mods", 3);
+  reverse.add_counter("bgp.updates", 10);
+
+  EXPECT_EQ(forward.dump(), reverse.dump());
+
+  // And the keys come out sorted in the rendered document.
+  const telemetry::Json doc = forward.to_json();
+  std::vector<std::string> keys;
+  for (const auto& [name, value] : doc.find("counters")->entries()) {
+    keys.push_back(name);
+  }
+  const std::vector<std::string> sorted_keys = {"bgp.updates",
+                                                "ctrl.recomputes",
+                                                "sdn.flow_mods"};
+  EXPECT_EQ(keys, sorted_keys);
 }
 
 }  // namespace

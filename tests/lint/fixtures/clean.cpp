@@ -1,0 +1,13 @@
+// Fixture: fully clean translation unit — ordered containers, seeded
+// randomness, no wall clock, no raw threads (never compiled).
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+
+int tally(const std::map<std::string, int>& ordered, std::uint64_t seed) {
+  std::mt19937_64 engine{seed};
+  int total = static_cast<int>(engine() & 0xff);
+  for (const auto& [name, value] : ordered) total += value;
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: D3 across the .cpp/.hpp pair — rows_ is declared unordered in
+// companion_emit.hpp, mirroring metrics.cpp/metrics.hpp (never compiled).
+#include "companion_emit.hpp"
+
+#include "telemetry/json.hpp"
+
+int total(const RowStore& store) {
+  int sum = 0;
+  for (const auto& [name, value] : store.rows_) sum += value;
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: companion header — the unordered alias and member declared here
+// must be visible when linting companion_emit.cpp (never compiled).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+struct RowStore {
+  using Table = std::unordered_map<std::string, int>;
+  Table rows_;
+};

@@ -1,0 +1,10 @@
+// Fixture: P1 — suppression pragma missing its mandatory reason, so the
+// D1 finding underneath stays live too (never compiled).
+#include <chrono>
+
+int main() {
+  // lint: wall-clock-ok
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 waived by a reasoned pragma (never compiled).
+#include <chrono>
+
+double footer_wall() {
+  // lint: wall-clock-ok(wall footer timing outside the determinism contract)
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 — wall clock in simulation code (never compiled).
+#include <chrono>
+
+int main() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: D2-clean — engines seeded from an explicit trial seed are the
+// sanctioned pattern (never compiled).
+#include <cstdint>
+#include <random>
+
+int draw(std::uint64_t trial_seed) {
+  std::mt19937_64 engine{trial_seed};
+  std::uniform_int_distribution<int> dist{0, 9};
+  return dist(engine);
+}

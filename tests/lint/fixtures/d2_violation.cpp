@@ -1,0 +1,9 @@
+// Fixture: D2 — ambient randomness (never compiled).
+#include <cstdlib>
+#include <random>
+
+int main() {
+  std::random_device rd;
+  std::mt19937_64 unseeded;
+  return rand();
+}

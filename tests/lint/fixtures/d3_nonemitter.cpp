@@ -1,0 +1,9 @@
+// Fixture: D3 does not apply outside emitter code paths — no telemetry
+// include, so the same loop is fine (never compiled).
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [key, value] : table) total += value + key;
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: D3 waived with a reasoned pragma (never compiled).
+#include "telemetry/json.hpp"
+
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  // lint: unordered-ok(summation is order-independent)
+  for (const auto& [key, value] : table) total += value + key;
+  return total;
+}

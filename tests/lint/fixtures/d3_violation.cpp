@@ -1,0 +1,11 @@
+// Fixture: D3 — unordered iteration in an emitter code path; the include
+// below marks this file as an emitter (never compiled).
+#include "telemetry/json.hpp"
+
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [key, value] : table) total += value + key;
+  return total;
+}

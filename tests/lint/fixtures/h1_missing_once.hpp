@@ -1,0 +1,3 @@
+// Fixture: H1 — header without #pragma once (never compiled).
+
+inline int answer() { return 42; }

@@ -1,0 +1,8 @@
+// Fixture: H1 — using-directive in a header (never compiled).
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& s) { return s + "!"; }

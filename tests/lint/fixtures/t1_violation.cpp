@@ -1,0 +1,9 @@
+// Fixture: T1 — raw threading outside src/framework/trial.* (never compiled).
+#include <atomic>
+#include <thread>
+
+void spin() {
+  std::atomic<int> hits{0};
+  std::thread worker{[&] { hits.fetch_add(1); }};
+  worker.detach();
+}

@@ -1,0 +1,229 @@
+// Tests for the bgpsdn_lint analyzer: exact rule IDs, line numbers, and
+// exit codes over the fixture corpus in tests/lint/fixtures/, plus the
+// baseline round-trip and the pragma-reason contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+using bgpsdn::lint::Finding;
+
+std::string fixture(const std::string& name) {
+  return std::string{BGPSDN_LINT_FIXTURE_DIR} + "/" + name;
+}
+
+// (rule, line) pairs in the analyzer's sorted order.
+std::vector<std::pair<std::string, int>> rule_lines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.line);
+  return out;
+}
+
+using RL = std::vector<std::pair<std::string, int>>;
+
+TEST(LintD1, FlagsWallClockWithExactLine) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d1_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"D1", 5}}));
+  EXPECT_EQ(findings[0].token, "steady_clock");
+  EXPECT_EQ(bgpsdn::lint::exit_code_for(findings), 1);
+}
+
+TEST(LintD1, ReasonedPragmaSuppresses) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d1_suppressed.cpp"));
+  EXPECT_EQ(findings, std::vector<Finding>{});
+  EXPECT_EQ(bgpsdn::lint::exit_code_for(findings), 0);
+}
+
+TEST(LintP1, PragmaWithoutReasonFailsAndDoesNotSuppress) {
+  const auto findings =
+      bgpsdn::lint::lint_file(fixture("d1_pragma_noreason.cpp"));
+  // The D1 site stays live AND the bare pragma is itself a finding.
+  EXPECT_EQ(rule_lines(findings), (RL{{"P1", 6}, {"D1", 7}}));
+  EXPECT_EQ(bgpsdn::lint::exit_code_for(findings), 1);
+}
+
+TEST(LintP1, UnknownTagIsFlagged) {
+  const auto findings = bgpsdn::lint::lint_text(
+      "probe.cpp", "int x = 0;  // lint: wallclock-okay(typo tag)\n");
+  EXPECT_EQ(rule_lines(findings), (RL{{"P1", 1}}));
+  EXPECT_EQ(findings[0].token, "wallclock-okay");
+}
+
+TEST(LintD2, FlagsAmbientRandomnessWithExactLines) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d2_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"D2", 6}, {"D2", 7}, {"D2", 8}}));
+  EXPECT_EQ(findings[0].token, "random_device");
+  EXPECT_EQ(findings[1].token, "mt19937_64 unseeded");
+  EXPECT_EQ(findings[2].token, "rand()");
+}
+
+TEST(LintD2, SeededEngineIsClean) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d2_clean.cpp"));
+  EXPECT_EQ(findings, std::vector<Finding>{});
+}
+
+TEST(LintD3, FlagsUnorderedIterationInEmitter) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d3_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"D3", 9}}));
+  EXPECT_EQ(findings[0].token, "table");
+}
+
+TEST(LintD3, ReasonedPragmaSuppresses) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d3_suppressed.cpp"));
+  EXPECT_EQ(findings, std::vector<Finding>{});
+}
+
+TEST(LintD3, DoesNotApplyOutsideEmitterPaths) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d3_nonemitter.cpp"));
+  EXPECT_EQ(findings, std::vector<Finding>{});
+}
+
+TEST(LintD3, CompanionHeaderDeclarationsAreVisible) {
+  // rows_ is declared unordered in companion_emit.hpp via a using-alias;
+  // linting the .cpp must resolve it, mirroring metrics.cpp/metrics.hpp.
+  const auto findings =
+      bgpsdn::lint::lint_file(fixture("companion_emit.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"D3", 9}}));
+  EXPECT_EQ(findings[0].token, "rows_");
+}
+
+TEST(LintT1, FlagsRawThreadingWithExactLines) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("t1_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"T1", 6}, {"T1", 7}, {"T1", 8}}));
+  EXPECT_EQ(findings[0].token, "std::atomic");
+  EXPECT_EQ(findings[1].token, "std::thread");
+  EXPECT_EQ(findings[2].token, "detach()");
+}
+
+TEST(LintT1, TrialRunnerFilesAreAllowlisted) {
+  const auto findings = bgpsdn::lint::lint_text(
+      "src/framework/trial.cpp",
+      "#include <thread>\nvoid f() { std::thread t{[] {}}; t.join(); }\n");
+  EXPECT_EQ(findings, std::vector<Finding>{});
+}
+
+TEST(LintH1, MissingPragmaOnce) {
+  const auto findings =
+      bgpsdn::lint::lint_file(fixture("h1_missing_once.hpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"H1", 1}}));
+  EXPECT_EQ(findings[0].token, "#pragma once");
+}
+
+TEST(LintH1, UsingNamespaceInHeader) {
+  const auto findings =
+      bgpsdn::lint::lint_file(fixture("h1_using_namespace.hpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"H1", 6}}));
+  EXPECT_EQ(findings[0].token, "using namespace");
+}
+
+TEST(LintH1, IostreamInLibraryHeader) {
+  const auto findings = bgpsdn::lint::lint_text(
+      "src/fake/widget.hpp",
+      "#pragma once\n#include <iostream>\ninline int x() { return 1; }\n");
+  EXPECT_EQ(rule_lines(findings), (RL{{"H1", 2}}));
+  EXPECT_EQ(findings[0].token, "<iostream>");
+}
+
+TEST(LintH1, IostreamOutsideSrcIsTolerated) {
+  const auto findings = bgpsdn::lint::lint_text(
+      "bench/bench_probe.hpp",
+      "#pragma once\n#include <iostream>\ninline int x() { return 1; }\n");
+  EXPECT_EQ(findings, std::vector<Finding>{});
+}
+
+TEST(LintClean, FullyCleanFileHasNoFindingsAndExitZero) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("clean.cpp"));
+  EXPECT_EQ(findings, std::vector<Finding>{});
+  EXPECT_EQ(bgpsdn::lint::exit_code_for(findings), 0);
+}
+
+TEST(LintScan, StringsAndCommentsNeverMatch) {
+  const auto findings = bgpsdn::lint::lint_text(
+      "probe.cpp",
+      "// steady_clock in a comment is fine\n"
+      "/* std::thread in a block comment too */\n"
+      "const char* s = \"system_clock rand() std::atomic\";\n"
+      "const char* r = R\"(random_device)\";\n"
+      "int million = 1'000'000;\n");
+  EXPECT_EQ(findings, std::vector<Finding>{});
+}
+
+TEST(LintCorpus, WholeFixtureDirectoryExactFindings) {
+  const auto findings =
+      bgpsdn::lint::lint_paths({std::string{BGPSDN_LINT_FIXTURE_DIR}});
+  // Sorted by (file, line, rule, token); one row per expected finding.
+  std::vector<std::pair<std::string, std::string>> got;
+  got.reserve(findings.size());
+  for (const Finding& f : findings) {
+    const std::size_t slash = f.file.find_last_of('/');
+    got.emplace_back(f.file.substr(slash + 1),
+                     f.rule + "@" + std::to_string(f.line));
+  }
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"companion_emit.cpp", "D3@9"},
+      {"d1_pragma_noreason.cpp", "P1@6"},
+      {"d1_pragma_noreason.cpp", "D1@7"},
+      {"d1_violation.cpp", "D1@5"},
+      {"d2_violation.cpp", "D2@6"},
+      {"d2_violation.cpp", "D2@7"},
+      {"d2_violation.cpp", "D2@8"},
+      {"d3_violation.cpp", "D3@9"},
+      {"h1_missing_once.hpp", "H1@1"},
+      {"h1_using_namespace.hpp", "H1@6"},
+      {"t1_violation.cpp", "T1@6"},
+      {"t1_violation.cpp", "T1@7"},
+      {"t1_violation.cpp", "T1@8"},
+  };
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LintBaseline, RoundTripAndFiltering) {
+  const auto findings = bgpsdn::lint::lint_file(fixture("d1_violation.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+
+  const std::string doc = bgpsdn::lint::findings_to_json(findings);
+  bgpsdn::lint::Baseline baseline;
+  ASSERT_TRUE(bgpsdn::lint::parse_baseline(doc, baseline));
+  ASSERT_EQ(baseline.entries.size(), 1u);
+
+  // Every current finding is baselined → gate passes.
+  const auto filtered = bgpsdn::lint::apply_baseline(findings, baseline);
+  EXPECT_EQ(filtered.fresh, std::vector<Finding>{});
+  EXPECT_EQ(filtered.baselined, 1u);
+  EXPECT_EQ(bgpsdn::lint::exit_code_for(filtered.fresh), 0);
+
+  // A fresh violation elsewhere is not covered by the baseline.
+  auto more = findings;
+  more.push_back({"other.cpp", 3, "D2", "rand()", "msg"});
+  const auto filtered2 = bgpsdn::lint::apply_baseline(more, baseline);
+  ASSERT_EQ(filtered2.fresh.size(), 1u);
+  EXPECT_EQ(filtered2.fresh[0].file, "other.cpp");
+  EXPECT_EQ(bgpsdn::lint::exit_code_for(filtered2.fresh), 1);
+}
+
+TEST(LintBaseline, MalformedDocumentsRejected) {
+  bgpsdn::lint::Baseline b;
+  EXPECT_FALSE(bgpsdn::lint::parse_baseline("not json", b));
+  EXPECT_FALSE(bgpsdn::lint::parse_baseline("{}", b));
+  EXPECT_FALSE(bgpsdn::lint::parse_baseline(
+      R"({"schema":"bgpsdn.lint/2","findings":[]})", b));
+  EXPECT_TRUE(bgpsdn::lint::parse_baseline(
+      R"({"schema":"bgpsdn.lint/1","findings":[]})", b));
+  EXPECT_TRUE(b.entries.empty());
+}
+
+TEST(LintIO, UnreadableFileIsAnIoFinding) {
+  const auto findings =
+      bgpsdn::lint::lint_file(fixture("does_not_exist.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "IO");
+}
+
+}  // namespace

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <vector>
 
 namespace bgpsdn::telemetry {
 namespace {
@@ -155,6 +157,44 @@ TEST(MetricsRegistry, StableRefsAndSnapshot) {
   EXPECT_EQ(snap.find("histograms")->find("h")->find("count")->as_int(), 1);
   // Deterministic dump: keys sorted, repeatable.
   EXPECT_EQ(snap.dump(), reg.snapshot().dump());
+}
+
+// D3 regression (see DESIGN.md §10): the registry sits on unordered maps,
+// whose iteration order depends on insertion history. The snapshot must
+// render byte-identically regardless, because every entry lands in a Json
+// object that sorts its keys.
+TEST(MetricsRegistry, SnapshotIndependentOfInsertionOrder) {
+  const std::vector<std::string> names = {"bgp.updates", "sdn.flow_mods",
+                                          "ctrl.recomputes", "bgp.withdraws",
+                                          "net.pkts"};
+  MetricsRegistry forward;
+  for (const std::string& n : names) {
+    forward.counter(n).inc(static_cast<std::int64_t>(n.size()));
+    forward.gauge("g." + n).set(7);
+    forward.histogram("h." + n).record(static_cast<std::int64_t>(n.size()));
+  }
+  MetricsRegistry reverse;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    reverse.counter(*it).inc(static_cast<std::int64_t>(it->size()));
+    reverse.gauge("g." + *it).set(7);
+    reverse.histogram("h." + *it).record(static_cast<std::int64_t>(it->size()));
+  }
+  // Byte-level diff of the rendered documents, not just structural equality.
+  EXPECT_EQ(forward.snapshot().dump(), reverse.snapshot().dump());
+}
+
+TEST(MetricsRegistry, SnapshotKeysAreSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta").inc();
+  reg.counter("alpha").inc();
+  reg.counter("mid").inc();
+  const Json snap = reg.snapshot();
+  std::vector<std::string> keys;
+  for (const auto& [name, value] : snap.find("counters")->entries()) {
+    keys.push_back(name);
+  }
+  const std::vector<std::string> sorted_keys = {"alpha", "mid", "zeta"};
+  EXPECT_EQ(keys, sorted_keys);
 }
 
 }  // namespace

@@ -155,6 +155,8 @@ int main(int argc, char** argv) {
   }
 
   if (trials == 1) {
+    // lint: wall-clock-ok(wall_s footer only; the simulation itself runs on
+    // virtual time and the determinism diff excludes the footer)
     using Clock = std::chrono::steady_clock;
     const auto t0 = Clock::now();
     bgpsdn::framework::ScenarioRunner runner;
@@ -196,6 +198,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // lint: wall-clock-ok(wall/serial-equivalent/speedup footer of --trials
+  // runs; excluded from the jobs=1-vs-4 determinism diff)
   using Clock = std::chrono::steady_clock;
   if (jobs == 0) jobs = bgpsdn::framework::default_jobs();
   std::vector<bgpsdn::framework::ScenarioResult> results(trials);

@@ -1,0 +1,123 @@
+// bgpsdn_lint CLI — see linter.hpp for the rule set.
+//
+// Usage:
+//   bgpsdn_lint [--baseline lint_baseline.json] [--json out.json]
+//               [--write-baseline out.json] [--quiet] [paths...]
+//
+// Default paths: src tools bench examples (run from the repo root).
+// Exit codes: 0 clean (all findings baselined), 1 findings, 2 usage/IO.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--baseline <file>] [--json <out>] [--write-baseline <out>]\n"
+      "          [--quiet] [paths...]\n"
+      "Scans .cpp/.hpp files for determinism-contract violations\n"
+      "(D1 wall clock, D2 ambient randomness, D3 unordered iteration in\n"
+      "emitters, T1 raw threading, H1 header hygiene, P1 bad pragma).\n"
+      "Default paths: src tools bench examples\n",
+      argv0);
+  return 2;
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) return false;
+  out << body << '\n';
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string json_path;
+  std::string write_baseline_path;
+  bool quiet = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench", "examples"};
+
+  const std::vector<bgpsdn::lint::Finding> all =
+      bgpsdn::lint::lint_paths(roots);
+
+  bgpsdn::lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in{baseline_path, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read baseline %s\n", argv[0],
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!bgpsdn::lint::parse_baseline(ss.str(), baseline)) {
+      std::fprintf(stderr, "%s: malformed baseline %s\n", argv[0],
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  const bgpsdn::lint::FilterResult filtered =
+      bgpsdn::lint::apply_baseline(all, baseline);
+
+  if (!write_baseline_path.empty()) {
+    if (!write_text_file(write_baseline_path,
+                         bgpsdn::lint::findings_to_json(all))) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %zu finding(s) to %s\n", all.size(),
+                 write_baseline_path.c_str());
+    return 0;
+  }
+
+  if (!json_path.empty()) {
+    if (!write_text_file(json_path,
+                         bgpsdn::lint::findings_to_json(filtered.fresh))) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   json_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!quiet) {
+    for (const bgpsdn::lint::Finding& f : filtered.fresh) {
+      std::fprintf(stderr, "%s:%d: %s [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.token.c_str(), f.message.c_str());
+    }
+    std::fprintf(stderr, "bgpsdn_lint: %zu finding(s), %zu baselined\n",
+                 filtered.fresh.size(), filtered.baselined);
+  }
+  return bgpsdn::lint::exit_code_for(filtered.fresh);
+}

@@ -1,0 +1,853 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "telemetry/json.hpp"
+
+namespace bgpsdn::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source stripping: blank out comments and literal contents so token
+// matching never fires inside a string or a comment, while collecting the
+// comment text per line for pragma parsing.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+  std::string code;                   // same length/lines, literals blanked
+  std::vector<std::string> comments;  // per-line comment text
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Stripped strip(std::string_view text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Stripped out;
+  out.code.reserve(text.size());
+  out.comments.emplace_back();
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: ")delim" terminator
+
+  const auto comment_char = [&](char c) {
+    out.comments.back().push_back(c);
+    out.code.push_back(c == '\n' ? '\n' : ' ');
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      // Newline always ends the physical line regardless of state (an
+      // unterminated string would otherwise eat the rest of the file).
+      if (state == State::kLine) state = State::kCode;
+      out.code.push_back('\n');
+      out.comments.emplace_back();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          comment_char(' ');  // the two slashes themselves are not pragma text
+          ++i;
+          out.code.back() = ' ';
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out.code.append("  ");
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          const char prev = i > 0 ? text[i - 1] : '\0';
+          if (prev == 'R') {
+            // Raw string literal: R"delim( ... )delim"
+            std::size_t p = i + 1;
+            std::string delim;
+            while (p < text.size() && text[p] != '(') delim.push_back(text[p++]);
+            raw_delim = ")" + delim + "\"";
+            state = State::kRaw;
+            out.code.push_back('"');
+            for (std::size_t k = i + 1; k <= p && k < text.size(); ++k) {
+              out.code.push_back(' ');
+            }
+            i = p;
+            break;
+          }
+          state = State::kString;
+          out.code.push_back('"');
+          break;
+        }
+        if (c == '\'') {
+          const char prev = i > 0 ? text[i - 1] : '\0';
+          if (is_ident_char(prev)) {
+            out.code.push_back(' ');  // digit separator: 1'000'000
+            break;
+          }
+          state = State::kChar;
+          out.code.push_back('\'');
+          break;
+        }
+        out.code.push_back(c);
+        break;
+      case State::kLine:
+        comment_char(c);
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.comments.back().push_back(' ');
+          out.code.append("  ");
+          ++i;
+          break;
+        }
+        comment_char(c);
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out.code.append("  ");
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          state = State::kCode;
+          out.code.push_back('"');
+          break;
+        }
+        out.code.push_back(' ');
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out.code.append("  ");
+          ++i;
+          break;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+          out.code.push_back('\'');
+          break;
+        }
+        out.code.push_back(' ');
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (char d : raw_delim) {
+            out.code.push_back(d == '"' ? '"' : ' ');
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          break;
+        }
+        out.code.push_back(' ');
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer over the blanked code. Identifiers and numbers are whole
+// tokens; `::` and `->` are merged so "std :: thread" and member access
+// read as single punctuators.
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  int line = 0;        // 1-based
+  bool ident = false;  // identifier (or number — never matches a rule name)
+};
+
+std::vector<Tok> tokenize(std::string_view code) {
+  std::vector<Tok> toks;
+  int line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      toks.push_back({std::string{code.substr(i, j - i)}, line, true});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      toks.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      toks.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression pragmas: `// lint: <tag>(reason)`. The tag names the rule
+// being waived; the reason is mandatory — an exemption must document why
+// the construct is outside the determinism contract.
+// ---------------------------------------------------------------------------
+
+struct Pragma {
+  int line = 0;  // 1-based
+  std::string tag;
+  std::string reason;
+  bool known = false;
+};
+
+const std::unordered_map<std::string, std::string>& pragma_tags() {
+  static const std::unordered_map<std::string, std::string> kTags = {
+      {"wall-clock-ok", "D1"}, {"random-ok", "D2"}, {"unordered-ok", "D3"},
+      {"thread-ok", "T1"},     {"header-ok", "H1"},
+  };
+  return kTags;
+}
+
+std::vector<Pragma> parse_pragmas(const std::vector<std::string>& comments) {
+  std::vector<Pragma> pragmas;
+  for (std::size_t ln = 0; ln < comments.size(); ++ln) {
+    const std::string& com = comments[ln];
+    std::size_t pos = 0;
+    while ((pos = com.find("lint:", pos)) != std::string::npos) {
+      std::size_t p = pos + 5;
+      while (p < com.size() && com[p] == ' ') ++p;
+      std::size_t tag_start = p;
+      while (p < com.size() &&
+             (std::islower(static_cast<unsigned char>(com[p])) != 0 ||
+              com[p] == '-')) {
+        ++p;
+      }
+      const std::string tag = com.substr(tag_start, p - tag_start);
+      pos = p;
+      if (tag.empty()) continue;  // prose like "lint: <tag>(...)", not a pragma
+      Pragma pr;
+      pr.line = static_cast<int>(ln) + 1;
+      pr.tag = tag;
+      pr.known = pragma_tags().contains(tag);
+      if (p < com.size() && com[p] == '(') {
+        // The reason runs to the closing paren, or to the end of the
+        // comment line when the sentence wraps onto the next line.
+        const std::size_t close = com.find(')', p);
+        const std::size_t end = close == std::string::npos ? com.size() : close;
+        pr.reason = com.substr(p + 1, end - p - 1);
+        pos = end;
+      }
+      // Trim the reason; "( )" counts as missing.
+      while (!pr.reason.empty() && pr.reason.front() == ' ') {
+        pr.reason.erase(pr.reason.begin());
+      }
+      while (!pr.reason.empty() && pr.reason.back() == ' ') pr.reason.pop_back();
+      pragmas.push_back(std::move(pr));
+    }
+  }
+  return pragmas;
+}
+
+// ---------------------------------------------------------------------------
+// Rule context shared by the matchers.
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  std::string path;         // normalized, forward slashes
+  bool is_header = false;
+  bool is_emitter = false;  // D3 applies
+  bool t1_allowlisted = false;
+  std::vector<std::string> raw_lines;
+  std::vector<Tok> toks;
+  std::vector<Pragma> pragmas;
+  std::vector<bool> line_has_code;            // index 0 = line 1
+  std::unordered_set<std::string> unordered;  // vars/aliases of unordered type
+  std::vector<Finding> findings;
+
+  bool line_holds_code(int line) const {
+    const std::size_t idx = static_cast<std::size_t>(line) - 1;
+    return idx < line_has_code.size() && line_has_code[idx];
+  }
+
+  bool suppressed(const std::string& rule, int line) const {
+    for (const Pragma& pr : pragmas) {
+      if (!pr.known || pr.reason.empty()) continue;
+      const auto it = pragma_tags().find(pr.tag);
+      if (it == pragma_tags().end() || it->second != rule) continue;
+      if (pr.line == line) return true;
+      // A pragma on a comment-only line covers the next line that holds
+      // code, skipping the rest of its own comment block.
+      if (line_holds_code(pr.line)) continue;
+      int target = pr.line + 1;
+      while (target <= static_cast<int>(line_has_code.size()) &&
+             !line_holds_code(target)) {
+        ++target;
+      }
+      if (target == line) return true;
+    }
+    return false;
+  }
+
+  void add(const std::string& rule, int line, std::string token,
+           std::string message) {
+    if (suppressed(rule, line)) return;
+    findings.push_back(
+        {path, line, rule, std::move(token), std::move(message)});
+  }
+};
+
+std::vector<std::string> split_raw_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      lines.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+bool path_ends_with(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_has_dir(const std::string& path, std::string_view dir) {
+  const std::string needle = "/" + std::string{dir} + "/";
+  return path.find(needle) != std::string::npos ||
+         path.rfind(std::string{dir} + "/", 0) == 0;
+}
+
+// Previous token, skipping nothing; nullptr at the start.
+const Tok* prev_tok(const std::vector<Tok>& toks, std::size_t i) {
+  return i == 0 ? nullptr : &toks[i - 1];
+}
+const Tok* next_tok(const std::vector<Tok>& toks, std::size_t i) {
+  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+}
+
+// True when toks[i] is reached through `.` or `->` (a member, not the
+// global/std function of the same name).
+bool is_member_access(const std::vector<Tok>& toks, std::size_t i) {
+  const Tok* p = prev_tok(toks, i);
+  return p != nullptr && (p->text == "." || p->text == "->");
+}
+
+// True when toks[i] is qualified as `std::X` or `::X` (global scope).
+bool is_std_or_global(const std::vector<Tok>& toks, std::size_t i) {
+  const Tok* p = prev_tok(toks, i);
+  if (p == nullptr || p->text != "::") return true;  // unqualified
+  const Tok* pp = i >= 2 ? &toks[i - 2] : nullptr;
+  if (pp == nullptr || !pp->ident) return true;  // leading :: = global
+  return pp->text == "std" || pp->text == "chrono";
+}
+
+// ---------------------------------------------------------------------------
+// D3 support: harvest names declared with an unordered container type,
+// including `using` aliases (e.g. metrics.hpp's `template <typename T>
+// using Map = std::unordered_map<...>` and the members declared as
+// `Map<Counter> counters_;`).
+// ---------------------------------------------------------------------------
+
+bool is_unordered_type_name(const std::unordered_set<std::string>& aliases,
+                            const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset" ||
+         aliases.contains(name);
+}
+
+// Skip a balanced `<...>` starting at toks[i] == "<"; returns the index
+// one past the matching ">", or i when unbalanced.
+std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return i;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].text == "<") ++depth;
+    if (toks[j].text == ">") {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (toks[j].text == ";") break;  // statement ended: unbalanced
+  }
+  return i;
+}
+
+void harvest_unordered_names(const std::vector<Tok>& toks,
+                             std::unordered_set<std::string>& names) {
+  // Aliases first: `using X = ...unordered_map...;` (covers template
+  // aliases too — the `using` token pattern is identical).
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!(toks[i].ident && toks[i].text == "using")) continue;
+    if (!toks[i + 1].ident || toks[i + 2].text != "=") continue;
+    for (std::size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].ident && is_unordered_type_name(names, toks[j].text)) {
+        names.insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+  // Declarations: `<unordered-type>[<...>] [const|&|*]* name [;=,){]`.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident || !is_unordered_type_name(names, toks[i].text)) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    j = skip_template_args(toks, j);
+    while (j < toks.size() &&
+           (toks[j].text == "const" || toks[j].text == "&" ||
+            toks[j].text == "*")) {
+      ++j;
+    }
+    if (j >= toks.size() || !toks[j].ident) continue;
+    const Tok* after = next_tok(toks, j);
+    if (after == nullptr) continue;
+    if (after->text == ";" || after->text == "=" || after->text == "{" ||
+        after->text == ")" || after->text == ",") {
+      names.insert(toks[j].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+void rule_d1_wall_clock(FileContext& ctx) {
+  static const std::unordered_set<std::string> kClockIdents = {
+      "system_clock",     "steady_clock", "high_resolution_clock",
+      "clock_gettime",    "gettimeofday", "timespec_get",
+  };
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    if (kClockIdents.contains(toks[i].text)) {
+      if (is_member_access(toks, i)) continue;
+      ctx.add("D1", toks[i].line, toks[i].text,
+              "wall clock outside the allowlisted wall-footer paths; "
+              "simulations must use virtual time (core::TimePoint)");
+      continue;
+    }
+    if (toks[i].text == "time") {
+      const Tok* nx = next_tok(toks, i);
+      if (nx == nullptr || nx->text != "(") continue;
+      if (is_member_access(toks, i)) continue;
+      if (!is_std_or_global(toks, i)) continue;
+      ctx.add("D1", toks[i].line, "time()",
+              "libc wall clock; simulations must use virtual time");
+    }
+  }
+}
+
+void rule_d2_randomness(FileContext& ctx) {
+  static const std::unordered_set<std::string> kEngines = {
+      "mt19937",       "mt19937_64", "minstd_rand", "minstd_rand0",
+      "ranlux24_base", "ranlux48_base", "ranlux24", "ranlux48", "knuth_b",
+  };
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    const std::string& t = toks[i].text;
+    if (t == "random_device" || t == "default_random_engine" ||
+        t == "random_shuffle") {
+      if (is_member_access(toks, i)) continue;
+      ctx.add("D2", toks[i].line, t,
+              "ambient randomness; all draws must flow from the trial seed "
+              "through core::Rng");
+      continue;
+    }
+    if (t == "rand" || t == "srand") {
+      const Tok* nx = next_tok(toks, i);
+      if (nx == nullptr || nx->text != "(") continue;
+      if (is_member_access(toks, i)) continue;
+      if (!is_std_or_global(toks, i)) continue;
+      ctx.add("D2", toks[i].line, t + "()",
+              "libc randomness; all draws must flow from the trial seed "
+              "through core::Rng");
+      continue;
+    }
+    if (kEngines.contains(t)) {
+      // Default-seeded engine: `mt19937 g;` or `mt19937{}` — fixed default
+      // seed silently decouples the stream from the trial seed.
+      std::size_t j = i + 1;
+      if (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*")) {
+        continue;  // reference/pointer type position, no construction
+      }
+      if (j < toks.size() && toks[j].text == "{" && j + 1 < toks.size() &&
+          toks[j + 1].text == "}") {
+        ctx.add("D2", toks[i].line, t + "{}",
+                "default-seeded engine; seed it from the trial seed");
+        continue;
+      }
+      if (j < toks.size() && toks[j].ident && j + 1 < toks.size()) {
+        const std::string& after = toks[j + 1].text;
+        if (after == ";") {
+          ctx.add("D2", toks[i].line, t + " " + toks[j].text,
+                  "default-seeded engine declaration; seed it from the "
+                  "trial seed");
+        } else if (after == "{" && j + 2 < toks.size() &&
+                   toks[j + 2].text == "}") {
+          ctx.add("D2", toks[i].line, t + " " + toks[j].text + "{}",
+                  "default-seeded engine declaration; seed it from the "
+                  "trial seed");
+        }
+      }
+    }
+  }
+}
+
+void rule_d3_unordered_iteration(FileContext& ctx) {
+  if (!ctx.is_emitter) return;
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!(toks[i].ident && toks[i].text == "for")) continue;
+    if (toks[i + 1].text != "(") continue;
+    // Find the range-for colon at paren depth 1, then the closing paren.
+    int depth = 0;
+    std::size_t colon = 0, close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (depth == 1 && toks[j].text == ":" && colon == 0) colon = j;
+      if (toks[j].text == ";") break;  // classic for loop
+    }
+    if (colon == 0 || close == 0) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (!toks[j].ident) continue;
+      const bool unordered_type = toks[j].text == "unordered_map" ||
+                                  toks[j].text == "unordered_set" ||
+                                  toks[j].text == "unordered_multimap" ||
+                                  toks[j].text == "unordered_multiset";
+      if (unordered_type || ctx.unordered.contains(toks[j].text)) {
+        ctx.add("D3", toks[i].line, toks[j].text,
+                "range-for over an unordered container in an emitter code "
+                "path; sort before output or annotate with "
+                "unordered-ok(reason)");
+        break;
+      }
+    }
+  }
+}
+
+void rule_t1_threads(FileContext& ctx) {
+  if (ctx.t1_allowlisted) return;
+  static const std::unordered_set<std::string> kStdQualified = {
+      "thread", "atomic", "mutex",   "shared_mutex", "recursive_mutex",
+      "async",  "future", "promise", "condition_variable",
+      "atomic_flag",
+  };
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    const std::string& t = toks[i].text;
+    if (t == "jthread") {
+      ctx.add("T1", toks[i].line, t,
+              "raw threading outside src/framework/trial.*; all "
+              "parallelism goes through TrialRunner");
+      continue;
+    }
+    if (kStdQualified.contains(t)) {
+      const Tok* p = prev_tok(toks, i);
+      const Tok* pp = i >= 2 ? &toks[i - 2] : nullptr;
+      const bool std_qualified = p != nullptr && p->text == "::" &&
+                                 pp != nullptr && pp->text == "std";
+      if (!std_qualified) continue;
+      ctx.add("T1", toks[i].line, "std::" + t,
+              "raw threading/synchronization outside src/framework/trial.*; "
+              "all parallelism goes through TrialRunner");
+      continue;
+    }
+    if (t == "detach") {
+      const Tok* nx = next_tok(toks, i);
+      if (nx == nullptr || nx->text != "(") continue;
+      if (!is_member_access(toks, i)) continue;
+      ctx.add("T1", toks[i].line, "detach()",
+              "detached threads can outlive the trial; all parallelism "
+              "goes through TrialRunner");
+    }
+  }
+}
+
+void rule_h1_header_hygiene(FileContext& ctx) {
+  if (!ctx.is_header) return;
+  bool has_pragma_once = false;
+  for (std::size_t ln = 0; ln < ctx.raw_lines.size(); ++ln) {
+    const std::string& raw = ctx.raw_lines[ln];
+    const std::size_t first = raw.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const std::string_view trimmed = std::string_view{raw}.substr(first);
+    if (trimmed.rfind("#pragma", 0) == 0 &&
+        trimmed.find("once") != std::string_view::npos) {
+      has_pragma_once = true;
+    }
+    if (trimmed.rfind("#include", 0) == 0 &&
+        trimmed.find("<iostream>") != std::string_view::npos &&
+        (path_has_dir(ctx.path, "src"))) {
+      ctx.add("H1", static_cast<int>(ln) + 1, "<iostream>",
+              "iostream in a library header drags static init and bloats "
+              "every consumer; use <cstdio> in a .cpp instead");
+    }
+  }
+  if (!has_pragma_once && !ctx.toks.empty()) {
+    ctx.add("H1", 1, "#pragma once", "header is missing #pragma once");
+  }
+  for (std::size_t i = 0; i + 1 < ctx.toks.size(); ++i) {
+    if (ctx.toks[i].ident && ctx.toks[i].text == "using" &&
+        ctx.toks[i + 1].ident && ctx.toks[i + 1].text == "namespace") {
+      ctx.add("H1", ctx.toks[i].line, "using namespace",
+              "using-directive in a header leaks into every consumer");
+    }
+  }
+}
+
+void rule_p1_pragmas(FileContext& ctx) {
+  for (const Pragma& pr : ctx.pragmas) {
+    if (!pr.known) {
+      ctx.findings.push_back({ctx.path, pr.line, "P1", pr.tag,
+                              "unknown lint pragma tag '" + pr.tag + "'"});
+      continue;
+    }
+    if (pr.reason.empty()) {
+      ctx.findings.push_back(
+          {ctx.path, pr.line, "P1", pr.tag,
+           "suppression pragma requires a reason: lint: " + pr.tag +
+               "(<why this is outside the contract>)"});
+    }
+  }
+}
+
+std::string normalize_path(std::string_view path) {
+  std::string p{path};
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool includes_emitter_header(const std::vector<std::string>& raw_lines) {
+  for (const std::string& raw : raw_lines) {
+    const std::size_t first = raw.find_first_not_of(" \t");
+    if (first == std::string::npos || raw[first] != '#') continue;
+    if (raw.find("#include") == std::string::npos) continue;
+    if (raw.find("telemetry/json.hpp") != std::string::npos ||
+        raw.find("framework/report.hpp") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_text(std::string_view path, std::string_view text,
+                               std::string_view companion_header) {
+  FileContext ctx;
+  ctx.path = normalize_path(path);
+  ctx.is_header = path_ends_with(ctx.path, ".hpp") ||
+                  path_ends_with(ctx.path, ".h");
+  ctx.t1_allowlisted = path_ends_with(ctx.path, "framework/trial.cpp") ||
+                       path_ends_with(ctx.path, "framework/trial.hpp");
+  ctx.raw_lines = split_raw_lines(text);
+
+  const Stripped stripped = strip(text);
+  ctx.toks = tokenize(stripped.code);
+  ctx.pragmas = parse_pragmas(stripped.comments);
+
+  ctx.is_emitter = path_has_dir(ctx.path, "telemetry") ||
+                   includes_emitter_header(ctx.raw_lines);
+
+  ctx.line_has_code.assign(ctx.raw_lines.size(), false);
+  for (const Tok& t : ctx.toks) {
+    const std::size_t idx = static_cast<std::size_t>(t.line) - 1;
+    if (idx < ctx.line_has_code.size()) ctx.line_has_code[idx] = true;
+  }
+
+  if (!companion_header.empty()) {
+    const Stripped companion = strip(companion_header);
+    harvest_unordered_names(tokenize(companion.code), ctx.unordered);
+  }
+  harvest_unordered_names(ctx.toks, ctx.unordered);
+
+  rule_d1_wall_clock(ctx);
+  rule_d2_randomness(ctx);
+  rule_d3_unordered_iteration(ctx);
+  rule_t1_threads(ctx);
+  rule_h1_header_hygiene(ctx);
+  rule_p1_pragmas(ctx);
+
+  std::sort(ctx.findings.begin(), ctx.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.token) <
+                     std::tie(b.file, b.line, b.rule, b.token);
+            });
+  return ctx.findings;
+}
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    return {{normalize_path(path), 0, "IO", path, "cannot read file"}};
+  }
+  std::string companion;
+  if (path_ends_with(path, ".cpp")) {
+    std::string header = path.substr(0, path.size() - 4) + ".hpp";
+    std::string header_text;
+    if (read_file(header, header_text)) companion = std::move(header_text);
+  }
+  return lint_text(path, text, companion);
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      continue;  // missing roots reported by the CLI, not as findings
+    }
+    for (fs::recursive_directory_iterator it{root, ec}, end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string p = it->path().generic_string();
+      if (path_ends_with(p, ".cpp") || path_ends_with(p, ".hpp") ||
+          path_ends_with(p, ".h")) {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    std::vector<Finding> fs_one = lint_file(f);
+    findings.insert(findings.end(), fs_one.begin(), fs_one.end());
+  }
+  return findings;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  using telemetry::Json;
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.token) <
+                     std::tie(b.file, b.line, b.rule, b.token);
+            });
+  Json doc = Json::object();
+  doc["schema"] = std::string{"bgpsdn.lint/1"};
+  Json arr = Json::array();
+  for (const Finding& f : sorted) {
+    Json entry = Json::object();
+    entry["file"] = f.file;
+    entry["line"] = static_cast<std::int64_t>(f.line);
+    entry["rule"] = f.rule;
+    entry["token"] = f.token;
+    entry["message"] = f.message;
+    arr.push_back(std::move(entry));
+  }
+  doc["findings"] = std::move(arr);
+  return doc.dump();
+}
+
+bool parse_baseline(std::string_view text, Baseline& out) {
+  using telemetry::Json;
+  const std::optional<Json> doc = Json::parse(text);
+  if (!doc || !doc->is_object()) return false;
+  const Json* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "bgpsdn.lint/1") {
+    return false;
+  }
+  const Json* findings = doc->find("findings");
+  if (findings == nullptr || !findings->is_array()) return false;
+  out.entries.clear();
+  for (std::size_t i = 0; i < findings->size(); ++i) {
+    const Json& e = findings->at(i);
+    if (!e.is_object()) return false;
+    const Json* file = e.find("file");
+    const Json* line = e.find("line");
+    const Json* rule = e.find("rule");
+    const Json* token = e.find("token");
+    if (file == nullptr || line == nullptr || rule == nullptr ||
+        token == nullptr) {
+      return false;
+    }
+    Finding f;
+    f.file = file->as_string();
+    f.line = static_cast<int>(line->as_int());
+    f.rule = rule->as_string();
+    f.token = token->as_string();
+    out.entries.push_back(std::move(f));
+  }
+  return true;
+}
+
+FilterResult apply_baseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline) {
+  FilterResult result;
+  std::vector<bool> used(baseline.entries.size(), false);
+  for (const Finding& f : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      if (used[i]) continue;
+      const Finding& b = baseline.entries[i];
+      if (b.file == f.file && b.line == f.line && b.rule == f.rule &&
+          b.token == f.token) {
+        used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++result.baselined;
+    } else {
+      result.fresh.push_back(f);
+    }
+  }
+  return result;
+}
+
+int exit_code_for(const std::vector<Finding>& fresh) {
+  return fresh.empty() ? 0 : 1;
+}
+
+}  // namespace bgpsdn::lint

@@ -1,0 +1,97 @@
+// bgpsdn_lint — project-invariant static analyzer.
+//
+// A token-level scanner (no libclang, stdlib only) that mechanically
+// enforces the source-level rules behind the repo's determinism contract:
+// seeded runs must be byte-identical at any BGPSDN_JOBS. The end-to-end
+// JSON diff in check.sh catches a leak after the fact; these rules ban the
+// constructs that cause leaks in the first place.
+//
+// Rules (DESIGN.md §10 has the full table and rationale):
+//   D1  no wall clocks (system_clock/steady_clock/high_resolution_clock/
+//       time()/clock_gettime/gettimeofday) — virtual time only. The wall
+//       footer paths are annotated with `// lint: wall-clock-ok(reason)`.
+//   D2  no ambient randomness (rand/srand/std::random_device/
+//       default_random_engine) and no default-seeded std engines — all
+//       randomness must flow from trial seeds through core::Rng.
+//   D3  no range-for over std::unordered_map/unordered_set in emitter
+//       code paths (files under src/telemetry/ or directly including
+//       telemetry/json.hpp or framework/report.hpp) unless the line is
+//       annotated `// lint: unordered-ok(reason)` — e.g. because the sink
+//       sorts keys before rendering.
+//   T1  no std::thread/jthread/async/atomic/mutex/detach() outside
+//       src/framework/trial.* — all parallelism goes through TrialRunner.
+//   H1  header hygiene: `#pragma once` in every header, no
+//       `using namespace` in headers, no <iostream> in library headers
+//       (under src/).
+//   P1  a suppression pragma with an empty/missing reason — reasons are
+//       mandatory so every exemption documents itself.
+//
+// Suppression: `// lint: <tag>(reason)` on the offending line, or on a
+// comment-only line directly above it. Tags: wall-clock-ok (D1),
+// random-ok (D2), unordered-ok (D3), thread-ok (T1), header-ok (H1).
+//
+// Comments, string literals, and char literals are stripped before token
+// matching, so talking *about* steady_clock (or matching it, as this tool
+// does) never trips a rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpsdn::lint {
+
+struct Finding {
+  std::string file;   // path as given (normalized to forward slashes)
+  int line = 0;       // 1-based
+  std::string rule;   // "D1", "D2", "D3", "T1", "H1", "P1"
+  std::string token;  // offending token or construct
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Lint one in-memory translation unit. `path` is used for path-scoped
+/// rules (T1 allowlist, D3 emitter detection, H1 library-header check) and
+/// for finding locations. `companion_header` is the text of the paired
+/// .hpp when linting a .cpp (may be empty) — its type declarations and
+/// aliases feed D3's unordered-container tracking, so `for (auto& kv :
+/// counters_)` in metrics.cpp resolves against the member declared in
+/// metrics.hpp.
+std::vector<Finding> lint_text(std::string_view path, std::string_view text,
+                               std::string_view companion_header = {});
+
+/// Lint one file on disk (loads the companion header automatically).
+/// Unreadable files yield a single "IO" finding.
+std::vector<Finding> lint_file(const std::string& path);
+
+/// Recursively collect .cpp/.hpp files under each root (or the root itself
+/// when it is a file), sorted for deterministic output, and lint them.
+std::vector<Finding> lint_paths(const std::vector<std::string>& roots);
+
+/// Baseline: a committed set of tolerated findings so adoption can be
+/// incremental. Matching is exact on (file, line, rule, token).
+struct Baseline {
+  std::vector<Finding> entries;
+};
+
+/// Parse a lint_baseline.json document ({"schema":"bgpsdn.lint/1",
+/// "findings":[...]}). Returns false on malformed input.
+bool parse_baseline(std::string_view text, Baseline& out);
+
+/// Render findings as a bgpsdn.lint/1 JSON document (deterministic:
+/// findings are sorted by file/line/rule/token).
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+/// Split findings into (new, baselined) against a baseline.
+struct FilterResult {
+  std::vector<Finding> fresh;
+  std::size_t baselined = 0;
+};
+FilterResult apply_baseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline);
+
+/// Exit code the CLI maps a finding set to: 0 clean, 1 findings.
+int exit_code_for(const std::vector<Finding>& fresh);
+
+}  // namespace bgpsdn::lint

@@ -3,14 +3,20 @@
 // overall stability and rate-limit route flaps due to bursts in external
 // BGP input."
 //
-// Fixed scenario — 16-AS clique, 8 SDN members, origin withdrawal (the
-// burstiest input: every legacy AS floods exploration updates into the
-// cluster's border sessions) — swept over the controller's recompute
-// delay. Reported per delay: convergence time, controller recompute
-// passes, flow-mods pushed, and announcements/withdrawals sent to the
-// legacy world. Small delays react faster but churn rules and flap
-// announcements; the paper's 2 s default buys stability at a bounded
-// latency cost.
+// Two sweeps over the fixed evaluation topology (16-AS clique, 8 SDN
+// members):
+//
+//   1. Delay sweep — origin withdrawal (the burstiest input) swept over the
+//      controller's recompute delay. Reported per delay: convergence time,
+//      recompute passes, flow-mods, announcements to the legacy world, and
+//      the recompute cost (total virtual-time span of recompute_batch — the
+//      sum of the ctrl.idr.batch_wait_ns histogram).
+//
+//   2. Churn ablation — a link-flap train on a cluster link, run once with
+//      the incremental delta-SPT engine and once with the from-scratch
+//      reference. Convergence must not move (the engines are equivalent);
+//      the recomputation work — prefix recomputes and SPT vertices settled —
+//      is the ablation result.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -19,11 +25,23 @@ using namespace bgpsdn;
 
 namespace {
 
+/// Total recompute_batch span (seconds of virtual time) accumulated so far:
+/// the sum of the batch-wait histogram, which records one sample per pass
+/// covering first-dirtying-input -> batch execution.
+double batch_span_seconds(framework::Experiment& exp) {
+  const auto* h =
+      exp.telemetry().metrics().find_histogram("ctrl.idr.batch_wait_ns");
+  return h == nullptr ? 0.0 : static_cast<double>(h->sum()) * 1e-9;
+}
+
+// --- sweep 1: recompute delay ----------------------------------------------
+
 struct AblationPoint {
   double conv_seconds{0};
   double recomputes{0};
   double flow_mods{0};
   double speaker_msgs{0};
+  double batch_span_s{0};
 };
 
 AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
@@ -43,6 +61,7 @@ AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
   const auto mods0 = ctrl->counters().flow_adds + ctrl->counters().flow_deletes;
   const auto spk0 = exp.cluster_speaker()->counters().announces_tx +
                     exp.cluster_speaker()->counters().withdraws_tx;
+  const double span0 = batch_span_seconds(exp);
 
   const auto t0 = exp.loop().now();
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
@@ -58,7 +77,72 @@ AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
   p.speaker_msgs =
       static_cast<double>(exp.cluster_speaker()->counters().announces_tx +
                           exp.cluster_speaker()->counters().withdraws_tx - spk0);
+  p.batch_span_s = batch_span_seconds(exp) - span0;
   return p;
+}
+
+// --- sweep 2: churn, incremental vs reference -------------------------------
+
+struct ChurnPoint {
+  double conv_seconds{0};       // virtual time of the whole flap train
+  double prefix_recomputes{0};  // per-prefix decisions recomputed
+  double settles{0};            // SPT vertices settled (see below)
+  double flow_mods{0};
+};
+
+/// One flap train: `flaps` fail/restore cycles of the 9-10 cluster link,
+/// waiting out convergence after every transition. The settle count is the
+/// engine-fair cost unit: the incremental engine reports replayed vertices
+/// directly; a from-scratch run settles every tree vertex (8 member
+/// switches + the virtual destination) of every recomputed prefix.
+ChurnPoint run_churn(bool incremental, std::size_t flaps, std::uint64_t seed) {
+  framework::ExperimentConfig cfg = bench::paper_config();
+  cfg.seed = seed;
+  cfg.incremental_spt = incremental;
+  const auto spec = topology::clique(16);
+  std::set<core::AsNumber> members;
+  for (std::uint32_t as = 9; as <= 16; ++as) members.insert(core::AsNumber{as});
+  framework::Experiment exp{spec, members, cfg};
+  exp.announce_prefix(core::AsNumber{1}, *net::Prefix::parse("10.90.0.0/16"));
+  exp.announce_prefix(core::AsNumber{1}, *net::Prefix::parse("10.91.0.0/16"));
+  exp.announce_prefix(core::AsNumber{2}, *net::Prefix::parse("10.92.0.0/16"));
+  exp.announce_prefix(core::AsNumber{2}, *net::Prefix::parse("10.93.0.0/16"));
+  if (!exp.start()) return {};
+  exp.wait_converged();
+
+  auto* ctrl = exp.idr_controller();
+  const auto recomputes0 = ctrl->counters().prefix_recomputes;
+  const auto replayed0 = ctrl->counters().spt_vertices_replayed;
+  const auto mods0 = ctrl->counters().flow_adds + ctrl->counters().flow_deletes;
+  const auto t0 = exp.loop().now();
+  for (std::size_t i = 0; i < flaps; ++i) {
+    exp.fail_link(core::AsNumber{9}, core::AsNumber{10});
+    exp.wait_converged();
+    exp.restore_link(core::AsNumber{9}, core::AsNumber{10});
+    exp.wait_converged();
+  }
+
+  ChurnPoint p;
+  p.conv_seconds = (exp.loop().now() - t0).to_seconds();
+  p.prefix_recomputes =
+      static_cast<double>(ctrl->counters().prefix_recomputes - recomputes0);
+  const double tree_vertices = static_cast<double>(members.size() + 1);
+  p.settles =
+      incremental
+          ? static_cast<double>(ctrl->counters().spt_vertices_replayed -
+                                replayed0)
+          : p.prefix_recomputes * tree_vertices;
+  p.flow_mods = static_cast<double>(ctrl->counters().flow_adds +
+                                    ctrl->counters().flow_deletes - mods0);
+  return p;
+}
+
+std::vector<double> column(const std::vector<ChurnPoint>& grid,
+                           std::size_t point, std::size_t runs,
+                           double ChurnPoint::* field) {
+  std::vector<double> out;
+  for (std::size_t r = 0; r < runs; ++r) out.push_back(grid[point * runs + r].*field);
+  return out;
 }
 
 }  // namespace
@@ -70,7 +154,7 @@ int main(int argc, char** argv) {
       "# delayed-recomputation ablation: 16-AS clique, 8 SDN members, "
       "withdrawal burst\n");
   std::printf("# medians over %zu runs\n", runs);
-  std::printf("delay_s\tconv_s\trecomputes\tflow_mods\tspeaker_msgs\n");
+  std::printf("delay_s\tconv_s\trecomputes\tflow_mods\tspeaker_msgs\tbatch_span_s\n");
   const double delays[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
   std::vector<AblationPoint> grid;
   const auto timing = bench::run_trial_grid(
@@ -80,17 +164,19 @@ int main(int argc, char** argv) {
   framework::BenchReport report{"ablation_recompute"};
   report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
   for (std::size_t point = 0; point < std::size(delays); ++point) {
-    std::vector<double> conv, rec, mods, spk;
+    std::vector<double> conv, rec, mods, spk, span;
     for (std::size_t r = 0; r < runs; ++r) {
       const auto& p = grid[point * runs + r];
       conv.push_back(p.conv_seconds);
       rec.push_back(p.recomputes);
       mods.push_back(p.flow_mods);
       spk.push_back(p.speaker_msgs);
+      span.push_back(p.batch_span_s);
     }
-    std::printf("%.1f\t%.2f\t%.0f\t%.0f\t%.0f\n", delays[point],
+    std::printf("%.1f\t%.2f\t%.0f\t%.0f\t%.0f\t%.2f\n", delays[point],
                 framework::quantile(conv, 0.5), framework::quantile(rec, 0.5),
-                framework::quantile(mods, 0.5), framework::quantile(spk, 0.5));
+                framework::quantile(mods, 0.5), framework::quantile(spk, 0.5),
+                framework::quantile(span, 0.5));
     std::fflush(stdout);
     if (cli.want_json()) {
       char label[32];
@@ -99,14 +185,59 @@ int main(int argc, char** argv) {
       extra["recomputes_median"] = framework::quantile(rec, 0.5);
       extra["flow_mods_median"] = framework::quantile(mods, 0.5);
       extra["speaker_msgs_median"] = framework::quantile(spk, 0.5);
+      extra["batch_span_s_median"] = framework::quantile(span, 0.5);
       report.add_point(label, framework::summarize(conv), conv,
                        std::move(extra));
     }
   }
   bench::print_parallel_footer(timing);
-  report.set_footer(static_cast<std::int64_t>(timing.trials),
-                    static_cast<std::int64_t>(timing.jobs),
-                    timing.wall_seconds, timing.trial_seconds);
+
+  // Churn ablation: same flap train, both recomputation engines. Equal
+  // convergence + an order-of-magnitude settle gap is the result.
+  std::printf(
+      "\n# churn ablation: cluster-link flap train, incremental vs "
+      "reference recomputation\n");
+  std::printf("flaps\tengine\tconv_s\tprefix_recomputes\tsettles\tflow_mods\n");
+  const std::size_t flap_counts[] = {2, 6, 12};
+  constexpr std::size_t kModes = 2;  // 0 = incremental, 1 = reference
+  std::vector<ChurnPoint> churn_grid;
+  const auto churn_timing = bench::run_trial_grid(
+      std::size(flap_counts) * kModes, runs, churn_grid,
+      [&](std::size_t point, std::size_t r) {
+        return run_churn(/*incremental=*/point % kModes == 0,
+                         flap_counts[point / kModes], 3000 + r);
+      });
+  for (std::size_t point = 0; point < std::size(flap_counts) * kModes; ++point) {
+    const bool incremental = point % kModes == 0;
+    const std::size_t flaps = flap_counts[point / kModes];
+    const auto conv = column(churn_grid, point, runs, &ChurnPoint::conv_seconds);
+    const auto rec =
+        column(churn_grid, point, runs, &ChurnPoint::prefix_recomputes);
+    const auto settles = column(churn_grid, point, runs, &ChurnPoint::settles);
+    const auto mods = column(churn_grid, point, runs, &ChurnPoint::flow_mods);
+    std::printf("%zu\t%s\t%.2f\t%.0f\t%.0f\t%.0f\n", flaps,
+                incremental ? "incremental" : "reference",
+                framework::quantile(conv, 0.5), framework::quantile(rec, 0.5),
+                framework::quantile(settles, 0.5),
+                framework::quantile(mods, 0.5));
+    std::fflush(stdout);
+    if (cli.want_json()) {
+      char label[48];
+      std::snprintf(label, sizeof label, "churn%zu_%s", flaps,
+                    incremental ? "incremental" : "reference");
+      telemetry::Json extra = telemetry::Json::object();
+      extra["prefix_recomputes_median"] = framework::quantile(rec, 0.5);
+      extra["settles_median"] = framework::quantile(settles, 0.5);
+      extra["flow_mods_median"] = framework::quantile(mods, 0.5);
+      report.add_point(label, framework::summarize(conv), conv,
+                       std::move(extra));
+    }
+  }
+  bench::print_parallel_footer(churn_timing);
+  report.set_footer(
+      static_cast<std::int64_t>(timing.trials + churn_timing.trials),
+      static_cast<std::int64_t>(timing.jobs), timing.wall_seconds + churn_timing.wall_seconds,
+      timing.trial_seconds + churn_timing.trial_seconds);
   bench::finish_report(report, cli);
   return 0;
 }

@@ -235,7 +235,7 @@ void BM_Dijkstra(benchmark::State& state) {
   controller::AdjacencyList g;
   for (std::uint64_t i = 0; i < n; ++i) {
     for (std::uint64_t j = 0; j < n; ++j) {
-      if (i != j) g[i].push_back({j, 1});
+      if (i != j) g.add_edge(i, j, 1);
     }
   }
   for (auto _ : state) {
@@ -244,6 +244,25 @@ void BM_Dijkstra(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_Dijkstra)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_IncrementalSptFlap(benchmark::State& state) {
+  // One edge flapping on a clique: the delta engine's steady-state cost,
+  // versus BM_Dijkstra's from-scratch cost for the same graph.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  controller::IncrementalSpt spt{0};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      if (i != j) spt.edge_added(i, j, 1);
+    }
+  }
+  for (auto _ : state) {
+    spt.edge_removed(0, 1, 1);
+    spt.edge_added(0, 1, 1);
+    benchmark::DoNotOptimize(spt.revision());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_IncrementalSptFlap)->Arg(8)->Arg(16)->Arg(64);
 
 void BM_AsTopologyDecide(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));

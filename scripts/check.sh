@@ -71,6 +71,18 @@ done
 echo "===== scenarios/chaos_recovery.bgpsdn --faults scenarios/chaos.plan"
 ./build/tools/bgpsdn_run --faults scenarios/chaos.plan \
   scenarios/chaos_recovery.bgpsdn > /dev/null
+# The churn scenario's link-flap train, with both recomputation engines:
+# the printed output (routes, reachability, traces) must be byte-identical.
+echo "===== scenarios/churn.bgpsdn --faults scenarios/churn.plan (both engines)"
+mkdir -p build/json
+./build/tools/bgpsdn_run --faults scenarios/churn.plan \
+  scenarios/churn.bgpsdn > build/json/churn_incremental.out
+sed 's/^spt incremental/spt reference/' scenarios/churn.bgpsdn \
+  > build/json/churn_reference.bgpsdn
+./build/tools/bgpsdn_run --faults scenarios/churn.plan \
+  build/json/churn_reference.bgpsdn > build/json/churn_reference.out
+diff build/json/churn_incremental.out build/json/churn_reference.out \
+  || { echo "churn scenario diverges between SPT engines" >&2; exit 1; }
 
 # JSON-output job: every --json emitter must produce a document that still
 # matches the frozen bgpsdn.bench/1 schema. Validated with the stdlib-only
@@ -82,13 +94,16 @@ BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
   ./build/bench/bench_fig2_withdrawal --json build/json/fig2.json > /dev/null
 BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
   ./build/bench/bench_chaos --json build/json/chaos.json > /dev/null
+BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
+  ./build/bench/bench_ablation_recompute --json build/json/ablation.json \
+  > /dev/null
 ./build/tools/bgpsdn_run --json build/json/run_single.json \
   scenarios/fig2_point.bgpsdn > /dev/null
 ./build/tools/bgpsdn_run --trials 4 --json build/json/run_trials.json \
   scenarios/fig2_point.bgpsdn > /dev/null
 if command -v python3 > /dev/null 2>&1; then
   python3 scripts/validate_bench_json.py \
-    build/json/fig2.json build/json/chaos.json \
+    build/json/fig2.json build/json/chaos.json build/json/ablation.json \
     build/json/run_single.json build/json/run_trials.json
 elif command -v jq > /dev/null 2>&1; then
   for j in build/json/fig2.json build/json/chaos.json \
@@ -122,13 +137,19 @@ if command -v python3 > /dev/null 2>&1; then
     ./build/bench/bench_chaos --json build/json/chaos_j1.json > /dev/null
   BGPSDN_QUICK=1 BGPSDN_JOBS=4 \
     ./build/bench/bench_chaos --json build/json/chaos_j4.json > /dev/null
+  BGPSDN_QUICK=1 BGPSDN_JOBS=1 \
+    ./build/bench/bench_ablation_recompute --json build/json/ablation_j1.json \
+    > /dev/null
+  BGPSDN_QUICK=1 BGPSDN_JOBS=4 \
+    ./build/bench/bench_ablation_recompute --json build/json/ablation_j4.json \
+    > /dev/null
   BGPSDN_JOBS=1 ./build/tools/bgpsdn_run --trials 4 \
     --json build/json/trials_j1.json scenarios/fig2_point.bgpsdn > /dev/null
   BGPSDN_JOBS=4 ./build/tools/bgpsdn_run --trials 4 \
     --json build/json/trials_j4.json scenarios/fig2_point.bgpsdn > /dev/null
   python3 - <<'EOF'
 import json, sys
-for name in ("fig2", "chaos", "trials"):
+for name in ("fig2", "chaos", "ablation", "trials"):
     docs = []
     for jobs in (1, 4):
         with open(f"build/json/{name}_j{jobs}.json") as f:
@@ -154,6 +175,13 @@ if command -v python3 > /dev/null 2>&1; then
   ./build/bench/bench_micro --json build/json/micro.json > /dev/null
   python3 scripts/compare_bench.py build/json/micro.json \
     --baseline BENCH_baseline.json --tolerance 0.25
+  # Churn-ablation gate against its own baseline: the medians are virtual
+  # time (deterministic), so any drift means the recomputation change
+  # altered convergence behaviour. Refresh after an intentional change with:
+  #   BGPSDN_QUICK=1 ./build/bench/bench_ablation_recompute \
+  #     --json BENCH_baseline_recompute.json
+  python3 scripts/compare_bench.py build/json/ablation.json \
+    --baseline BENCH_baseline_recompute.json --tolerance 0.01
 else
   echo "WARNING: python3 not found; skipping perf gate" >&2
 fi
@@ -191,7 +219,7 @@ cmake -B build-tsan "${GENERATOR[@]}" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$(nproc)" --target test_framework test_core
 ./build-tsan/tests/test_framework \
-  --gtest_filter='Determinism.*:FaultDeterminism.*:TrialRunnerParallel.*:ParamSweepRunnerParallel.*:ParallelForIndex.*:DefaultJobs.*'
+  --gtest_filter='Determinism.*:FaultDeterminism.*:TrialRunnerParallel.*:ParamSweepRunnerParallel.*:ParallelForIndex.*:DefaultJobs.*:IncrementalEquivalence.ByteIdenticalAcrossJobCounts'
 ./build-tsan/tests/test_core --gtest_filter='EventLoop.*'
 
 echo "ALL CHECKS PASSED"

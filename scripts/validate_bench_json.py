@@ -39,6 +39,20 @@ CHAOS_LABELS = {
     "ctrl_restart", "speaker_restart",
 }
 
+# ablation_recompute documents carry two sweeps: the recompute-delay sweep
+# (each point reporting the recompute_batch span cost) and the churn
+# ablation (incremental vs reference engine pairs whose convergence medians
+# must be virtual-time-identical while the incremental settle work is at
+# least 5x below the reference).
+ABLATION_DELAY_LABELS = {
+    "delay0.0s", "delay0.5s", "delay1.0s", "delay2.0s", "delay4.0s",
+    "delay8.0s",
+}
+ABLATION_CHURN_FLAPS = (2, 6, 12)
+ABLATION_CHURN_EXTRAS = (
+    "prefix_recomputes_median", "settles_median", "flow_mods_median",
+)
+
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -104,6 +118,8 @@ def validate(path):
 
     if doc["bench"] == "bench_chaos":
         validate_chaos(path, doc)
+    if doc["bench"] == "ablation_recompute":
+        validate_ablation_recompute(path, doc)
 
     print(f"{path}: ok ({doc['bench']}, {len(doc['points'])} points)")
 
@@ -123,6 +139,50 @@ def validate_chaos(path, doc):
         for v in point["values"]:
             if not 0 <= v <= timeout:
                 fail(path, f"{where}: recovery {v} outside [0, {timeout}]")
+
+
+def validate_ablation_recompute(path, doc):
+    churn_labels = {
+        f"churn{n}_{engine}"
+        for n in ABLATION_CHURN_FLAPS
+        for engine in ("incremental", "reference")
+    }
+    labels = {point["label"] for point in doc["points"]}
+    want = ABLATION_DELAY_LABELS | churn_labels
+    if labels != want:
+        fail(path, f"ablation_recompute labels {sorted(labels)} != {sorted(want)}")
+    points = {point["label"]: point for point in doc["points"]}
+    for label in sorted(ABLATION_DELAY_LABELS):
+        span = points[label]["extra"].get("batch_span_s_median")
+        if not isinstance(span, NUMBER) or span < 0:
+            fail(path, f"{label}.extra.batch_span_s_median must be >= 0")
+    for n in ABLATION_CHURN_FLAPS:
+        inc = points[f"churn{n}_incremental"]
+        ref = points[f"churn{n}_reference"]
+        for point, engine in ((inc, "incremental"), (ref, "reference")):
+            for key in ABLATION_CHURN_EXTRAS:
+                if not isinstance(point["extra"].get(key), NUMBER):
+                    fail(path, f"churn{n}_{engine}.extra.{key} must be a number")
+        # Virtual-time convergence is deterministic: the engines must agree
+        # exactly, not approximately.
+        if inc["median"] != ref["median"]:
+            fail(
+                path,
+                f"churn{n}: convergence moved between engines "
+                f"({inc['median']} vs {ref['median']})",
+            )
+    # The refactor's headline number, gated at the highest churn point.
+    top = max(ABLATION_CHURN_FLAPS)
+    inc_settles = points[f"churn{top}_incremental"]["extra"]["settles_median"]
+    ref_settles = points[f"churn{top}_reference"]["extra"]["settles_median"]
+    if ref_settles <= 0:
+        fail(path, f"churn{top}_reference settled no vertices; sweep is vacuous")
+    if inc_settles * 5 > ref_settles:
+        fail(
+            path,
+            f"churn{top}: incremental settles {inc_settles} not 5x below "
+            f"reference {ref_settles}",
+        )
 
 
 def main():

@@ -1,27 +1,119 @@
 #include "controller/as_topology.hpp"
 
-#include <limits>
 #include <set>
 
 namespace bgpsdn::controller {
 
 namespace {
-/// Node id encoding for the transformed graph: switches keep their dpid,
-/// the virtual destination gets an id above any dpid.
-constexpr std::uint64_t kDestNode = std::numeric_limits<std::uint64_t>::max();
-}  // namespace
+/// Short local alias; the canonical constant lives in the header so the
+/// incremental decider can root its trees at the same node.
+constexpr std::uint64_t kDestNode = kAsTopologyDestNode;
 
-bool AsTopologyGraph::crosses_cluster(const bgp::AsPath& path) const {
+bool path_crosses_cluster(const SwitchGraph& switches, const bgp::AsPath& path) {
   for (const auto as : path.hops()) {
-    if (switches_.switch_of(as).has_value()) return true;
+    if (switches.switch_of(as).has_value()) return true;
   }
   return false;
 }
 
+/// Egress bookkeeping: best (weight, peering) per border switch.
+struct EgressChoice {
+  std::uint32_t weight{0};
+  speaker::PeeringId peering{0};
+  const ExternalRoute* route{nullptr};
+};
+using EgressMap = std::map<sdn::Dpid, EgressChoice>;
+
+void consider_egress(EgressMap& egress,
+                     const speaker::ClusterBgpSpeaker& speaker,
+                     const ExternalRoute& r) {
+  const speaker::Peering* info = speaker.peering(r.peering);
+  if (info == nullptr) return;
+  const auto weight =
+      static_cast<std::uint32_t>(1 + r.attributes->as_path.length());
+  const auto it = egress.find(info->border_dpid);
+  // Deterministic preference: lower weight, then lower peering id.
+  if (it == egress.end() || weight < it->second.weight ||
+      (weight == it->second.weight && r.peering < it->second.peering)) {
+    egress[info->border_dpid] = EgressChoice{weight, r.peering, &r};
+  }
+}
+
+/// Translate a Dijkstra result over the transformed graph into per-switch
+/// hops and composed AS-level paths. Shared by the reference and the
+/// incremental engines — the translation is where the output bytes are
+/// made, so sharing it keeps the two engines trivially aligned there.
+PrefixDecision translate(const SwitchGraph& switches, const DijkstraResult& res,
+                         const EgressMap& egress,
+                         std::optional<sdn::Dpid> origin_switch,
+                         std::size_t pruned_routes) {
+  PrefixDecision decision;
+  decision.pruned_routes = pruned_routes;
+
+  // prev[s] is the node after s on the path s -> destination (the Dijkstra
+  // ran on reversed edges).
+  for (const auto& sw : switches.all_switches()) {
+    const auto dit = res.dist.find(sw.dpid);
+    if (dit == res.dist.end()) continue;  // unreachable
+    PrefixDecision::Hop hop;
+    hop.distance = dit->second;
+    const std::uint64_t next = res.prev.at(sw.dpid);
+    if (next == kDestNode) {
+      if (origin_switch && *origin_switch == sw.dpid &&
+          (egress.count(sw.dpid) == 0 || dit->second == 0)) {
+        hop.kind = PrefixDecision::HopKind::kLocalOrigin;
+      } else {
+        hop.kind = PrefixDecision::HopKind::kEgress;
+        hop.egress = egress.at(sw.dpid).peering;
+      }
+    } else {
+      hop.kind = PrefixDecision::HopKind::kNextSwitch;
+      hop.next_switch = next;
+    }
+    decision.hops[sw.dpid] = hop;
+  }
+
+  // Compose AS-level paths: walk the hop chain, then append the external
+  // route's path at the egress (or stop at the origin switch).
+  for (const auto& [dpid, hop] : decision.hops) {
+    std::vector<core::AsNumber> hops_out;
+    bgp::Origin origin = bgp::Origin::kIgp;
+    sdn::Dpid cur = dpid;
+    bool ok = true;
+    while (true) {
+      const auto owner = switches.owner_of(cur);
+      if (!owner) {
+        ok = false;
+        break;
+      }
+      hops_out.push_back(*owner);
+      const auto& h = decision.hops.at(cur);
+      if (h.kind == PrefixDecision::HopKind::kLocalOrigin) break;
+      if (h.kind == PrefixDecision::HopKind::kEgress) {
+        const auto& choice = egress.at(cur);
+        for (const auto as : choice.route->attributes->as_path.hops()) {
+          hops_out.push_back(as);
+        }
+        origin = choice.route->attributes->origin;
+        break;
+      }
+      cur = h.next_switch;
+    }
+    if (!ok) continue;
+    decision.as_paths[dpid] = bgp::AsPath{std::move(hops_out)};
+    decision.origins[dpid] = origin;
+  }
+
+  return decision;
+}
+}  // namespace
+
+bool AsTopologyGraph::crosses_cluster(const bgp::AsPath& path) const {
+  return path_crosses_cluster(switches_, path);
+}
+
 PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
                                        std::optional<sdn::Dpid> origin_switch) const {
-  PrefixDecision decision;
-
   // Component index per switch: needed by the sub-cluster rule below.
   std::map<sdn::Dpid, std::size_t> component_of;
   {
@@ -34,33 +126,15 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
   // Base reversed graph: Dijkstra runs from the virtual destination, so
   // every edge points *away* from it. Intra-cluster links are symmetric.
   AdjacencyList graph;
-  graph[kDestNode];
+  graph.intern(kDestNode);
   for (const auto& sw : switches_.all_switches()) {
-    auto& edges = graph[sw.dpid];
+    graph.intern(sw.dpid);
     for (const auto& adj : switches_.neighbors(sw.dpid)) {
-      edges.push_back(Edge{adj.peer, 1});
+      graph.add_edge(sw.dpid, adj.peer, 1);
     }
   }
 
-  // Egress bookkeeping: best (weight, peering) per border switch.
-  struct EgressChoice {
-    std::uint32_t weight{0};
-    speaker::PeeringId peering{0};
-    const ExternalRoute* route{nullptr};
-  };
-  std::map<sdn::Dpid, EgressChoice> egress;
-  const auto consider_egress = [&](const ExternalRoute& r) {
-    const speaker::Peering* info = speaker_.peering(r.peering);
-    if (info == nullptr) return;
-    const auto weight =
-        static_cast<std::uint32_t>(1 + r.attributes->as_path.length());
-    const auto it = egress.find(info->border_dpid);
-    // Deterministic preference: lower weight, then lower peering id.
-    if (it == egress.end() || weight < it->second.weight ||
-        (weight == it->second.weight && r.peering < it->second.peering)) {
-      egress[info->border_dpid] = EgressChoice{weight, r.peering, &r};
-    }
-  };
+  EgressMap egress;
 
   // --- Pass 1: routes that never re-enter the cluster -------------------
   std::vector<const ExternalRoute*> crossing;
@@ -68,16 +142,15 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
     if (crosses_cluster(r.attributes->as_path)) {
       crossing.push_back(&r);
     } else {
-      consider_egress(r);
+      consider_egress(egress, speaker_, r);
     }
   }
   const auto build_dest_edges = [&] {
-    auto& dest = graph[kDestNode];
-    dest.clear();
+    graph.clear_edges_from(kDestNode);
     for (const auto& [dpid, choice] : egress) {
-      dest.push_back(Edge{dpid, choice.weight});
+      graph.add_edge(kDestNode, dpid, choice.weight);
     }
-    if (origin_switch) dest.push_back(Edge{*origin_switch, 0});
+    if (origin_switch) graph.add_edge(kDestNode, *origin_switch, 0);
   };
   build_dest_edges();
   DijkstraResult res = shortest_paths(graph, kDestNode);
@@ -129,7 +202,7 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
       }
     }
     if (!admitted.empty()) {
-      for (const ExternalRoute* r : admitted) consider_egress(*r);
+      for (const ExternalRoute* r : admitted) consider_egress(egress, speaker_, *r);
       admitted_total += admitted.size();
       build_dest_edges();
       res = shortest_paths(graph, kDestNode);
@@ -137,64 +210,161 @@ PrefixDecision AsTopologyGraph::decide(const std::vector<ExternalRoute>& routes,
     }
     pending = std::move(still_pending);
   }
-  decision.pruned_routes += crossing.size() - admitted_total;
 
-  // --- Translate predecessors into per-switch hops ----------------------
-  // prev[s] is the node after s on the path s -> destination (the Dijkstra
-  // ran on reversed edges).
+  return translate(switches_, res, egress, origin_switch,
+                   crossing.size() - admitted_total);
+}
+
+// --- IncrementalDecider -----------------------------------------------------
+
+IncrementalDecider::PrefixState& IncrementalDecider::get_state(
+    const net::Prefix& prefix) {
+  const auto it = states_.find(prefix);
+  if (it != states_.end()) return it->second;
+  auto& state = states_[prefix];
+  // Seed the tree from the live switch graph; subsequent changes arrive
+  // through the changelog suffix past this point.
+  state.changelog_pos = switches_.changelog_size();
   for (const auto& sw : switches_.all_switches()) {
-    const auto dit = res.dist.find(sw.dpid);
-    if (dit == res.dist.end()) continue;  // unreachable
-    PrefixDecision::Hop hop;
-    hop.distance = dit->second;
-    const std::uint64_t next = res.prev.at(sw.dpid);
-    if (next == kDestNode) {
-      if (origin_switch && *origin_switch == sw.dpid &&
-          (egress.count(sw.dpid) == 0 || dit->second == 0)) {
-        hop.kind = PrefixDecision::HopKind::kLocalOrigin;
-      } else {
-        hop.kind = PrefixDecision::HopKind::kEgress;
-        hop.egress = egress.at(sw.dpid).peering;
-      }
+    for (const auto& adj : switches_.neighbors(sw.dpid)) {
+      state.spt.edge_added(sw.dpid, adj.peer, 1);
+    }
+  }
+  sync_replayed(state);
+  return state;
+}
+
+void IncrementalDecider::catch_up(PrefixState& state) {
+  const auto& log = switches_.changelog();
+  for (; state.changelog_pos < log.size(); ++state.changelog_pos) {
+    const auto& d = log[state.changelog_pos];
+    if (d.kind == EdgeDelta::Kind::kAdded) {
+      state.spt.edge_added(d.from, d.to, 1);
     } else {
-      hop.kind = PrefixDecision::HopKind::kNextSwitch;
-      hop.next_switch = next;
+      state.spt.edge_removed(d.from, d.to, 1);
     }
-    decision.hops[sw.dpid] = hop;
+  }
+  sync_replayed(state);
+}
+
+void IncrementalDecider::sync_replayed(PrefixState& state) {
+  replayed_total_ += state.spt.vertices_replayed() - state.counted_replays;
+  state.counted_replays = state.spt.vertices_replayed();
+}
+
+std::vector<net::Prefix> IncrementalDecider::apply_topology_deltas() {
+  std::vector<net::Prefix> affected;
+  for (auto& [prefix, state] : states_) {
+    const auto revision = state.spt.revision();
+    catch_up(state);
+    if (state.spt.revision() != revision) affected.push_back(prefix);
+  }
+  return affected;
+}
+
+PrefixDecision IncrementalDecider::decide(const net::Prefix& prefix,
+                                          const std::vector<ExternalRoute>& routes,
+                                          std::optional<sdn::Dpid> origin_switch,
+                                          IncrementalStats* stats) {
+  // Split off cluster-crossing routes. With bridging enabled they engage
+  // the admission fixpoint, which is not incrementalized: fall back to the
+  // reference engine wholesale. With bridging disabled the reference
+  // simply prunes them all, which the incremental path reproduces.
+  std::size_t crossing = 0;
+  std::vector<const ExternalRoute*> clean;
+  clean.reserve(routes.size());
+  for (const auto& r : routes) {
+    if (path_crosses_cluster(switches_, r.attributes->as_path)) {
+      ++crossing;
+    } else {
+      clean.push_back(&r);
+    }
+  }
+  if (crossing > 0 && allow_bridging_) {
+    ++fallbacks_;
+    drop(prefix);  // the tree would go stale while we bypass it
+    if (stats != nullptr) stats->reference_fallback = true;
+    const AsTopologyGraph reference{switches_, speaker_, allow_bridging_};
+    return reference.decide(routes, origin_switch);
   }
 
-  // --- Compose AS-level paths --------------------------------------------
-  // Walk the hop chain, then append the external route's path at the
-  // egress (or stop at the origin switch).
-  for (const auto& [dpid, hop] : decision.hops) {
-    std::vector<core::AsNumber> hops_out;
-    bgp::Origin origin = bgp::Origin::kIgp;
-    sdn::Dpid cur = dpid;
-    bool ok = true;
-    while (true) {
-      const auto owner = switches_.owner_of(cur);
-      if (!owner) {
-        ok = false;
-        break;
-      }
-      hops_out.push_back(*owner);
-      const auto& h = decision.hops.at(cur);
-      if (h.kind == PrefixDecision::HopKind::kLocalOrigin) break;
-      if (h.kind == PrefixDecision::HopKind::kEgress) {
-        const auto& choice = egress.at(cur);
-        for (const auto as : choice.route->attributes->as_path.hops()) {
-          hops_out.push_back(as);
+  const std::uint64_t replayed_before = replayed_total_;
+  auto& state = get_state(prefix);
+  catch_up(state);
+
+  // Desired egress set from the clean routes.
+  EgressMap egress;
+  for (const ExternalRoute* r : clean) consider_egress(egress, speaker_, *r);
+
+  // Diff the destination's egress edges into the tree. Both maps are
+  // dpid-sorted, so a parallel walk yields removed/changed/added.
+  {
+    auto old_it = state.egress_weights.begin();
+    auto new_it = egress.begin();
+    while (old_it != state.egress_weights.end() || new_it != egress.end()) {
+      if (new_it == egress.end() ||
+          (old_it != state.egress_weights.end() && old_it->first < new_it->first)) {
+        state.spt.edge_removed(kDestNode, old_it->first, old_it->second);
+        ++old_it;
+      } else if (old_it == state.egress_weights.end() ||
+                 new_it->first < old_it->first) {
+        state.spt.edge_added(kDestNode, new_it->first, new_it->second.weight);
+        ++new_it;
+      } else {
+        if (old_it->second != new_it->second.weight) {
+          state.spt.weight_changed(kDestNode, old_it->first, old_it->second,
+                                   new_it->second.weight);
         }
-        origin = choice.route->attributes->origin;
-        break;
+        ++old_it;
+        ++new_it;
       }
-      cur = h.next_switch;
     }
-    if (!ok) continue;
-    decision.as_paths[dpid] = bgp::AsPath{std::move(hops_out)};
-    decision.origins[dpid] = origin;
+  }
+  {
+    std::map<sdn::Dpid, std::uint32_t> weights;
+    for (const auto& [dpid, choice] : egress) weights[dpid] = choice.weight;
+    state.egress_weights = std::move(weights);
   }
 
+  // Origin edge (the single weight-0 edge of the transformation).
+  if (state.origin != origin_switch) {
+    if (state.origin) state.spt.edge_removed(kDestNode, *state.origin, 0);
+    if (origin_switch) state.spt.edge_added(kDestNode, *origin_switch, 0);
+    state.origin = origin_switch;
+  }
+  sync_replayed(state);
+
+  // Cached-decision fast path: identical tree, identical egress inputs
+  // (weight, peering and attributes feed the translation), same origin and
+  // prune count — the translation is a pure function of these.
+  std::map<sdn::Dpid,
+           std::tuple<std::uint32_t, speaker::PeeringId, bgp::AttrSetRef>>
+      identity;
+  for (const auto& [dpid, choice] : egress) {
+    identity[dpid] =
+        std::make_tuple(choice.weight, choice.peering, choice.route->attributes);
+  }
+  if (state.has_decision && state.decided_revision == state.spt.revision() &&
+      state.egress_identity == identity && state.pruned == crossing) {
+    if (stats != nullptr) {
+      stats->vertices_replayed = replayed_total_ - replayed_before;
+      stats->spt_changed = false;
+    }
+    return state.decision;
+  }
+
+  const DijkstraResult res = state.spt.snapshot();
+  PrefixDecision decision =
+      translate(switches_, res, egress, origin_switch, crossing);
+  state.decision = decision;
+  state.has_decision = true;
+  state.decided_revision = state.spt.revision();
+  state.egress_identity = std::move(identity);
+  state.pruned = crossing;
+  if (stats != nullptr) {
+    stats->vertices_replayed = replayed_total_ - replayed_before;
+    stats->spt_changed = true;
+  }
   return decision;
 }
 

@@ -36,15 +36,22 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "bgp/attr_intern.hpp"
 #include "bgp/path_attributes.hpp"
 #include "controller/dijkstra.hpp"
 #include "controller/switch_graph.hpp"
+#include "net/ip.hpp"
 #include "speaker/cluster_speaker.hpp"
 
 namespace bgpsdn::controller {
+
+/// Node id of the virtual destination in the transformed graph: switches
+/// keep their dpid, the destination sits above any dpid.
+inline constexpr std::uint64_t kAsTopologyDestNode =
+    0xffffffffffffffffull;
 
 /// One external route for the prefix under decision. Attributes are an
 /// interned handle shared with the speaker/controller RIB entry.
@@ -99,6 +106,90 @@ class AsTopologyGraph {
   const SwitchGraph& switches_;
   const speaker::ClusterBgpSpeaker& speaker_;
   bool allow_bridging_;
+};
+
+/// Per-call cost/outcome report from IncrementalDecider::decide().
+struct IncrementalStats {
+  /// Vertices (re)settled by delta replay during this call.
+  std::uint64_t vertices_replayed{0};
+  /// False when the cached decision was returned untouched.
+  bool spt_changed{true};
+  /// True when the call fell back to the reference AsTopologyGraph (the
+  /// sub-cluster bridging fixpoint is not incrementalized).
+  bool reference_fallback{false};
+};
+
+/// Incremental counterpart of AsTopologyGraph::decide(): keeps one dynamic
+/// shortest-path tree per prefix, fed by the switch graph's edge-delta
+/// changelog and by egress-set diffs, and re-translates a decision only
+/// when the tree or the candidate egress set actually changed. Produces
+/// byte-identical decisions to the reference implementation — equivalence
+/// is enforced by tests that run every scenario under both engines.
+///
+/// Not incrementalized: prefixes with cluster-crossing routes while
+/// sub-cluster bridging is enabled fall back to the reference fixpoint
+/// (rare, and correctness there hinges on the admission order).
+class IncrementalDecider {
+ public:
+  IncrementalDecider(const SwitchGraph& switches,
+                     const speaker::ClusterBgpSpeaker& speaker,
+                     bool allow_subcluster_bridging = true)
+      : switches_{switches},
+        speaker_{speaker},
+        allow_bridging_{allow_subcluster_bridging} {}
+
+  /// Same contract as AsTopologyGraph::decide(), keyed by prefix so the
+  /// maintained tree can be found again on the next call.
+  PrefixDecision decide(const net::Prefix& prefix,
+                        const std::vector<ExternalRoute>& routes,
+                        std::optional<sdn::Dpid> origin_switch,
+                        IncrementalStats* stats = nullptr);
+
+  /// Catch every maintained tree up with the switch-graph changelog.
+  /// Returns the prefixes whose tree changed (sorted): the dirty set a
+  /// topology event implies, replacing reference mode's mark-everything.
+  std::vector<net::Prefix> apply_topology_deltas();
+
+  /// Cumulative vertices replayed across all prefixes (cost telemetry).
+  std::uint64_t vertices_replayed() const { return replayed_total_; }
+  /// Calls that fell back to the reference implementation.
+  std::uint64_t reference_fallbacks() const { return fallbacks_; }
+
+  void drop(const net::Prefix& prefix) { states_.erase(prefix); }
+  void clear() { states_.clear(); }
+  std::size_t state_count() const { return states_.size(); }
+
+ private:
+  struct PrefixState {
+    IncrementalSpt spt{kAsTopologyDestNode};
+    std::size_t changelog_pos{0};
+    /// Egress edges currently installed in the tree: border dpid -> weight.
+    std::map<sdn::Dpid, std::uint32_t> egress_weights;
+    /// Input identity of the cached decision: border dpid ->
+    /// (weight, peering, interned attributes). When this, the tree
+    /// revision, the origin and the pruned count all match, the decision
+    /// is returned from cache without re-translation.
+    std::map<sdn::Dpid,
+             std::tuple<std::uint32_t, speaker::PeeringId, bgp::AttrSetRef>>
+        egress_identity;
+    std::optional<sdn::Dpid> origin;
+    std::uint64_t decided_revision{0};
+    std::uint64_t counted_replays{0};
+    std::size_t pruned{0};
+    bool has_decision{false};
+    PrefixDecision decision;
+  };
+
+  PrefixState& get_state(const net::Prefix& prefix);
+  void catch_up(PrefixState& state);
+  void sync_replayed(PrefixState& state);
+
+  const SwitchGraph& switches_;
+  const speaker::ClusterBgpSpeaker& speaker_;
+  bool allow_bridging_;
+  std::map<net::Prefix, PrefixState> states_;
+  std::uint64_t replayed_total_{0};
+  std::uint64_t fallbacks_{0};
 };
 
 }  // namespace bgpsdn::controller

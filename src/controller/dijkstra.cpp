@@ -1,35 +1,99 @@
 #include "controller/dijkstra.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 #include <tuple>
 
 namespace bgpsdn::controller {
 
+// --- AdjacencyList ----------------------------------------------------------
+
+std::uint32_t AdjacencyList::intern(std::uint64_t node) {
+  const auto [it, inserted] =
+      index_.try_emplace(node, static_cast<std::uint32_t>(ids_.size()));
+  if (inserted) {
+    ids_.push_back(node);
+    out_.emplace_back();
+  }
+  return it->second;
+}
+
+std::uint32_t AdjacencyList::index_of(std::uint64_t node) const {
+  const auto it = index_.find(node);
+  return it == index_.end() ? kNoIndex : it->second;
+}
+
+void AdjacencyList::add_edge(std::uint64_t from, std::uint64_t to,
+                             std::uint32_t weight) {
+  const auto f = intern(from);
+  const auto t = intern(to);
+  out_[f].push_back(Arc{t, weight});
+  ++arcs_;
+}
+
+bool AdjacencyList::remove_edge(std::uint64_t from, std::uint64_t to,
+                                std::uint32_t weight) {
+  const auto f = index_of(from);
+  const auto t = index_of(to);
+  if (f == kNoIndex || t == kNoIndex) return false;
+  auto& arcs = out_[f];
+  for (auto it = arcs.begin(); it != arcs.end(); ++it) {
+    if (it->to == t && it->weight == weight) {
+      arcs.erase(it);
+      --arcs_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdjacencyList::clear_edges_from(std::uint64_t node) {
+  const auto f = index_of(node);
+  if (f == kNoIndex) return;
+  arcs_ -= out_[f].size();
+  out_[f].clear();
+}
+
+// --- reference Dijkstra -----------------------------------------------------
+
 DijkstraResult shortest_paths(const AdjacencyList& graph, std::uint64_t source) {
   DijkstraResult res;
-  using Item = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>;  // dist, node, via
+  const std::uint32_t s = graph.index_of(source);
+  if (s == AdjacencyList::kNoIndex) {
+    res.dist[source] = 0;
+    return res;
+  }
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint32_t> dist(n, kInf);
+  std::vector<std::uint64_t> prev(n, 0);
+  std::vector<char> settled(n, 0);
+  // Heap items carry *external* ids so the settle order (and therefore the
+  // lower-node-id tie-break) is independent of interning order.
+  using Item =
+      std::tuple<std::uint32_t, std::uint64_t, std::uint64_t, std::uint32_t>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  heap.push({0, source, source});
+  heap.push({0, source, source, s});
   while (!heap.empty()) {
-    const auto [d, u, via] = heap.top();
+    const auto [d, u, via, ui] = heap.top();
     heap.pop();
-    const auto it = res.dist.find(u);
-    if (it != res.dist.end()) {
+    if (settled[ui] != 0) {
       // Already settled; apply the deterministic tiebreak on equal distance.
-      if (it->second == d && u != source) {
-        auto& p = res.prev[u];
-        if (via < p) p = via;
-      }
+      if (dist[ui] == d && ui != s && via < prev[ui]) prev[ui] = via;
       continue;
     }
-    res.dist[u] = d;
-    if (u != source) res.prev[u] = via;
-    const auto adj = graph.find(u);
-    if (adj == graph.end()) continue;
-    for (const auto& e : adj->second) {
-      if (res.dist.count(e.to) == 0) heap.push({d + e.weight, e.to, u});
+    settled[ui] = 1;
+    dist[ui] = d;
+    if (ui != s) prev[ui] = via;
+    for (const auto& a : graph.out(ui)) {
+      if (settled[a.to] == 0) heap.push({d + a.weight, graph.node_id(a.to), u, a.to});
     }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (settled[i] == 0) continue;
+    res.dist[graph.node_id(i)] = dist[i];
+    if (i != s) res.prev[graph.node_id(i)] = prev[i];
   }
   return res;
 }
@@ -48,6 +112,242 @@ std::vector<std::uint64_t> path_to(const DijkstraResult& result,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+// --- IncrementalSpt ---------------------------------------------------------
+
+IncrementalSpt::IncrementalSpt(std::uint64_t source) : source_{source} {
+  source_index_ = ensure(source);
+  dist_[source_index_] = 0;
+}
+
+std::uint32_t IncrementalSpt::ensure(std::uint64_t node) {
+  const std::uint32_t idx = graph_.intern(node);
+  if (idx >= in_.size()) {
+    in_.resize(idx + 1);
+    dist_.resize(idx + 1, kInfDist);
+    prev_.resize(idx + 1, kNoPrev);
+  }
+  return idx;
+}
+
+void IncrementalSpt::recompute_prev(std::uint32_t v) {
+  if (v == source_index_) return;
+  const std::uint32_t dv = dist_[v];
+  std::uint32_t best = kNoPrev;
+  std::uint64_t best_id = 0;
+  for (const auto& a : in_[v]) {
+    if (dist_[a.from] == kInfDist) continue;
+    if (static_cast<std::uint64_t>(dist_[a.from]) + a.weight != dv) continue;
+    // "Settled before v" in the reference run: strictly closer, or the
+    // source itself (the one vertex allowed to emit zero-weight edges).
+    if (dist_[a.from] >= dv && a.from != source_index_) continue;
+    const std::uint64_t id = graph_.node_id(a.from);
+    if (best == kNoPrev || id < best_id) {
+      best = a.from;
+      best_id = id;
+    }
+  }
+  if (prev_[v] != best) {
+    prev_[v] = best;
+    ++revision_;
+  }
+}
+
+void IncrementalSpt::relax_improvement(std::uint32_t v, std::uint32_t d) {
+  using Item = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({d, graph_.node_id(v), v});
+  while (!heap.empty()) {
+    const auto [du, uid, u] = heap.top();
+    heap.pop();
+    if (dist_[u] <= du) {
+      // Not an improvement; at equality the vertex may have gained a new
+      // tight predecessor, so only the tie-break can change.
+      if (dist_[u] == du) recompute_prev(u);
+      continue;
+    }
+    dist_[u] = du;
+    ++revision_;
+    ++vertices_replayed_;
+    // Every tight predecessor is final here: pushed candidates are
+    // monotone, so anything settling later sits at >= du and (weights
+    // being >= 1 off-source) cannot be tight for u.
+    recompute_prev(u);
+    for (const auto& a : graph_.out(u)) {
+      const std::uint64_t cand = static_cast<std::uint64_t>(du) + a.weight;
+      if (cand < dist_[a.to]) {
+        heap.push({static_cast<std::uint32_t>(cand), graph_.node_id(a.to), a.to});
+      } else if (cand == dist_[a.to]) {
+        recompute_prev(a.to);
+      }
+    }
+  }
+}
+
+std::uint32_t IncrementalSpt::support_of(std::uint32_t v) const {
+  std::uint64_t best = kInfDist;
+  for (const auto& a : in_[v]) {
+    if (dist_[a.from] == kInfDist) continue;
+    best = std::min(best, static_cast<std::uint64_t>(dist_[a.from]) + a.weight);
+  }
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(best, kInfDist));
+}
+
+void IncrementalSpt::on_support_lost(std::uint32_t v) {
+  if (support_of(v) == dist_[v]) {
+    // Another in-edge still explains the distance; only the tie-break on
+    // the predecessor can have changed.
+    recompute_prev(v);
+    return;
+  }
+
+  // Phase 1: collect the tree region hanging off v — every vertex whose
+  // shortest path ran through the lost support (parent-pointer closure).
+  std::vector<std::uint32_t> region{v};
+  std::vector<char> in_region(dist_.size(), 0);
+  in_region[v] = 1;
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    const std::uint32_t x = region[i];
+    for (const auto& a : graph_.out(x)) {
+      if (in_region[a.to] == 0 && prev_[a.to] == x) {
+        in_region[a.to] = 1;
+        region.push_back(a.to);
+      }
+    }
+  }
+
+  // Phase 2: invalidate the region and seed a frontier heap from in-edges
+  // whose tails kept their (final) distances.
+  for (const auto x : region) {
+    dist_[x] = kInfDist;
+    prev_[x] = kNoPrev;
+  }
+  ++revision_;  // v's distance provably changes (or it went unreachable)
+  using Item = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (const auto x : region) {
+    std::uint64_t best = kInfDist;
+    for (const auto& a : in_[x]) {
+      if (in_region[a.from] != 0 || dist_[a.from] == kInfDist) continue;
+      best = std::min(best, static_cast<std::uint64_t>(dist_[a.from]) + a.weight);
+    }
+    if (best < kInfDist) {
+      heap.push({static_cast<std::uint32_t>(best), graph_.node_id(x), x});
+    }
+  }
+
+  // Phase 3: constrained Dijkstra — only region vertices re-settle; the
+  // rest of the tree is untouched. Unreached region vertices stay
+  // unreachable.
+  while (!heap.empty()) {
+    const auto [dx, xid, x] = heap.top();
+    heap.pop();
+    if (dist_[x] != kInfDist) continue;  // settled earlier in this replay
+    dist_[x] = dx;
+    ++vertices_replayed_;
+    recompute_prev(x);
+    for (const auto& a : graph_.out(x)) {
+      if (in_region[a.to] == 0 || dist_[a.to] != kInfDist) continue;
+      const std::uint64_t cand = static_cast<std::uint64_t>(dx) + a.weight;
+      if (cand < kInfDist) {
+        heap.push({static_cast<std::uint32_t>(cand), graph_.node_id(a.to), a.to});
+      }
+    }
+  }
+}
+
+void IncrementalSpt::edge_added(std::uint64_t from, std::uint64_t to,
+                                std::uint32_t weight) {
+  const std::uint32_t ui = ensure(from);
+  const std::uint32_t vi = ensure(to);
+  assert(weight > 0 || ui == source_index_);
+  graph_.add_edge(from, to, weight);
+  in_[vi].push_back(InArc{ui, weight});
+  if (dist_[ui] == kInfDist) return;
+  const std::uint64_t cand = static_cast<std::uint64_t>(dist_[ui]) + weight;
+  if (cand < dist_[vi]) {
+    relax_improvement(vi, static_cast<std::uint32_t>(cand));
+  } else if (cand == dist_[vi]) {
+    recompute_prev(vi);
+  }
+}
+
+void IncrementalSpt::edge_removed(std::uint64_t from, std::uint64_t to,
+                                  std::uint32_t weight) {
+  const std::uint32_t ui = graph_.index_of(from);
+  const std::uint32_t vi = graph_.index_of(to);
+  if (ui == AdjacencyList::kNoIndex || vi == AdjacencyList::kNoIndex) return;
+  if (!graph_.remove_edge(from, to, weight)) return;
+  auto& arcs = in_[vi];
+  for (auto it = arcs.begin(); it != arcs.end(); ++it) {
+    if (it->from == ui && it->weight == weight) {
+      arcs.erase(it);
+      break;
+    }
+  }
+  if (dist_[ui] == kInfDist) return;
+  if (static_cast<std::uint64_t>(dist_[ui]) + weight == dist_[vi]) {
+    on_support_lost(vi);
+  }
+}
+
+void IncrementalSpt::weight_changed(std::uint64_t from, std::uint64_t to,
+                                    std::uint32_t old_weight,
+                                    std::uint32_t new_weight) {
+  if (old_weight == new_weight) return;
+  const std::uint32_t ui = graph_.index_of(from);
+  const std::uint32_t vi = graph_.index_of(to);
+  if (ui == AdjacencyList::kNoIndex || vi == AdjacencyList::kNoIndex) return;
+  assert(new_weight > 0 || ui == source_index_);
+  if (!graph_.remove_edge(from, to, old_weight)) return;
+  graph_.add_edge(from, to, new_weight);
+  for (auto& a : in_[vi]) {
+    if (a.from == ui && a.weight == old_weight) {
+      a.weight = new_weight;
+      break;
+    }
+  }
+  if (dist_[ui] == kInfDist) return;
+  const std::uint64_t old_cand =
+      static_cast<std::uint64_t>(dist_[ui]) + old_weight;
+  const std::uint64_t new_cand =
+      static_cast<std::uint64_t>(dist_[ui]) + new_weight;
+  if (new_cand < dist_[vi]) {
+    relax_improvement(vi, static_cast<std::uint32_t>(new_cand));
+  } else if (new_cand == dist_[vi]) {
+    recompute_prev(vi);  // the edge became newly tight
+  } else if (old_cand == dist_[vi]) {
+    on_support_lost(vi);  // the edge was tight and worsened away
+  }
+}
+
+std::optional<std::uint32_t> IncrementalSpt::distance(std::uint64_t node) const {
+  const auto idx = graph_.index_of(node);
+  if (idx == AdjacencyList::kNoIndex || dist_[idx] == kInfDist) {
+    return std::nullopt;
+  }
+  return dist_[idx];
+}
+
+std::optional<std::uint64_t> IncrementalSpt::parent(std::uint64_t node) const {
+  const auto idx = graph_.index_of(node);
+  if (idx == AdjacencyList::kNoIndex || prev_[idx] == kNoPrev) {
+    return std::nullopt;
+  }
+  return graph_.node_id(prev_[idx]);
+}
+
+DijkstraResult IncrementalSpt::snapshot() const {
+  DijkstraResult res;
+  for (std::uint32_t i = 0; i < dist_.size(); ++i) {
+    if (dist_[i] == kInfDist) continue;
+    res.dist[graph_.node_id(i)] = dist_[i];
+    if (i != source_index_ && prev_[i] != kNoPrev) {
+      res.prev[graph_.node_id(i)] = graph_.node_id(prev_[i]);
+    }
+  }
+  return res;
 }
 
 }  // namespace bgpsdn::controller

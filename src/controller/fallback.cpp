@@ -159,9 +159,8 @@ void FallbackRouting::recompute_prefix(const net::Prefix& prefix) {
   // Install over the relay path. Only switches with a relay peering are
   // reachable; the rest are skipped (and not recorded as installed).
   auto& installed = installed_[prefix];
-  for (const auto& [dpid, action] : flows.actions) {
-    const auto it = installed.find(dpid);
-    if (it != installed.end() && it->second == action) continue;
+  const FlowDelta delta = diff_flows(flows, installed);
+  for (const auto& [dpid, action] : delta.upserts) {
     const auto relay = relay_peering_for(dpid);
     if (!relay) {
       ++counters_.unprogrammable_skips;
@@ -179,12 +178,8 @@ void FallbackRouting::recompute_prefix(const net::Prefix& prefix) {
       telemetry_->metrics().counter("ctrl.fallback.flow_adds").inc();
     }
   }
-  for (auto it = installed.begin(); it != installed.end();) {
-    if (flows.actions.count(it->first) > 0) {
-      ++it;
-      continue;
-    }
-    if (const auto relay = relay_peering_for(it->first)) {
+  for (const auto dpid : delta.removals) {
+    if (const auto relay = relay_peering_for(dpid)) {
       sdn::OfFlowMod mod;
       mod.command = sdn::FlowModCommand::kDelete;
       mod.match.dst = prefix;
@@ -195,7 +190,7 @@ void FallbackRouting::recompute_prefix(const net::Prefix& prefix) {
         telemetry_->metrics().counter("ctrl.fallback.flow_deletes").inc();
       }
     }
-    it = installed.erase(it);
+    installed.erase(dpid);
   }
   if (installed.empty()) installed_.erase(prefix);
 

@@ -10,6 +10,10 @@ namespace bgpsdn::controller {
 void IdrController::bind_speaker(speaker::ClusterBgpSpeaker& speaker) {
   speaker_ = &speaker;
   speaker.set_listener(this);
+  if (config_.incremental) {
+    decider_ = std::make_unique<IncrementalDecider>(graph_, *speaker_,
+                                                    config_.subcluster_bridging);
+  }
 }
 
 void IdrController::originate(sdn::Dpid origin, const net::Prefix& prefix,
@@ -36,6 +40,8 @@ void IdrController::on_crash() {
   installed_.clear();
   decisions_.clear();
   dirty_.clear();
+  if (decider_ != nullptr) decider_->clear();
+  topology_pending_ = false;
   recompute_pending_ = false;
   if (auto* tel = telemetry()) tel->metrics().counter("ctrl.idr.crashes").inc();
 }
@@ -56,6 +62,7 @@ void IdrController::on_peer_established(const speaker::Peering&) {
 
 void IdrController::on_peer_down(const speaker::Peering& peering,
                                  const std::string&) {
+  // lint: unordered-ok(dirty_ is a std::set; visit order cannot leak)
   for (auto& [prefix, routes] : external_routes_) {
     if (routes.erase(peering.id) > 0) mark_dirty(prefix);
   }
@@ -121,7 +128,14 @@ void IdrController::on_port_status(const sdn::SwitchChannel& channel,
                  "dpid " + std::to_string(channel.dpid) + " port " +
                      std::to_string(status.port.value()) +
                      (status.up ? " up" : " down"));
-    mark_all_dirty();
+    if (decider_ != nullptr) {
+      // The change sits in the switch graph's changelog; the recompute
+      // pass replays it into the per-prefix trees and re-decides only the
+      // prefixes whose tree actually moved.
+      mark_topology_dirty();
+    } else {
+      mark_all_dirty();
+    }
     return;
   }
   // Border port of a relayed peering? Centralized failure handling: reset
@@ -143,27 +157,39 @@ void IdrController::on_port_status(const sdn::SwitchChannel& channel,
 
 // --- recomputation ----------------------------------------------------------
 
-void IdrController::mark_dirty(const net::Prefix& prefix) {
-  if (crashed()) return;
-  dirty_.insert(prefix);
+void IdrController::schedule_recompute() {
   if (recompute_pending_) return;
   recompute_pending_ = true;
   batch_opened_at_ = loop().now();
   loop().schedule(config_.recompute_delay, [this] { run_recompute(); });
+}
+
+void IdrController::mark_dirty(const net::Prefix& prefix) {
+  if (crashed()) return;
+  dirty_.insert(prefix);
+  schedule_recompute();
 }
 
 void IdrController::mark_all_dirty() {
   if (crashed()) return;
   for (const auto& prefix : known_prefixes()) dirty_.insert(prefix);
   if (dirty_.empty()) return;
-  if (recompute_pending_) return;
-  recompute_pending_ = true;
-  batch_opened_at_ = loop().now();
-  loop().schedule(config_.recompute_delay, [this] { run_recompute(); });
+  schedule_recompute();
+}
+
+void IdrController::mark_topology_dirty() {
+  if (crashed()) return;
+  topology_pending_ = true;
+  // Mirror mark_all_dirty's no-op condition: with no prefixes known there
+  // is nothing a topology change could re-decide, so no pass is scheduled
+  // (the changelog suffix is replayed whenever a tree is next consulted).
+  if (known_prefixes().empty()) return;
+  schedule_recompute();
 }
 
 std::set<net::Prefix> IdrController::known_prefixes() const {
   std::set<net::Prefix> out;
+  // lint: unordered-ok(collected into a sorted std::set before use)
   for (const auto& [prefix, routes] : external_routes_) out.insert(prefix);
   for (const auto& [prefix, info] : origins_) out.insert(prefix);
   for (const auto& [prefix, actions] : installed_) out.insert(prefix);
@@ -176,13 +202,30 @@ void IdrController::run_recompute() {
   if (crashed()) return;
   recompute_pending_ = false;
   ++idr_counters_.recompute_passes;
-  const auto batch = std::move(dirty_);
+  auto batch = std::move(dirty_);
   dirty_.clear();
+  const std::uint64_t replayed_before =
+      decider_ != nullptr ? decider_->vertices_replayed() : 0;
+  const std::uint64_t fallbacks_before =
+      decider_ != nullptr ? decider_->reference_fallbacks() : 0;
+  if (topology_pending_) {
+    topology_pending_ = false;
+    if (decider_ != nullptr) {
+      // Replay the changelog suffix into every tree; only prefixes whose
+      // tree moved join the batch (reference mode marks everything).
+      for (const auto& prefix : decider_->apply_topology_deltas()) {
+        batch.insert(prefix);
+      }
+    }
+  }
+  idr_counters_.prefixes_dirty += batch.size();
   logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(), "recompute",
                std::to_string(batch.size()) + " prefixes");
   if (auto* tel = telemetry()) {
     auto& metrics = tel->metrics();
     metrics.counter("ctrl.idr.recompute_passes").inc();
+    metrics.counter("ctrl.idr.prefixes_dirty")
+        .inc(static_cast<std::int64_t>(batch.size()));
     metrics.histogram("ctrl.idr.batch_prefixes")
         .record(static_cast<std::int64_t>(batch.size()));
     metrics.histogram("ctrl.idr.batch_wait_ns")
@@ -197,6 +240,18 @@ void IdrController::run_recompute() {
     }
   }
   for (const auto& prefix : batch) recompute_prefix(prefix);
+  if (decider_ != nullptr) {
+    const std::uint64_t replayed =
+        decider_->vertices_replayed() - replayed_before;
+    idr_counters_.spt_vertices_replayed += replayed;
+    idr_counters_.reference_fallbacks +=
+        decider_->reference_fallbacks() - fallbacks_before;
+    if (auto* tel = telemetry(); tel != nullptr && replayed > 0) {
+      tel->metrics()
+          .counter("ctrl.idr.spt_vertices_replayed")
+          .inc(static_cast<std::int64_t>(replayed));
+    }
+  }
 }
 
 void IdrController::recompute_prefix(const net::Prefix& prefix) {
@@ -231,21 +286,29 @@ void IdrController::recompute_prefix(const net::Prefix& prefix) {
   };
 
   // Decide.
-  const AsTopologyGraph topo{graph_, *speaker_, config_.subcluster_bridging};
   if (tracing) phase("graph_transform", static_cast<std::int64_t>(routes.size()));
-  PrefixDecision decision = topo.decide(routes, origin_switch);
+  PrefixDecision decision;
+  if (decider_ != nullptr) {
+    decision = decider_->decide(prefix, routes, origin_switch);
+    // A prefix with no inputs left converges to an empty decision; free
+    // its tree (it re-seeds if the prefix ever comes back).
+    if (routes.empty() && !origin_switch) decider_->drop(prefix);
+  } else {
+    const AsTopologyGraph topo{graph_, *speaker_, config_.subcluster_bridging};
+    decision = topo.decide(routes, origin_switch);
+  }
   idr_counters_.routes_pruned_loop += decision.pruned_routes;
   if (tracing) phase("dijkstra", static_cast<std::int64_t>(decision.as_paths.size()));
 
-  // Compile and diff flow rules.
+  // Compile and diff flow rules against the installed mirror; unchanged
+  // prefixes emit zero FlowMods.
   const std::uint64_t adds_before = idr_counters_.flow_adds;
   const std::uint64_t deletes_before = idr_counters_.flow_deletes;
   const CompiledFlows flows =
       compile_flows(decision, graph_, *speaker_, origin_host_ports);
   auto& installed = installed_[prefix];
-  for (const auto& [dpid, action] : flows.actions) {
-    const auto it = installed.find(dpid);
-    if (it != installed.end() && it->second == action) continue;
+  const FlowDelta delta = diff_flows(flows, installed);
+  for (const auto& [dpid, action] : delta.upserts) {
     if (!is_connected(dpid)) continue;
     sdn::OfFlowMod mod;
     mod.command = sdn::FlowModCommand::kAdd;
@@ -256,18 +319,14 @@ void IdrController::recompute_prefix(const net::Prefix& prefix) {
     installed[dpid] = action;
     ++idr_counters_.flow_adds;
   }
-  for (auto it = installed.begin(); it != installed.end();) {
-    if (flows.actions.count(it->first) > 0) {
-      ++it;
-      continue;
-    }
+  for (const auto dpid : delta.removals) {
     sdn::OfFlowMod mod;
     mod.command = sdn::FlowModCommand::kDelete;
     mod.match.dst = prefix;
     mod.priority = kDataRulePriority;
-    send_flow_mod(it->first, mod);
+    send_flow_mod(dpid, mod);
     ++idr_counters_.flow_deletes;
-    it = installed.erase(it);
+    installed.erase(dpid);
   }
   if (installed.empty()) installed_.erase(prefix);
   if (tel != nullptr) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -36,6 +37,11 @@ struct IdrControllerConfig {
   /// Admit legacy paths that bridge disjoint sub-clusters (pass 2 of the
   /// AS-topology transformation). Off = naive prune-everything rule.
   bool subcluster_bridging{true};
+  /// Maintain per-prefix shortest-path trees under topology deltas instead
+  /// of re-running Dijkstra from scratch every pass. Decisions are
+  /// byte-identical either way (enforced by the equivalence test suite);
+  /// off = the reference engine, kept for ablation.
+  bool incremental{true};
 };
 
 struct IdrCounters {
@@ -47,6 +53,10 @@ struct IdrCounters {
   std::uint64_t withdraws{0};
   std::uint64_t border_port_resets{0};
   std::uint64_t routes_pruned_loop{0};
+  /// Incremental engine cost/outcome (zero in reference mode).
+  std::uint64_t spt_vertices_replayed{0};
+  std::uint64_t prefixes_dirty{0};
+  std::uint64_t reference_fallbacks{0};
 };
 
 class IdrController : public ClusterController {
@@ -97,6 +107,11 @@ class IdrController : public ClusterController {
  private:
   void mark_dirty(const net::Prefix& prefix);
   void mark_all_dirty();
+  /// Incremental mode's answer to a cluster-link change: note that the
+  /// topology moved and let run_recompute() derive the dirty prefixes from
+  /// the edge-delta changelog, instead of marking everything.
+  void mark_topology_dirty();
+  void schedule_recompute();
   void run_recompute();
   void recompute_prefix(const net::Prefix& prefix);
   std::set<net::Prefix> known_prefixes() const;
@@ -104,6 +119,8 @@ class IdrController : public ClusterController {
   IdrControllerConfig config_;
   speaker::ClusterBgpSpeaker* speaker_{nullptr};
   SwitchGraph graph_;
+  /// Per-prefix dynamic SPTs (incremental mode only; null = reference).
+  std::unique_ptr<IncrementalDecider> decider_;
 
   /// External RIB: prefix -> (peering -> interned attributes as received).
   std::unordered_map<net::Prefix, std::map<speaker::PeeringId, bgp::AttrSetRef>>
@@ -121,6 +138,8 @@ class IdrController : public ClusterController {
   std::map<net::Prefix, PrefixDecision> decisions_;
 
   std::set<net::Prefix> dirty_;
+  /// Set when cluster-link deltas are waiting to be applied to the trees.
+  bool topology_pending_{false};
   bool recompute_pending_{false};
   /// When the pending batch window opened (first dirtying input), for the
   /// "recompute_batch" delay-wait span and batch_wait histogram.

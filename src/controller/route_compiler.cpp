@@ -45,4 +45,38 @@ CompiledFlows compile_flows(
   return out;
 }
 
+FlowDelta diff_flows(const CompiledFlows& desired,
+                     const std::map<sdn::Dpid, sdn::FlowAction>& installed) {
+  FlowDelta delta;
+  for (const auto& [dpid, action] : desired.actions) {
+    const auto it = installed.find(dpid);
+    if (it != installed.end() && it->second == action) continue;
+    delta.upserts.emplace_back(dpid, action);
+  }
+  for (const auto& [dpid, action] : installed) {
+    if (desired.actions.count(dpid) == 0) delta.removals.push_back(dpid);
+  }
+  return delta;
+}
+
+SwitchFlowDelta diff_switch_flows(
+    const std::map<net::Prefix, sdn::FlowAction>& desired, sdn::Dpid dpid,
+    const std::map<net::Prefix, std::map<sdn::Dpid, sdn::FlowAction>>& installed) {
+  SwitchFlowDelta delta;
+  for (const auto& [prefix, action] : desired) {
+    const auto cell = installed.find(prefix);
+    if (cell != installed.end()) {
+      const auto it = cell->second.find(dpid);
+      if (it != cell->second.end() && it->second == action) continue;
+    }
+    delta.upserts.emplace_back(prefix, action);
+  }
+  for (const auto& [prefix, cell] : installed) {
+    if (desired.count(prefix) == 0 && cell.count(dpid) > 0) {
+      delta.removals.push_back(prefix);
+    }
+  }
+  return delta;
+}
+
 }  // namespace bgpsdn::controller

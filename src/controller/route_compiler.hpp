@@ -8,6 +8,8 @@
 
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "controller/as_topology.hpp"
 #include "controller/switch_graph.hpp"
@@ -34,5 +36,37 @@ CompiledFlows compile_flows(
     const PrefixDecision& decision, const SwitchGraph& switches,
     const speaker::ClusterBgpSpeaker& speaker,
     const std::map<sdn::Dpid, core::PortId>& origin_host_ports);
+
+/// Flow-rule delta for one prefix: what the installer must change to move
+/// one switch set from `installed` to `desired`. Both lists come out in
+/// ascending dpid order, matching the historical FlowMod emission order so
+/// switching to delta compilation changes zero wire bytes.
+struct FlowDelta {
+  /// New or changed actions to (re)install.
+  std::vector<std::pair<sdn::Dpid, sdn::FlowAction>> upserts;
+  /// Switches whose rule must be removed (installed but no longer desired).
+  std::vector<sdn::Dpid> removals;
+
+  bool empty() const { return upserts.empty() && removals.empty(); }
+};
+
+/// Diff compiled (desired) flows for a prefix against the installed mirror.
+/// An unchanged prefix yields an empty delta — zero FlowMods.
+FlowDelta diff_flows(const CompiledFlows& desired,
+                     const std::map<sdn::Dpid, sdn::FlowAction>& installed);
+
+/// Per-switch variant used by the RouteFlow baseline, whose sync walks one
+/// switch across all prefixes: what must change on `dpid` to realize
+/// `desired` given the global installed mirror (prefix -> dpid -> action).
+struct SwitchFlowDelta {
+  std::vector<std::pair<net::Prefix, sdn::FlowAction>> upserts;
+  std::vector<net::Prefix> removals;
+
+  bool empty() const { return upserts.empty() && removals.empty(); }
+};
+
+SwitchFlowDelta diff_switch_flows(
+    const std::map<net::Prefix, sdn::FlowAction>& desired, sdn::Dpid dpid,
+    const std::map<net::Prefix, std::map<sdn::Dpid, sdn::FlowAction>>& installed);
 
 }  // namespace bgpsdn::controller

@@ -119,8 +119,9 @@ void RouteFlowController::finalize() {
     rc.asn = sw.owner_as;
     rc.router_id = alloc.router_id(sw.owner_as);
     rc.timers = config_.timers;
-    auto& vr =
-        mirror_->add<bgp::BgpRouter>("v" + sw.owner_as.to_string(), rc);
+    std::string vname = "v";
+    vname += sw.owner_as.to_string();
+    auto& vr = mirror_->add<bgp::BgpRouter>(vname, rc);
     vrouters_[sw.dpid] = &vr;
   }
 
@@ -169,8 +170,10 @@ void RouteFlowController::finalize() {
 
   // One ghost peer per real border peering.
   for (const auto* peering : speaker_->peerings()) {
+    std::string gname = "g";
+    gname += std::to_string(peering->id);
     auto& ghost = mirror_->add<GhostPeer>(
-        "g" + std::to_string(peering->id), *peering, config_.timers,
+        gname, *peering, config_.timers,
         [this](speaker::PeeringId id, const bgp::UpdateMessage& update) {
           relay_out(id, update);
         });
@@ -314,32 +317,30 @@ void RouteFlowController::sync_flows() {
       }
     }
 
-    // Diff against installed state.
-    for (const auto& [prefix, action] : desired) {
-      auto& cell = installed_[prefix];
-      const auto it = cell.find(dpid);
-      if (it != cell.end() && it->second == action) continue;
+    // Delta compilation against the installed mirror: unchanged prefixes
+    // emit zero FlowMods.
+    const SwitchFlowDelta delta = diff_switch_flows(desired, dpid, installed_);
+    for (const auto& [prefix, action] : delta.upserts) {
       if (!is_connected(dpid)) continue;
       sdn::OfFlowMod mod;
       mod.match.dst = prefix;
       mod.priority = kDataRulePriority;
       mod.action = action;
       send_flow_mod(dpid, mod);
-      cell[dpid] = action;
+      installed_[prefix][dpid] = action;
       ++rf_counters_.flow_adds;
     }
+    for (const auto& prefix : delta.removals) {
+      sdn::OfFlowMod mod;
+      mod.command = sdn::FlowModCommand::kDelete;
+      mod.match.dst = prefix;
+      mod.priority = kDataRulePriority;
+      send_flow_mod(dpid, mod);
+      installed_[prefix].erase(dpid);
+      ++rf_counters_.flow_deletes;
+    }
     for (auto it = installed_.begin(); it != installed_.end();) {
-      auto& [prefix, cell] = *it;
-      if (desired.count(prefix) == 0 && cell.count(dpid) > 0) {
-        sdn::OfFlowMod mod;
-        mod.command = sdn::FlowModCommand::kDelete;
-        mod.match.dst = prefix;
-        mod.priority = kDataRulePriority;
-        send_flow_mod(dpid, mod);
-        cell.erase(dpid);
-        ++rf_counters_.flow_deletes;
-      }
-      it = cell.empty() ? installed_.erase(it) : std::next(it);
+      it = it->second.empty() ? installed_.erase(it) : std::next(it);
     }
   }
   if (auto* tel = telemetry()) {

@@ -15,18 +15,27 @@ void SwitchGraph::add_link(sdn::Dpid a, core::PortId a_port, sdn::Dpid b,
                            core::PortId b_port) {
   adj_[a].push_back(Adjacency{b, a_port, true});
   adj_[b].push_back(Adjacency{a, b_port, true});
+  changelog_.push_back(EdgeDelta{EdgeDelta::Kind::kAdded, a, b});
+  changelog_.push_back(EdgeDelta{EdgeDelta::Kind::kAdded, b, a});
   links_ += 2;
 }
 
 bool SwitchGraph::set_port_state(sdn::Dpid dpid, core::PortId port, bool up) {
   const auto it = adj_.find(dpid);
   if (it == adj_.end()) return false;
+  const auto kind = up ? EdgeDelta::Kind::kAdded : EdgeDelta::Kind::kRemoved;
   for (auto& a : it->second) {
     if (a.local_port != port) continue;
-    a.up = up;
-    // Mirror on the peer side.
+    if (a.up != up) {
+      a.up = up;
+      changelog_.push_back(EdgeDelta{kind, dpid, a.peer});
+    }
+    // Mirror on the peer side. Only actual transitions enter the
+    // changelog, so a repeated PortStatus does not replay into consumers.
     for (auto& back : adj_[a.peer]) {
-      if (back.peer == dpid) back.up = up;
+      if (back.peer != dpid || back.up == up) continue;
+      back.up = up;
+      changelog_.push_back(EdgeDelta{kind, a.peer, dpid});
     }
     return true;
   }

@@ -5,6 +5,14 @@
 // Nodes are switches (with their owner-AS identity), edges are the
 // intra-cluster links with the port each side uses. Link state is updated
 // from PortStatus events.
+//
+// Besides the queryable live state, the graph keeps an append-only
+// *edge-delta changelog*: every adjacency that comes up or goes down is
+// recorded in event order. Consumers that maintain derived structures
+// (the incremental per-prefix shortest-path trees) remember the changelog
+// position they have applied and catch up by replaying the suffix, instead
+// of being handed a rebuilt graph. The changelog is emitter-ordered state:
+// its order is part of the determinism contract (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,15 @@ struct Adjacency {
   sdn::Dpid peer{0};
   core::PortId local_port;  // port on this switch towards peer
   bool up{true};
+};
+
+/// One directed adjacency transition, in event order. Link registration and
+/// both directions of a state flip each append one entry per direction.
+struct EdgeDelta {
+  enum class Kind : std::uint8_t { kAdded, kRemoved };
+  Kind kind{Kind::kAdded};
+  sdn::Dpid from{0};
+  sdn::Dpid to{0};
 };
 
 class SwitchGraph {
@@ -58,10 +75,17 @@ class SwitchGraph {
   /// Connected components over up links, each a sorted dpid list.
   std::vector<std::vector<sdn::Dpid>> components() const;
 
+  /// The append-only edge-delta changelog. Consumers remember how far they
+  /// have applied (an index into this vector) and replay the suffix; a
+  /// consumer seeded from the live state starts at changelog_size().
+  const std::vector<EdgeDelta>& changelog() const { return changelog_; }
+  std::size_t changelog_size() const { return changelog_.size(); }
+
  private:
   std::map<sdn::Dpid, SwitchInfo> switches_;
   std::map<sdn::Dpid, std::vector<Adjacency>> adj_;
   std::map<core::AsNumber, sdn::Dpid> by_as_;
+  std::vector<EdgeDelta> changelog_;
   std::size_t links_{0};
 };
 

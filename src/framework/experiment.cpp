@@ -63,6 +63,7 @@ void Experiment::build() {
       controller::IdrControllerConfig cc;
       cc.recompute_delay = config_.recompute_delay;
       cc.subcluster_bridging = config_.subcluster_bridging;
+      cc.incremental = config_.incremental_spt;
       idr_ = &net_.add<controller::IdrController>("ctrl", cc);
       controller_ = idr_;
     } else {
@@ -225,7 +226,9 @@ net::Host& Experiment::add_host(core::AsNumber as) {
   if (hosts_.count(as) > 0) return *hosts_.at(as);
   const net::Prefix prefix = alloc_.as_prefix(as);
   const net::Ipv4Addr addr = alloc_.host_address(as, 0);
-  auto& host = net_.add<net::Host>("h" + as.to_string(), addr);
+  std::string hname = "h";
+  hname += as.to_string();
+  auto& host = net_.add<net::Host>(hname, addr);
   hosts_[as] = &host;
 
   if (members_.count(as) > 0) {

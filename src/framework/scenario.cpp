@@ -149,6 +149,16 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     } else {
       fail(line, "unknown controller style '" + t[1] + "' (idr|routeflow)");
     }
+  } else if (cmd == "spt") {
+    need(1);
+    forbid_after_start();
+    if (t[1] == "incremental") {
+      config_.incremental_spt = true;
+    } else if (t[1] == "reference") {
+      config_.incremental_spt = false;
+    } else {
+      fail(line, "unknown spt engine '" + t[1] + "' (incremental|reference)");
+    }
   } else if (cmd == "damping") {
     need(1);
     forbid_after_start();

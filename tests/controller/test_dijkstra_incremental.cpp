@@ -1,0 +1,332 @@
+// IncrementalSpt vs the shortest_paths() reference: targeted delta cases,
+// path_to / tie-break edge cases, and a seeded randomized equivalence sweep
+// that byte-compares the snapshot after every single delta.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "controller/dijkstra.hpp"
+#include "core/random.hpp"
+
+namespace bgpsdn::controller {
+namespace {
+
+// Rebuild the reference answer from the engine's own graph so both sides see
+// the exact same edge multiset.
+DijkstraResult reference_of(const IncrementalSpt& spt) {
+  return shortest_paths(spt.graph(), spt.source());
+}
+
+void expect_matches_reference(const IncrementalSpt& spt, const char* where) {
+  const DijkstraResult want = reference_of(spt);
+  const DijkstraResult got = spt.snapshot();
+  EXPECT_EQ(got.dist, want.dist) << where;
+  EXPECT_EQ(got.prev, want.prev) << where;
+}
+
+TEST(PathTo, SourceEqualsTarget) {
+  AdjacencyList g;
+  g.add_edge(1, 2, 1);
+  const auto res = shortest_paths(g, 1);
+  EXPECT_EQ(path_to(res, 1, 1), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(PathTo, UnreachableTargetIsEmpty) {
+  AdjacencyList g;
+  g.add_edge(1, 2, 1);
+  g.intern(9);
+  const auto res = shortest_paths(g, 1);
+  EXPECT_TRUE(path_to(res, 1, 9).empty());
+}
+
+TEST(PathTo, UnknownTargetIsEmpty) {
+  AdjacencyList g;
+  g.add_edge(1, 2, 1);
+  const auto res = shortest_paths(g, 1);
+  EXPECT_TRUE(path_to(res, 1, 42).empty());
+}
+
+TEST(PathTo, EqualCostParallelPathsFollowTieBreak) {
+  // 1 -> {2,3} -> 4, both cost 2: the path must route through 2 (lower id).
+  AdjacencyList g;
+  g.add_edge(1, 3, 1);  // insertion order must not matter
+  g.add_edge(1, 2, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(2, 4, 1);
+  const auto res = shortest_paths(g, 1);
+  EXPECT_EQ(path_to(res, 1, 4), (std::vector<std::uint64_t>{1, 2, 4}));
+}
+
+TEST(Dijkstra, TieBreakPrefersEarlierSettledOverLowerId) {
+  // Node 2 is reached at dist 2 via 9 (settled, dist 1) and via 5 (dist 2,
+  // same as 2 — not settled before it). The contract picks the settled
+  // predecessor 9 even though 5 has the lower id.
+  AdjacencyList g;
+  g.add_edge(1, 9, 1);
+  g.add_edge(9, 2, 1);
+  g.add_edge(1, 5, 2);
+  g.add_edge(5, 2, 0);  // would tie at dist 2 — but 5 settles with 2
+  // weight-0 edge not out of the source violates the IncrementalSpt
+  // precondition; this test pins the *reference* contract only.
+  const auto res = shortest_paths(g, 1);
+  EXPECT_EQ(res.dist.at(2), 2u);
+  EXPECT_EQ(res.prev.at(2), 9u);
+}
+
+TEST(Dijkstra, ZeroWeightEdgeFromSource) {
+  // The AS-topology shape: a weight-0 origin edge out of the root.
+  AdjacencyList g;
+  g.add_edge(1, 7, 0);
+  g.add_edge(1, 3, 1);
+  g.add_edge(7, 3, 1);
+  const auto res = shortest_paths(g, 1);
+  EXPECT_EQ(res.dist.at(7), 0u);
+  EXPECT_EQ(res.dist.at(3), 1u);
+  // 3 is tight via both 1 (source) and 7 (dist 0); both settle before 3,
+  // and 1 has the lower id.
+  EXPECT_EQ(res.prev.at(3), 1u);
+}
+
+TEST(IncrementalSpt, EmptyEngineKnowsOnlySource) {
+  IncrementalSpt spt{5};
+  EXPECT_EQ(spt.distance(5), std::optional<std::uint32_t>{0});
+  EXPECT_EQ(spt.parent(5), std::nullopt);
+  EXPECT_EQ(spt.distance(6), std::nullopt);
+  const auto snap = spt.snapshot();
+  EXPECT_EQ(snap.dist.size(), 1u);
+  EXPECT_TRUE(snap.prev.empty());
+}
+
+TEST(IncrementalSpt, EdgeAddedExtendsTree) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 3, 4);
+  expect_matches_reference(spt, "after build");
+  EXPECT_EQ(spt.distance(3), std::optional<std::uint32_t>{5});
+  EXPECT_EQ(spt.parent(3), std::optional<std::uint64_t>{2});
+}
+
+TEST(IncrementalSpt, ImprovingEdgeRelaxesDownstream) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 10);
+  spt.edge_added(2, 3, 1);
+  const std::uint64_t rev = spt.revision();
+  spt.edge_added(1, 2, 2);  // parallel cheaper edge
+  EXPECT_GT(spt.revision(), rev);
+  EXPECT_EQ(spt.distance(2), std::optional<std::uint32_t>{2});
+  EXPECT_EQ(spt.distance(3), std::optional<std::uint32_t>{3});
+  expect_matches_reference(spt, "after improvement");
+}
+
+TEST(IncrementalSpt, RedundantEdgeDoesNotBumpRevision) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 3, 1);
+  const std::uint64_t rev = spt.revision();
+  spt.edge_added(1, 3, 9);  // strictly worse than the existing path
+  EXPECT_EQ(spt.revision(), rev);
+  expect_matches_reference(spt, "after redundant add");
+}
+
+TEST(IncrementalSpt, EqualCostEdgeUpdatesTieBreakOnly) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 3, 1);
+  spt.edge_added(3, 4, 1);
+  expect_matches_reference(spt, "before tie");
+  EXPECT_EQ(spt.parent(4), std::optional<std::uint64_t>{3});
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 4, 1);  // ties at dist 2; 2 < 3 wins
+  EXPECT_EQ(spt.distance(4), std::optional<std::uint32_t>{2});
+  EXPECT_EQ(spt.parent(4), std::optional<std::uint64_t>{2});
+  expect_matches_reference(spt, "after tie");
+}
+
+TEST(IncrementalSpt, RemovingTreeEdgeReroutes) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 3, 1);
+  spt.edge_added(1, 3, 5);
+  spt.edge_removed(2, 3, 1);
+  EXPECT_EQ(spt.distance(3), std::optional<std::uint32_t>{5});
+  EXPECT_EQ(spt.parent(3), std::optional<std::uint64_t>{1});
+  expect_matches_reference(spt, "after reroute");
+}
+
+TEST(IncrementalSpt, RemovingLastPathDisconnects) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 3, 1);
+  spt.edge_removed(1, 2, 1);
+  EXPECT_EQ(spt.distance(2), std::nullopt);
+  EXPECT_EQ(spt.distance(3), std::nullopt);
+  expect_matches_reference(spt, "after disconnect");
+  // Re-adding restores the exact old tree.
+  spt.edge_added(1, 2, 1);
+  EXPECT_EQ(spt.distance(3), std::optional<std::uint32_t>{2});
+  expect_matches_reference(spt, "after reconnect");
+}
+
+TEST(IncrementalSpt, RemovingNonTreeEdgeIsCheap) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 3, 1);
+  spt.edge_added(1, 3, 9);
+  const std::uint64_t replayed = spt.vertices_replayed();
+  const std::uint64_t rev = spt.revision();
+  spt.edge_removed(1, 3, 9);
+  EXPECT_EQ(spt.vertices_replayed(), replayed);
+  EXPECT_EQ(spt.revision(), rev);
+  expect_matches_reference(spt, "after slack removal");
+}
+
+TEST(IncrementalSpt, WorseningKeepsSupportedDistance) {
+  // 4 is tight via both 2 and 3. Worsening the tree edge (2,4) must fall
+  // back to the surviving support via 3 without disturbing the distance.
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(1, 3, 1);
+  spt.edge_added(2, 4, 1);
+  spt.edge_added(3, 4, 1);
+  EXPECT_EQ(spt.parent(4), std::optional<std::uint64_t>{2});
+  spt.weight_changed(2, 4, 1, 7);
+  EXPECT_EQ(spt.distance(4), std::optional<std::uint32_t>{2});
+  EXPECT_EQ(spt.parent(4), std::optional<std::uint64_t>{3});
+  expect_matches_reference(spt, "after supported worsening");
+}
+
+TEST(IncrementalSpt, WeightChangeImprovement) {
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 9);
+  spt.edge_added(2, 3, 1);
+  spt.weight_changed(1, 2, 9, 2);
+  EXPECT_EQ(spt.distance(2), std::optional<std::uint32_t>{2});
+  EXPECT_EQ(spt.distance(3), std::optional<std::uint32_t>{3});
+  expect_matches_reference(spt, "after weight improvement");
+}
+
+TEST(IncrementalSpt, RegionReplayCascades) {
+  // A chain hanging off an edge whose removal disconnects and then reroutes
+  // a whole subtree through a costlier detour.
+  IncrementalSpt spt{1};
+  spt.edge_added(1, 2, 1);
+  spt.edge_added(2, 3, 1);
+  spt.edge_added(3, 4, 1);
+  spt.edge_added(4, 5, 1);
+  spt.edge_added(1, 9, 2);
+  spt.edge_added(9, 3, 2);
+  spt.edge_removed(2, 3, 1);
+  EXPECT_EQ(spt.distance(3), std::optional<std::uint32_t>{4});
+  EXPECT_EQ(spt.distance(5), std::optional<std::uint32_t>{6});
+  EXPECT_EQ(spt.parent(3), std::optional<std::uint64_t>{9});
+  expect_matches_reference(spt, "after cascade");
+}
+
+// --- randomized equivalence sweep -------------------------------------------
+
+struct RandomEdge {
+  std::uint64_t from;
+  std::uint64_t to;
+  std::uint32_t weight;
+};
+
+// 1000 random deltas over a small node universe; the engine must match the
+// reference after every single step. Weight 0 is exercised only out of the
+// source, as the AS-topology precondition guarantees.
+void run_random_sweep(std::uint64_t seed) {
+  constexpr std::uint64_t kSource = 1;
+  constexpr std::int64_t kMaxNode = 12;
+  constexpr int kDeltas = 1000;
+  core::Rng rng{seed};
+  IncrementalSpt spt{kSource};
+  std::vector<RandomEdge> live;
+
+  for (int step = 0; step < kDeltas; ++step) {
+    const bool remove =
+        !live.empty() && rng.chance(live.size() >= 40 ? 0.6 : 0.35);
+    if (remove) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const RandomEdge e = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      spt.edge_removed(e.from, e.to, e.weight);
+    } else {
+      RandomEdge e;
+      e.from = static_cast<std::uint64_t>(rng.uniform_int(1, kMaxNode));
+      do {
+        e.to = static_cast<std::uint64_t>(rng.uniform_int(1, kMaxNode));
+      } while (e.to == e.from);
+      const std::int64_t lo = (e.from == kSource) ? 0 : 1;
+      e.weight = static_cast<std::uint32_t>(rng.uniform_int(lo, 4));
+      live.push_back(e);
+      spt.edge_added(e.from, e.to, e.weight);
+    }
+    const DijkstraResult want = reference_of(spt);
+    const DijkstraResult got = spt.snapshot();
+    ASSERT_EQ(got.dist, want.dist) << "seed " << seed << " step " << step;
+    ASSERT_EQ(got.prev, want.prev) << "seed " << seed << " step " << step;
+  }
+}
+
+TEST(IncrementalSptRandom, EquivalenceSeed1) { run_random_sweep(1); }
+TEST(IncrementalSptRandom, EquivalenceSeed2) { run_random_sweep(2); }
+TEST(IncrementalSptRandom, EquivalenceSeed3) { run_random_sweep(3); }
+
+TEST(IncrementalSptRandom, WeightChangeSweep) {
+  // Same idea, but mutate weights of live edges in place instead of
+  // add/remove churn.
+  constexpr std::uint64_t kSource = 1;
+  core::Rng rng{99};
+  IncrementalSpt spt{kSource};
+  std::vector<RandomEdge> live;
+  for (std::uint64_t a = 1; a <= 8; ++a) {
+    for (std::uint64_t b = 1; b <= 8; ++b) {
+      if (a == b || !rng.chance(0.5)) continue;
+      RandomEdge e{a, b, static_cast<std::uint32_t>(rng.uniform_int(1, 4))};
+      live.push_back(e);
+      spt.edge_added(e.from, e.to, e.weight);
+    }
+  }
+  ASSERT_FALSE(live.empty());
+  for (int step = 0; step < 1000; ++step) {
+    auto& e = live[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+    const std::int64_t lo = (e.from == kSource) ? 0 : 1;
+    const auto next = static_cast<std::uint32_t>(rng.uniform_int(lo, 6));
+    spt.weight_changed(e.from, e.to, e.weight, next);
+    e.weight = next;
+    const DijkstraResult want = reference_of(spt);
+    const DijkstraResult got = spt.snapshot();
+    ASSERT_EQ(got.dist, want.dist) << "step " << step;
+    ASSERT_EQ(got.prev, want.prev) << "step " << step;
+  }
+}
+
+TEST(IncrementalSptRandom, ReplayCostStaysSublinear) {
+  // Sanity bound on the cost counter: N flaps of one clique edge must not
+  // replay anywhere near N * node_count vertices (what from-scratch reruns
+  // would pay).
+  constexpr std::uint64_t kN = 16;
+  IncrementalSpt spt{1};
+  for (std::uint64_t a = 1; a <= kN; ++a)
+    for (std::uint64_t b = 1; b <= kN; ++b)
+      if (a != b) spt.edge_added(a, b, 1);
+  const std::uint64_t before = spt.vertices_replayed();
+  constexpr std::uint64_t kFlaps = 100;
+  for (std::uint64_t i = 0; i < kFlaps; ++i) {
+    spt.edge_removed(1, 2, 1);  // a tree edge: forces a real region replay
+    spt.edge_added(1, 2, 1);
+  }
+  const std::uint64_t paid = spt.vertices_replayed() - before;
+  expect_matches_reference(spt, "after flap train");
+  // In a clique the affected region is just node 2 (every other vertex keeps
+  // its direct source edge), so each flap resettles O(1) vertices where a
+  // from-scratch rerun pays kN. 5x slack avoids pinning the implementation.
+  EXPECT_LE(paid, 2 * kFlaps * 5);
+  EXPECT_LT(paid, 2 * kFlaps * kN / 4);
+}
+
+}  // namespace
+}  // namespace bgpsdn::controller

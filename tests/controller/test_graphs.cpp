@@ -12,9 +12,10 @@ namespace {
 
 TEST(Dijkstra, SimpleChain) {
   AdjacencyList g;
-  g[1] = {{2, 1}};
-  g[2] = {{1, 1}, {3, 4}};
-  g[3] = {{2, 4}};
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 1, 1);
+  g.add_edge(2, 3, 4);
+  g.add_edge(3, 2, 4);
   const auto res = shortest_paths(g, 1);
   EXPECT_EQ(res.dist.at(1), 0u);
   EXPECT_EQ(res.dist.at(2), 1u);
@@ -24,9 +25,9 @@ TEST(Dijkstra, SimpleChain) {
 
 TEST(Dijkstra, PrefersCheaperLongerHopPath) {
   AdjacencyList g;
-  g[1] = {{2, 10}, {3, 1}};
-  g[3] = {{2, 1}};
-  g[2] = {};
+  g.add_edge(1, 2, 10);
+  g.add_edge(1, 3, 1);
+  g.add_edge(3, 2, 1);
   const auto res = shortest_paths(g, 1);
   EXPECT_EQ(res.dist.at(2), 2u);
   EXPECT_EQ(path_to(res, 1, 2), (std::vector<std::uint64_t>{1, 3, 2}));
@@ -34,8 +35,8 @@ TEST(Dijkstra, PrefersCheaperLongerHopPath) {
 
 TEST(Dijkstra, UnreachableNodeAbsent) {
   AdjacencyList g;
-  g[1] = {};
-  g[2] = {};
+  g.intern(1);
+  g.intern(2);
   const auto res = shortest_paths(g, 1);
   EXPECT_EQ(res.dist.count(2), 0u);
   EXPECT_TRUE(path_to(res, 1, 2).empty());
@@ -44,13 +45,31 @@ TEST(Dijkstra, UnreachableNodeAbsent) {
 TEST(Dijkstra, DeterministicTieBreakTowardsLowerVia) {
   // Two equal-cost paths to 4: via 2 and via 3. The lower node id wins.
   AdjacencyList g;
-  g[1] = {{2, 1}, {3, 1}};
-  g[2] = {{4, 1}};
-  g[3] = {{4, 1}};
-  g[4] = {};
+  g.add_edge(1, 2, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(2, 4, 1);
+  g.add_edge(3, 4, 1);
   const auto res = shortest_paths(g, 1);
   EXPECT_EQ(res.dist.at(4), 2u);
   EXPECT_EQ(res.prev.at(4), 2u);
+}
+
+TEST(AdjacencyListTest, InternAndEdgeBookkeeping) {
+  AdjacencyList g;
+  EXPECT_EQ(g.index_of(7), AdjacencyList::kNoIndex);
+  const auto a = g.intern(7);
+  EXPECT_EQ(g.intern(7), a);  // idempotent
+  EXPECT_EQ(g.node_id(a), 7u);
+  g.add_edge(7, 9, 3);
+  g.add_edge(7, 9, 3);  // parallel edges kept distinct
+  EXPECT_EQ(g.arc_count(), 2u);
+  EXPECT_TRUE(g.remove_edge(7, 9, 3));
+  EXPECT_EQ(g.arc_count(), 1u);
+  EXPECT_FALSE(g.remove_edge(7, 9, 5));  // no arc with that weight
+  EXPECT_FALSE(g.remove_edge(7, 11, 3));  // unknown target
+  g.clear_edges_from(7);
+  EXPECT_EQ(g.arc_count(), 0u);
+  EXPECT_EQ(g.node_count(), 2u);  // nodes survive edge removal
 }
 
 TEST(SwitchGraph, NeighborsRespectLinkState) {

@@ -1,0 +1,242 @@
+// The incremental-recomputation acceptance criteria: for the same seeded
+// scenario, the delta-SPT engine and the from-scratch reference must leave
+// every observable byte identical — legacy Loc-RIBs, member flow tables,
+// convergence instants, and the telemetry snapshot minus the counters that
+// measure the engines themselves — at 1 and at 4 worker threads. A final
+// test pins the point of the refactor: the incremental engine must do far
+// less recomputation work under topology churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "framework/experiment.hpp"
+#include "framework/trial.hpp"
+#include "telemetry/json.hpp"
+#include "topology/generators.hpp"
+
+namespace bgpsdn::framework {
+namespace {
+
+using core::AsNumber;
+
+// Counters/histograms that *measure the recomputation engine* and so are
+// divergent between modes by design. Everything else must match.
+bool engine_internal(const std::string& name) {
+  return name == "ctrl.idr.prefix_recomputes" ||
+         name == "ctrl.idr.prefixes_dirty" ||
+         name == "ctrl.idr.spt_vertices_replayed" ||
+         name == "ctrl.idr.batch_prefixes";
+}
+
+std::string filtered_metrics(const telemetry::Json& snapshot) {
+  telemetry::Json out = telemetry::Json::object();
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    telemetry::Json kept = telemetry::Json::object();
+    if (const auto* s = snapshot.find(section)) {
+      for (const auto& [name, value] : s->entries()) {
+        if (!engine_internal(name)) kept[name] = value;
+      }
+    }
+    out[section] = std::move(kept);
+  }
+  return out.dump();
+}
+
+struct EquivCapture {
+  std::string ribs;
+  std::string flows;
+  std::string metrics;
+  std::vector<double> checkpoints;  // loop clock after each wait_converged
+};
+
+ExperimentConfig scenario_config(bool incremental, std::uint64_t seed,
+                                 bool bridging) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.incremental_spt = incremental;
+  cfg.subcluster_bridging = bridging;
+  cfg.timers.mrai = core::Duration::millis(500);
+  cfg.recompute_delay = core::Duration::millis(200);
+  return cfg;
+}
+
+void capture_state(Experiment& exp, EquivCapture& cap) {
+  // Legacy Loc-RIBs, sorted AS-then-prefix so the dump is canonical.
+  std::map<std::string, std::string> ribs;
+  for (const auto as : exp.spec().ases) {
+    if (exp.is_member(as)) continue;
+    const auto& rib = exp.router(as).loc_rib();
+    for (const auto& prefix : rib.prefixes()) {
+      const auto* route = rib.find(prefix);
+      ribs[as.to_string() + " " + prefix.to_string()] =
+          route->attributes->to_string();
+    }
+  }
+  for (const auto& [key, value] : ribs) {
+    cap.ribs += key + " -> " + value + "\n";
+  }
+  // Member flow tables, in table order (which is itself part of the
+  // contract: priority ties break on insertion order).
+  for (const auto as : exp.spec().ases) {
+    if (!exp.is_member(as)) continue;
+    cap.flows += "== " + as.to_string() + "\n";
+    for (const auto& e : exp.member_switch(as).table().entries()) {
+      cap.flows += e.to_string() + "\n";
+    }
+  }
+}
+
+// One seeded churn scenario on an 8-AS ring with a 4-member cluster chain
+// (3-4-5-6). The ring makes intra-cluster distance matter, and failing the
+// middle cluster link splits the members into two sub-clusters, exercising
+// the bridging fallback (or the pruning path with bridging off).
+EquivCapture run_ring_churn(bool incremental, std::uint64_t seed,
+                            bool bridging) {
+  const auto spec = topology::ring(8);
+  Experiment exp{spec,
+                 {AsNumber{3}, AsNumber{4}, AsNumber{5}, AsNumber{6}},
+                 scenario_config(incremental, seed, bridging)};
+  const auto pfx = *net::Prefix::parse("10.99.0.0/16");
+  exp.announce_prefix(AsNumber{1}, pfx);
+
+  EquivCapture cap;
+  const auto checkpoint = [&] {
+    exp.wait_converged();
+    cap.checkpoints.push_back(exp.loop().now().nanos_since_origin() * 1e-9);
+  };
+
+  EXPECT_TRUE(exp.start());
+  checkpoint();
+
+  // Route churn with no topology change.
+  exp.withdraw_prefix(AsNumber{1}, pfx);
+  checkpoint();
+  exp.announce_prefix(AsNumber{1}, pfx);
+  checkpoint();
+
+  // Cluster-link churn: the edge-delta changelog path.
+  exp.fail_link(AsNumber{4}, AsNumber{5});  // splits {3,4} | {5,6}
+  checkpoint();
+  exp.restore_link(AsNumber{4}, AsNumber{5});
+  checkpoint();
+  exp.fail_link(AsNumber{5}, AsNumber{6});
+  checkpoint();
+  exp.restore_link(AsNumber{5}, AsNumber{6});
+  checkpoint();
+
+  // Legacy-link churn: route updates through the speaker.
+  exp.fail_link(AsNumber{1}, AsNumber{2});
+  checkpoint();
+  exp.restore_link(AsNumber{1}, AsNumber{2});
+  checkpoint();
+
+  capture_state(exp, cap);
+  cap.metrics = filtered_metrics(exp.telemetry().metrics().snapshot());
+  return cap;
+}
+
+void expect_equal_captures(const EquivCapture& inc, const EquivCapture& ref,
+                           const char* what) {
+  // Guard against vacuous equality: the scenario must actually produce
+  // routes and flow rules.
+  EXPECT_FALSE(inc.ribs.empty()) << what;
+  EXPECT_NE(inc.flows.find("dst="), std::string::npos) << what;
+  EXPECT_EQ(inc.ribs, ref.ribs) << what;
+  EXPECT_EQ(inc.flows, ref.flows) << what;
+  EXPECT_EQ(inc.metrics, ref.metrics) << what;
+  ASSERT_EQ(inc.checkpoints.size(), ref.checkpoints.size()) << what;
+  for (std::size_t i = 0; i < inc.checkpoints.size(); ++i) {
+    // Bit-equal, not approximately equal: convergence timing must not move.
+    EXPECT_EQ(inc.checkpoints[i], ref.checkpoints[i]) << what << " #" << i;
+  }
+}
+
+TEST(IncrementalEquivalence, RingChurnWithBridging) {
+  for (const std::uint64_t seed : {11u, 12u}) {
+    expect_equal_captures(run_ring_churn(true, seed, true),
+                          run_ring_churn(false, seed, true), "bridging");
+  }
+}
+
+TEST(IncrementalEquivalence, RingChurnWithoutBridging) {
+  expect_equal_captures(run_ring_churn(true, 13, false),
+                        run_ring_churn(false, 13, false), "no-bridging");
+}
+
+TEST(IncrementalEquivalence, ByteIdenticalAcrossJobCounts) {
+  // Both engines, two seeds, raced across worker threads: the captures must
+  // not depend on the job count (the PR-1 determinism invariant extended to
+  // the delta engine).
+  const auto run_with_jobs = [](std::size_t jobs) {
+    std::vector<EquivCapture> caps(4);
+    parallel_for_index(4, jobs, [&](std::size_t i) {
+      caps[i] = run_ring_churn(/*incremental=*/i % 2 == 0, 31 + i / 2, true);
+    });
+    return caps;
+  };
+  const auto serial = run_with_jobs(1);
+  const auto threaded = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ribs, threaded[i].ribs) << i;
+    EXPECT_EQ(serial[i].flows, threaded[i].flows) << i;
+    EXPECT_EQ(serial[i].metrics, threaded[i].metrics) << i;
+  }
+}
+
+TEST(IncrementalEquivalence, ChurnRecomputeCostReduction) {
+  // The cost criterion: under a cluster-link flap train, the incremental
+  // engine's settle work (spt_vertices_replayed) must be at least 5x below
+  // what the reference pays (one settle per tree vertex per recomputed
+  // prefix). Measured over the churn phase only — both engines pay the same
+  // initial tree builds.
+  const auto run_flaps = [](bool incremental) {
+    const auto spec = topology::clique(8);
+    std::set<AsNumber> members;
+    for (std::uint32_t a = 3; a <= 8; ++a) members.insert(AsNumber{a});
+    Experiment exp{spec, members, scenario_config(incremental, 5, true)};
+    exp.announce_prefix(AsNumber{1}, *net::Prefix::parse("10.91.0.0/16"));
+    exp.announce_prefix(AsNumber{1}, *net::Prefix::parse("10.92.0.0/16"));
+    exp.announce_prefix(AsNumber{2}, *net::Prefix::parse("10.93.0.0/16"));
+    exp.announce_prefix(AsNumber{2}, *net::Prefix::parse("10.94.0.0/16"));
+    EXPECT_TRUE(exp.start());
+    exp.wait_converged();
+    const auto& m = exp.telemetry().metrics();
+    const auto counter = [&m](const char* name) -> std::uint64_t {
+      const auto* c = m.find_counter(name);
+      return c == nullptr ? 0 : static_cast<std::uint64_t>(c->value());
+    };
+    const std::uint64_t recomputes0 = counter("ctrl.idr.prefix_recomputes");
+    const std::uint64_t replayed0 = counter("ctrl.idr.spt_vertices_replayed");
+    for (int i = 0; i < 6; ++i) {
+      exp.fail_link(AsNumber{3}, AsNumber{4});
+      exp.wait_converged();
+      exp.restore_link(AsNumber{3}, AsNumber{4});
+      exp.wait_converged();
+    }
+    struct Cost {
+      std::uint64_t recomputes;
+      std::uint64_t replayed;
+      std::uint64_t tree_vertices;
+    } cost;
+    cost.recomputes = counter("ctrl.idr.prefix_recomputes") - recomputes0;
+    cost.replayed = counter("ctrl.idr.spt_vertices_replayed") - replayed0;
+    cost.tree_vertices = exp.members().size() + 1;  // switches + dest node
+    return cost;
+  };
+  const auto inc = run_flaps(true);
+  const auto ref = run_flaps(false);
+  // The reference re-settles every tree vertex of every known prefix on
+  // every flap; the incremental engine only touches the affected region.
+  const std::uint64_t ref_settles = ref.recomputes * ref.tree_vertices;
+  EXPECT_GT(ref_settles, 0u);
+  EXPECT_LE(inc.replayed * 5, ref_settles)
+      << "incremental replayed " << inc.replayed << " vs reference settles "
+      << ref_settles;
+}
+
+}  // namespace
+}  // namespace bgpsdn::framework

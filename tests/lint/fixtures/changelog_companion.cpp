@@ -1,0 +1,10 @@
+// Fixture: D3 inherited from the companion header — changelog_companion.hpp
+// includes controller/switch_graph.hpp, so this .cpp is an emitter even
+// though it names no emitter header itself (never compiled).
+#include "changelog_companion.hpp"
+
+int count_dirty(const DirtySet& set) {
+  int total = 0;
+  for (const int prefix : set.prefixes_) total += prefix;
+  return total;
+}

@@ -1,0 +1,12 @@
+// Fixture: companion header on the changelog path — the emitter include
+// lives here, not in the .cpp, mirroring as_topology.hpp/as_topology.cpp
+// (never compiled).
+#pragma once
+
+#include <unordered_set>
+
+#include "controller/switch_graph.hpp"
+
+struct DirtySet {
+  std::unordered_set<int> prefixes_;
+};

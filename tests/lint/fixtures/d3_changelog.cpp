@@ -1,0 +1,12 @@
+// Fixture: D3 via the changelog path — controller/switch_graph.hpp marks
+// this file as an emitter (its edge-delta changelog is emitter-ordered
+// state), so unordered iteration is flagged (never compiled).
+#include "controller/switch_graph.hpp"
+
+#include <unordered_map>
+
+int dirty_total(const std::unordered_map<int, int>& dirty) {
+  int total = 0;
+  for (const auto& [prefix, rev] : dirty) total += rev + prefix;
+  return total;
+}

@@ -94,6 +94,23 @@ TEST(LintD3, CompanionHeaderDeclarationsAreVisible) {
   EXPECT_EQ(findings[0].token, "rows_");
 }
 
+TEST(LintD3, SwitchGraphChangelogIsEmitterPath) {
+  // controller/switch_graph.hpp carries the edge-delta changelog, whose
+  // append order is part of the deterministic output contract.
+  const auto findings = bgpsdn::lint::lint_file(fixture("d3_changelog.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"D3", 10}}));
+  EXPECT_EQ(findings[0].token, "dirty");
+}
+
+TEST(LintD3, EmitterStatusInheritedFromCompanionHeader) {
+  // The emitter include lives in changelog_companion.hpp; linting the .cpp
+  // must still classify it, mirroring as_topology.cpp/as_topology.hpp.
+  const auto findings =
+      bgpsdn::lint::lint_file(fixture("changelog_companion.cpp"));
+  EXPECT_EQ(rule_lines(findings), (RL{{"D3", 8}}));
+  EXPECT_EQ(findings[0].token, "prefixes_");
+}
+
 TEST(LintT1, FlagsRawThreadingWithExactLines) {
   const auto findings = bgpsdn::lint::lint_file(fixture("t1_violation.cpp"));
   EXPECT_EQ(rule_lines(findings), (RL{{"T1", 6}, {"T1", 7}, {"T1", 8}}));
@@ -167,6 +184,7 @@ TEST(LintCorpus, WholeFixtureDirectoryExactFindings) {
                      f.rule + "@" + std::to_string(f.line));
   }
   const std::vector<std::pair<std::string, std::string>> expected = {
+      {"changelog_companion.cpp", "D3@8"},
       {"companion_emit.cpp", "D3@9"},
       {"d1_pragma_noreason.cpp", "P1@6"},
       {"d1_pragma_noreason.cpp", "D1@7"},
@@ -174,6 +192,7 @@ TEST(LintCorpus, WholeFixtureDirectoryExactFindings) {
       {"d2_violation.cpp", "D2@6"},
       {"d2_violation.cpp", "D2@7"},
       {"d2_violation.cpp", "D2@8"},
+      {"d3_changelog.cpp", "D3@10"},
       {"d3_violation.cpp", "D3@9"},
       {"h1_missing_once.hpp", "H1@1"},
       {"h1_using_namespace.hpp", "H1@6"},

@@ -330,9 +330,13 @@ bool path_ends_with(const std::string& path, std::string_view suffix) {
 }
 
 bool path_has_dir(const std::string& path, std::string_view dir) {
-  const std::string needle = "/" + std::string{dir} + "/";
-  return path.find(needle) != std::string::npos ||
-         path.rfind(std::string{dir} + "/", 0) == 0;
+  std::string needle = "/";
+  needle += dir;
+  needle += "/";
+  if (path.find(needle) != std::string::npos) return true;
+  std::string head{dir};
+  head += "/";
+  return path.rfind(head, 0) == 0;
 }
 
 // Previous token, skipping nothing; nullptr at the start.
@@ -644,13 +648,18 @@ std::string normalize_path(std::string_view path) {
   return p;
 }
 
+// controller/switch_graph.hpp counts as an emitter header: its edge-delta
+// changelog is emitter-ordered state (consumers replay it in append order
+// into deterministic output), so changelog code paths must not iterate
+// unordered containers either.
 bool includes_emitter_header(const std::vector<std::string>& raw_lines) {
   for (const std::string& raw : raw_lines) {
     const std::size_t first = raw.find_first_not_of(" \t");
     if (first == std::string::npos || raw[first] != '#') continue;
     if (raw.find("#include") == std::string::npos) continue;
     if (raw.find("telemetry/json.hpp") != std::string::npos ||
-        raw.find("framework/report.hpp") != std::string::npos) {
+        raw.find("framework/report.hpp") != std::string::npos ||
+        raw.find("controller/switch_graph.hpp") != std::string::npos) {
       return true;
     }
   }
@@ -673,8 +682,13 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   ctx.toks = tokenize(stripped.code);
   ctx.pragmas = parse_pragmas(stripped.comments);
 
+  // A .cpp inherits emitter status from its companion header: the usual
+  // shape is foo.hpp pulling in the emitter header and foo.cpp doing the
+  // actual iteration (as_topology.cpp replaying the switch-graph changelog).
   ctx.is_emitter = path_has_dir(ctx.path, "telemetry") ||
-                   includes_emitter_header(ctx.raw_lines);
+                   includes_emitter_header(ctx.raw_lines) ||
+                   (!companion_header.empty() &&
+                    includes_emitter_header(split_raw_lines(companion_header)));
 
   ctx.line_has_code.assign(ctx.raw_lines.size(), false);
   for (const Tok& t : ctx.toks) {

@@ -79,7 +79,7 @@ ChurnResult run(bool damping, core::Duration recompute_delay,
 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  const std::size_t runs = bench::default_runs();
+  const std::size_t runs = cli.runs_or(bench::default_runs());
   std::printf("# flap-stability ablation: 16-AS clique, 8 SDN members, origin "
               "flaps 5x (MRAI 5 s)\n");
   std::printf("# medians over %zu runs\n", runs);

@@ -13,7 +13,7 @@ using namespace bgpsdn;
 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  const std::size_t runs = bench::default_runs();
+  const std::size_t runs = cli.runs_or(bench::default_runs());
   std::printf("# BGP-only withdrawal convergence [s]: clique size x MRAI\n");
   std::printf("# medians over %zu runs\n", runs);
   std::printf("clique\\mrai");
@@ -25,17 +25,18 @@ int main(int argc, char** argv) {
 
   // Every (clique, MRAI, seed) triple is one independent simulation; run
   // the whole grid on the shared pool and print it cell by cell after.
-  framework::ParamSweepRunner runner{runs, 3000};
+  framework::ParamSweepRunner runner{runs, cli.seed_or(3000)};
   const auto sweep = runner.run(
       std::size(cliques) * kCols, [&](std::size_t point, std::uint64_t seed) {
-        bench::ScenarioParams params;
-        params.clique_size = cliques[point / kCols];
-        params.sdn_count = 0;
-        params.event = bench::Event::kWithdrawal;
-        params.config = bench::paper_config();
-        params.config.timers.mrai =
-            core::Duration::seconds_f(mrais[point % kCols]);
-        return bench::run_convergence_trial(params, seed);
+        const auto cell =
+            framework::ExperimentSpecBuilder{}
+                .topology(framework::TopologyModel::kClique,
+                          cliques[point / kCols])
+                .event(framework::EventKind::kWithdrawal)
+                .config(bench::paper_config())
+                .mrai(core::Duration::seconds_f(mrais[point % kCols]))
+                .build();
+        return cell.run_trial(seed);
       });
   for (std::size_t row = 0; row < std::size(cliques); ++row) {
     std::printf("%zu", cliques[row]);

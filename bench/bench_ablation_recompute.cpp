@@ -45,28 +45,29 @@ struct AblationPoint {
 };
 
 AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
-  framework::ExperimentConfig cfg = bench::paper_config();
-  cfg.seed = seed;
-  cfg.recompute_delay = recompute_delay;
-  const auto spec = topology::clique(16);
-  std::set<core::AsNumber> members;
-  for (std::uint32_t as = 9; as <= 16; ++as) members.insert(core::AsNumber{as});
-  framework::Experiment exp{spec, members, cfg};
-  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
-  exp.announce_prefix(core::AsNumber{1}, pfx);
-  if (!exp.start()) return {};
+  const auto cell = framework::ExperimentSpecBuilder{}
+                        .topology(framework::TopologyModel::kClique, 16)
+                        .sdn_count(8)
+                        .event(framework::EventKind::kWithdrawal)
+                        .config(bench::paper_config())
+                        .recompute_delay(recompute_delay)
+                        .wait_quiet(core::Duration::seconds(61))
+                        .build();
+  // The cell is driven by hand (not run_trial) because the result reads
+  // controller deltas around the event, not just the convergence time.
+  const auto exp = cell.make_experiment(seed);
+  if (!exp->start()) return {};
 
-  auto* ctrl = exp.idr_controller();
+  auto* ctrl = exp->idr_controller();
   const auto recomputes0 = ctrl->counters().recompute_passes;
   const auto mods0 = ctrl->counters().flow_adds + ctrl->counters().flow_deletes;
-  const auto spk0 = exp.cluster_speaker()->counters().announces_tx +
-                    exp.cluster_speaker()->counters().withdraws_tx;
-  const double span0 = batch_span_seconds(exp);
+  const auto spk0 = exp->cluster_speaker()->counters().announces_tx +
+                    exp->cluster_speaker()->counters().withdraws_tx;
+  const double span0 = batch_span_seconds(*exp);
 
-  const auto t0 = exp.loop().now();
-  exp.withdraw_prefix(core::AsNumber{1}, pfx);
-  const auto conv = exp.wait_converged(framework::WaitOpts{
-      core::Duration::seconds(61), core::Duration::seconds(3600)});
+  const auto t0 = cell.inject_event(*exp);
+  const auto conv = exp->wait_converged(framework::WaitOpts{
+      cell.effective_quiet(), core::Duration::seconds(3600)});
 
   AblationPoint p;
   p.conv_seconds = conv.since(t0).to_seconds();
@@ -75,9 +76,10 @@ AblationPoint run_point(core::Duration recompute_delay, std::uint64_t seed) {
   p.flow_mods = static_cast<double>(ctrl->counters().flow_adds +
                                     ctrl->counters().flow_deletes - mods0);
   p.speaker_msgs =
-      static_cast<double>(exp.cluster_speaker()->counters().announces_tx +
-                          exp.cluster_speaker()->counters().withdraws_tx - spk0);
-  p.batch_span_s = batch_span_seconds(exp) - span0;
+      static_cast<double>(exp->cluster_speaker()->counters().announces_tx +
+                          exp->cluster_speaker()->counters().withdraws_tx -
+                          spk0);
+  p.batch_span_s = batch_span_seconds(*exp) - span0;
   return p;
 }
 
@@ -96,37 +98,41 @@ struct ChurnPoint {
 /// directly; a from-scratch run settles every tree vertex (8 member
 /// switches + the virtual destination) of every recomputed prefix.
 ChurnPoint run_churn(bool incremental, std::size_t flaps, std::uint64_t seed) {
-  framework::ExperimentConfig cfg = bench::paper_config();
-  cfg.seed = seed;
-  cfg.incremental_spt = incremental;
-  const auto spec = topology::clique(16);
-  std::set<core::AsNumber> members;
-  for (std::uint32_t as = 9; as <= 16; ++as) members.insert(core::AsNumber{as});
-  framework::Experiment exp{spec, members, cfg};
-  exp.announce_prefix(core::AsNumber{1}, *net::Prefix::parse("10.90.0.0/16"));
-  exp.announce_prefix(core::AsNumber{1}, *net::Prefix::parse("10.91.0.0/16"));
-  exp.announce_prefix(core::AsNumber{2}, *net::Prefix::parse("10.92.0.0/16"));
-  exp.announce_prefix(core::AsNumber{2}, *net::Prefix::parse("10.93.0.0/16"));
-  if (!exp.start()) return {};
-  exp.wait_converged();
+  const auto cell = framework::ExperimentSpecBuilder{}
+                        .topology(framework::TopologyModel::kClique, 16)
+                        .sdn_count(8)
+                        .event(framework::EventKind::kFlapTrain)
+                        .flap_cycles(flaps)
+                        .config(bench::paper_config())
+                        .incremental_spt(incremental)
+                        .announce(core::AsNumber{1},
+                                  *net::Prefix::parse("10.90.0.0/16"))
+                        .announce(core::AsNumber{1},
+                                  *net::Prefix::parse("10.91.0.0/16"))
+                        .announce(core::AsNumber{2},
+                                  *net::Prefix::parse("10.92.0.0/16"))
+                        .announce(core::AsNumber{2},
+                                  *net::Prefix::parse("10.93.0.0/16"))
+                        .build();
+  // Driven by hand (not run_trial) for the controller deltas; the flap
+  // train itself — fail/restore the link between the two lowest members,
+  // waiting out convergence after every transition — is inject_event().
+  const auto exp = cell.make_experiment(seed);
+  if (!exp->start()) return {};
+  exp->wait_converged();
 
-  auto* ctrl = exp.idr_controller();
+  auto* ctrl = exp->idr_controller();
   const auto recomputes0 = ctrl->counters().prefix_recomputes;
   const auto replayed0 = ctrl->counters().spt_vertices_replayed;
   const auto mods0 = ctrl->counters().flow_adds + ctrl->counters().flow_deletes;
-  const auto t0 = exp.loop().now();
-  for (std::size_t i = 0; i < flaps; ++i) {
-    exp.fail_link(core::AsNumber{9}, core::AsNumber{10});
-    exp.wait_converged();
-    exp.restore_link(core::AsNumber{9}, core::AsNumber{10});
-    exp.wait_converged();
-  }
+  const auto t0 = exp->loop().now();
+  cell.inject_event(*exp);
 
   ChurnPoint p;
-  p.conv_seconds = (exp.loop().now() - t0).to_seconds();
+  p.conv_seconds = (exp->loop().now() - t0).to_seconds();
   p.prefix_recomputes =
       static_cast<double>(ctrl->counters().prefix_recomputes - recomputes0);
-  const double tree_vertices = static_cast<double>(members.size() + 1);
+  const double tree_vertices = static_cast<double>(cell.sdn_count + 1);
   p.settles =
       incremental
           ? static_cast<double>(ctrl->counters().spt_vertices_replayed -
@@ -149,7 +155,7 @@ std::vector<double> column(const std::vector<ChurnPoint>& grid,
 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  const std::size_t runs = bench::default_runs();
+  const std::size_t runs = cli.runs_or(bench::default_runs());
   std::printf(
       "# delayed-recomputation ablation: 16-AS clique, 8 SDN members, "
       "withdrawal burst\n");
@@ -159,7 +165,8 @@ int main(int argc, char** argv) {
   std::vector<AblationPoint> grid;
   const auto timing = bench::run_trial_grid(
       std::size(delays), runs, grid, [&](std::size_t point, std::size_t r) {
-        return run_point(core::Duration::seconds_f(delays[point]), 2000 + r);
+        return run_point(core::Duration::seconds_f(delays[point]),
+                         cli.seed_or(2000) + r);
       });
   framework::BenchReport report{"ablation_recompute"};
   report.set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});
@@ -205,7 +212,7 @@ int main(int argc, char** argv) {
       std::size(flap_counts) * kModes, runs, churn_grid,
       [&](std::size_t point, std::size_t r) {
         return run_churn(/*incremental=*/point % kModes == 0,
-                         flap_counts[point / kModes], 3000 + r);
+                         flap_counts[point / kModes], cli.seed_or(3000) + r);
       });
   for (std::size_t point = 0; point < std::size(flap_counts) * kModes; ++point) {
     const bool incremental = point % kModes == 0;

@@ -116,7 +116,7 @@ double run_row(const Row& row, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  const std::size_t runs = bench::default_runs();
+  const std::size_t runs = cli.runs_or(bench::default_runs());
   const std::size_t points = std::size(kRows);
   std::printf("# data-plane time-to-recovery [s] under injected faults, "
               "%zu-AS clique, members 7-%zu\n",

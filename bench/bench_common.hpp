@@ -9,15 +9,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <set>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "framework/experiment.hpp"
+#include "framework/experiment_spec.hpp"
 #include "framework/report.hpp"
+#include "topology/generators.hpp"
 #include "framework/stats.hpp"
 #include "framework/trial.hpp"
-#include "topology/generators.hpp"
 
 namespace bgpsdn::bench {
 
@@ -25,30 +25,74 @@ namespace bgpsdn::bench {
 struct BenchCli {
   /// Where to write the bgpsdn.bench/1 JSON document; empty = stdout only.
   std::string json_path;
+  /// --trials / --seed overrides; unset = the bench's own defaults.
+  std::optional<std::size_t> trials;
+  std::optional<std::uint64_t> seed;
 
   bool want_json() const { return !json_path.empty(); }
+  std::size_t runs_or(std::size_t fallback) const {
+    return trials ? *trials : fallback;
+  }
+  std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed ? *seed : fallback;
+  }
 };
 
-/// Parses `--json <path>` / `--help`; exits on usage errors, so benches can
-/// call it first thing in main().
-inline BenchCli parse_cli(int argc, char** argv) {
+/// Parses the shared bench options — `--json <path>`, `--trials N`,
+/// `--seed S`, `--help` — and exits on usage errors, so benches can call it
+/// first thing in main(). With `passthrough` non-null, unrecognized
+/// arguments are collected there (argv[0] first) instead of rejected — for
+/// benches that forward the rest to another parser (bench_micro ->
+/// google-benchmark).
+inline BenchCli parse_cli(int argc, char** argv,
+                          std::vector<char*>* passthrough = nullptr) {
   BenchCli cli;
+  if (passthrough != nullptr) passthrough->push_back(argv[0]);
+  const auto value_arg = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const auto number_arg = [&](int& i, const char* flag) -> long long {
+    const char* text = value_arg(i, flag);
+    try {
+      std::size_t used = 0;
+      const long long parsed = std::stoll(text, &used);
+      if (used != std::string{text}.size()) throw std::invalid_argument{text};
+      return parsed;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "%s: %s needs a number, got '%s'\n", argv[0], flag,
+                   text);
+      std::exit(2);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
+      cli.json_path = value_arg(i, "--json");
+    } else if (arg == "--trials") {
+      const long long v = number_arg(i, "--trials");
+      if (v < 1) {
+        std::fprintf(stderr, "%s: --trials must be >= 1\n", argv[0]);
         std::exit(2);
       }
-      cli.json_path = argv[++i];
+      cli.trials = static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      cli.seed = static_cast<std::uint64_t>(number_arg(i, "--seed"));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--json <path>]\n\n"
+          "usage: %s [--json <path>] [--trials N] [--seed S]\n\n"
           "Runs the bench and prints boxplot rows to stdout. With --json it\n"
           "additionally writes a schema-stable bgpsdn.bench/1 JSON document\n"
-          "(everything but the wall-clock footer is deterministic per seed).\n",
+          "(everything but the wall-clock footer is deterministic per seed).\n"
+          "--trials and --seed override the bench's run count and base seed\n"
+          "(BGPSDN_QUICK=1 is the 3-run smoke default).\n",
           argv[0]);
       std::exit(0);
+    } else if (passthrough != nullptr) {
+      passthrough->push_back(argv[i]);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0],
                    arg.c_str());
@@ -70,98 +114,28 @@ inline void finish_report(const framework::BenchReport& report,
 }
 
 /// Sums every telemetry counter of a finished experiment into `out` —
-/// the "key counters" block of the JSON reports.
-inline void accumulate_counters(framework::Experiment& exp,
-                                std::map<std::string, std::int64_t>& out) {
-  telemetry::Json snap = exp.telemetry().metrics().snapshot();
-  for (const auto& [name, value] : snap["counters"].entries()) {
-    out[name] += value.as_int();
-  }
-}
+/// the "key counters" block of the JSON reports (framework helper,
+/// re-exported for the benches).
+using framework::accumulate_counters;
 
-/// Scenario injected after the network converged; returns the virtual time
-/// of injection.
-enum class Event { kWithdrawal, kFailover, kAnnouncement };
+/// Shorthands: the benches sweep EventKind cells over clique topologies.
+using framework::EventKind;
 
-inline const char* to_string(Event e) {
-  switch (e) {
-    case Event::kWithdrawal: return "withdrawal";
-    case Event::kFailover: return "failover";
-    case Event::kAnnouncement: return "announcement";
-  }
-  return "?";
-}
-
-struct ScenarioParams {
-  std::size_t clique_size{16};
-  std::size_t sdn_count{0};
-  Event event{Event::kWithdrawal};
-  framework::ExperimentConfig config{};
-};
-
-/// One trial: build the hybrid clique (AS 1 is always legacy; members are
-/// taken from the top AS numbers), converge, inject the event, and return
-/// the convergence time in seconds.
-///
-/// Scenario shapes:
-///  * kWithdrawal — AS 1 originates 10.0.0.0/16 and withdraws it; the
-///    classic Tdown path-hunting experiment (paper Fig. 2).
-///  * kFailover — a dual-homed stub (AS 100) originates the prefix with a
-///    primary link to AS 1 and a backup path via AS 101 -> the highest
-///    clique AS; the primary link fails (Tlong: hunt to a valid, longer
-///    backup).
-///  * kAnnouncement — after convergence AS 1 announces a fresh prefix
-///    (Tup: a single propagation wave, no hunting).
-inline double run_convergence_trial(
-    const ScenarioParams& params, std::uint64_t seed,
-    std::map<std::string, std::int64_t>* counters_out = nullptr) {
-  framework::ExperimentConfig cfg = params.config;
-  cfg.seed = seed;
-  auto spec = topology::clique(params.clique_size);
-  const core::AsNumber stub{100}, mid{101};
-  const core::AsNumber primary{1};
-  const core::AsNumber backup_attach{
-      static_cast<std::uint32_t>(params.clique_size)};
-  if (params.event == Event::kFailover) {
-    spec.add_as(stub);
-    spec.add_as(mid);
-    spec.add_link(stub, primary);
-    spec.add_link(stub, mid);
-    spec.add_link(mid, backup_attach);
-  }
-  std::set<core::AsNumber> members;
-  for (std::size_t i = 0; i < params.sdn_count; ++i) {
-    members.insert(core::AsNumber{
-        static_cast<std::uint32_t>(params.clique_size - i)});
-  }
-  framework::Experiment exp{spec, members, cfg};
-  const core::AsNumber origin =
-      params.event == Event::kFailover ? stub : primary;
-  const auto pfx = *net::Prefix::parse("10.0.0.0/16");
-  exp.announce_prefix(origin, pfx);
-  if (!exp.start()) {
-    std::fprintf(stderr, "trial failed to start (seed %llu)\n",
-                 static_cast<unsigned long long>(seed));
-    return -1.0;
-  }
-
-  const auto t0 = exp.loop().now();
-  switch (params.event) {
-    case Event::kWithdrawal:
-      exp.withdraw_prefix(origin, pfx);
-      break;
-    case Event::kFailover:
-      exp.fail_link(stub, primary);
-      break;
-    case Event::kAnnouncement:
-      exp.announce_prefix(origin, *net::Prefix::parse("10.200.0.0/16"));
-      break;
-  }
-  const auto quiet = cfg.timers.mrai * 2 + core::Duration::seconds(1);
-  const auto conv = exp.wait_converged(
-      framework::WaitOpts{quiet, core::Duration::seconds(3600)});
-  if (counters_out != nullptr) accumulate_counters(exp, *counters_out);
-  return conv.since(t0).to_seconds();
+/// The base spec every SDN-fraction sweep cell derives from: a hybrid
+/// clique (AS 1 is always legacy; members come from the top AS numbers)
+/// where the event is injected after convergence. See EventKind for the
+/// scenario shapes (kWithdrawal = paper Fig. 2, kFailover = Tlong,
+/// kAnnouncement = Tup).
+inline framework::ExperimentSpec sweep_base_spec(
+    EventKind event, std::size_t clique_size, std::size_t runs,
+    const framework::ExperimentConfig& base_config, std::uint64_t base_seed) {
+  return framework::ExperimentSpecBuilder{}
+      .topology(framework::TopologyModel::kClique, clique_size)
+      .event(event)
+      .config(base_config)
+      .trials(runs)
+      .base_seed(base_seed)
+      .build();
 }
 
 /// Footer every bench prints after a parallel sweep: real wall time, the
@@ -227,39 +201,40 @@ inline void print_parallel_footer(const GridTiming& timing) {
 /// across both fractions and seeds (BGPSDN_JOBS workers); rows keep the
 /// exact serial-run values, plus each row's serial-equivalent seconds and
 /// effective trials/sec.
-inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs,
+inline void run_sdn_sweep(EventKind event, std::size_t clique_size,
+                          std::size_t runs,
                           const framework::ExperimentConfig& base_config,
-                          framework::BenchReport* report = nullptr) {
-  constexpr std::uint64_t kBaseSeed = 1000;
+                          framework::BenchReport* report = nullptr,
+                          std::uint64_t base_seed = 1000) {
   std::printf("# %s convergence time [s] on a %zu-AS clique vs SDN fraction\n",
-              to_string(event), clique_size);
+              framework::to_string(event), clique_size);
   std::printf("# boxplots over %zu runs (paper: %s)\n", runs,
-              event == Event::kWithdrawal
+              event == EventKind::kWithdrawal
                   ? "Fig. 2"
                   : "SS4 prose result, smaller reductions than Fig. 2");
   std::printf("%s\ttrial_s\ttrials_per_s\n",
               framework::boxplot_header("sdn_frac").c_str());
+  const framework::ExperimentSpec base =
+      sweep_base_spec(event, clique_size, runs, base_config, base_seed);
   // Per-task counter snapshots land in index-addressed slots and are summed
   // in task order after the sweep — deterministic at any job count.
   std::vector<std::map<std::string, std::int64_t>> task_counters(
       report != nullptr ? clique_size * runs : 0);
-  framework::ParamSweepRunner runner{runs, kBaseSeed};
+  framework::ParamSweepRunner runner{runs, base_seed};
   const auto sweep = runner.run(clique_size,
                                 [&](std::size_t k, std::uint64_t seed) {
-    ScenarioParams params;
-    params.clique_size = clique_size;
-    params.sdn_count = k;
-    params.event = event;
-    params.config = base_config;
+    framework::ExperimentSpec cell = base;
+    cell.sdn_count = k;
     auto* counters =
         report != nullptr
-            ? &task_counters[k * runs + static_cast<std::size_t>(seed - kBaseSeed)]
+            ? &task_counters[k * runs +
+                             static_cast<std::size_t>(seed - base_seed)]
             : nullptr;
-    return run_convergence_trial(params, seed, counters);
+    return cell.run_trial(seed, counters);
   });
   for (std::size_t k = 0; k < clique_size; ++k) {
     const auto& row = sweep.points[k];
-    char label[32];
+    char label[48];
     std::snprintf(label, sizeof label, "%zu/%zu", k, clique_size);
     std::printf("%s\t%.2f\t%.2f\n",
                 framework::boxplot_row(label, row.summary).c_str(),
@@ -268,7 +243,8 @@ inline void run_sdn_sweep(Event event, std::size_t clique_size, std::size_t runs
   }
   print_parallel_footer(sweep);
   if (report != nullptr) {
-    report->set_param("event", telemetry::Json{std::string{to_string(event)}});
+    report->set_param("event",
+                      telemetry::Json{std::string{framework::to_string(event)}});
     report->set_param("clique_size",
                       telemetry::Json{static_cast<std::int64_t>(clique_size)});
     report->set_param("runs", telemetry::Json{static_cast<std::int64_t>(runs)});

@@ -323,12 +323,11 @@ void BM_WithdrawalConvergenceWallTime(benchmark::State& state) {
   // Wall-clock cost of one full Fig.-2 data point (virtual minutes of BGP
   // hunting) — the "rapid prototyping" claim in one number.
   for (auto _ : state) {
-    bench::ScenarioParams params;
-    params.clique_size = 16;
-    params.sdn_count = static_cast<std::size_t>(state.range(0));
-    params.event = bench::Event::kWithdrawal;
-    params.config = bench::paper_config();
-    benchmark::DoNotOptimize(bench::run_convergence_trial(params, 1234));
+    framework::ExperimentSpec cell =
+        bench::sweep_base_spec(bench::EventKind::kWithdrawal, 16, 1,
+                               bench::paper_config(), 1234);
+    cell.sdn_count = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(cell.run_trial(1234));
   }
 }
 BENCHMARK(BM_WithdrawalConvergenceWallTime)->Arg(0)->Arg(8)
@@ -356,17 +355,11 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --json before google-benchmark sees the arguments.
-  std::string json_path;
+  // Peel off the shared bench options (--json and friends) before
+  // google-benchmark sees the arguments.
   std::vector<char*> bench_argv;
-  bench_argv.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    if (std::string{argv[i]} == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      bench_argv.push_back(argv[i]);
-    }
-  }
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, &bench_argv);
+  const std::string json_path = cli.json_path;
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {

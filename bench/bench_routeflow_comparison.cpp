@@ -45,7 +45,7 @@ double run_one(framework::ControllerStyle style, std::size_t sdn_count,
 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  const std::size_t runs = bench::default_runs();
+  const std::size_t runs = cli.runs_or(bench::default_runs());
   std::printf("# withdrawal convergence [s] on a 16-AS clique: IDR controller "
               "vs RouteFlow-style mirror\n");
   std::printf("# medians over %zu runs, paper-faithful timers\n", runs);

@@ -73,7 +73,7 @@ Result run(bool bridging, std::size_t members_n, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  const std::size_t runs = bench::default_runs();
+  const std::size_t runs = cli.runs_or(bench::default_runs());
   std::printf(
       "# sub-cluster bridging: interleaved line 1-[2]-3-[4]-..., origin at "
       "AS1\n");

@@ -84,6 +84,38 @@ sed 's/^spt incremental/spt reference/' scenarios/churn.bgpsdn \
 diff build/json/churn_incremental.out build/json/churn_reference.out \
   || { echo "churn scenario diverges between SPT engines" >&2; exit 1; }
 
+# Matrix-runner job: every shipped .matrix file must expand, and the smoke
+# matrix (2x2x2 on a 5-AS clique) must emit byte-identical summary JSON at
+# BGPSDN_JOBS=1 and 4 (footer excluded) — the determinism guard on the
+# ExperimentSpec/MatrixSpec path. --filter subsetting rides along.
+echo "===== scenarios/smoke.matrix (bgpsdn_matrix, jobs=1 vs 4)"
+for m in scenarios/*.matrix; do
+  ./build/tools/bgpsdn_matrix --list "$m" > /dev/null
+done
+BGPSDN_QUICK=1 BGPSDN_JOBS=1 ./build/tools/bgpsdn_matrix \
+  --json build/json/matrix_j1.json scenarios/smoke.matrix > /dev/null
+BGPSDN_QUICK=1 BGPSDN_JOBS=4 ./build/tools/bgpsdn_matrix \
+  --json build/json/matrix_j4.json scenarios/smoke.matrix > /dev/null
+BGPSDN_QUICK=1 BGPSDN_JOBS=4 ./build/tools/bgpsdn_matrix \
+  --filter event=withdrawal --json build/json/matrix_filtered.json \
+  scenarios/smoke.matrix > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+docs = []
+for jobs in (1, 4):
+    with open(f"build/json/matrix_j{jobs}.json") as f:
+        doc = json.load(f)
+    doc.pop("footer", None)  # wall-clock + jobs count legitimately differ
+    docs.append(json.dumps(doc, sort_keys=True))
+if docs[0] != docs[1]:
+    sys.exit("matrix: summary JSON differs between BGPSDN_JOBS=1 and 4")
+print("matrix: byte-identical across jobs counts (footer excluded)")
+EOF
+else
+  echo "WARNING: python3 not found; skipping matrix determinism diff" >&2
+fi
+
 # JSON-output job: every --json emitter must produce a document that still
 # matches the frozen bgpsdn.bench/1 schema. Validated with the stdlib-only
 # python checker; falls back to a structural jq check; warns when neither
@@ -104,11 +136,13 @@ BGPSDN_QUICK=1 BGPSDN_JOBS="$(nproc)" \
 if command -v python3 > /dev/null 2>&1; then
   python3 scripts/validate_bench_json.py \
     build/json/fig2.json build/json/chaos.json build/json/ablation.json \
-    build/json/run_single.json build/json/run_trials.json
+    build/json/run_single.json build/json/run_trials.json \
+    build/json/matrix_j1.json build/json/matrix_filtered.json
 elif command -v jq > /dev/null 2>&1; then
   for j in build/json/fig2.json build/json/chaos.json \
            build/json/run_single.json \
-           build/json/run_trials.json; do
+           build/json/run_trials.json \
+           build/json/matrix_j1.json; do
     jq -e '.schema == "bgpsdn.bench/1"
            and (.bench | type == "string")
            and (.params | type == "object")

@@ -54,6 +54,13 @@ ABLATION_CHURN_EXTRAS = (
 )
 
 
+# bgpsdn_matrix documents describe the expanded cross product: the declared
+# axes (object of value-string arrays), and on every point the cell's
+# coordinates, which must name exactly the declared axes with declared
+# values. "filters" appears only when --filter subset the product.
+MATRIX_PARAMS = {"matrix", "file", "trials", "base_seed", "axes"}
+
+
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
     sys.exit(1)
@@ -120,6 +127,8 @@ def validate(path):
         validate_chaos(path, doc)
     if doc["bench"] == "ablation_recompute":
         validate_ablation_recompute(path, doc)
+    if doc["bench"] == "bgpsdn_matrix":
+        validate_matrix(path, doc)
 
     print(f"{path}: ok ({doc['bench']}, {len(doc['points'])} points)")
 
@@ -183,6 +192,60 @@ def validate_ablation_recompute(path, doc):
             f"churn{top}: incremental settles {inc_settles} not 5x below "
             f"reference {ref_settles}",
         )
+
+
+def validate_matrix(path, doc):
+    params = doc["params"]
+    missing = MATRIX_PARAMS - set(params)
+    if missing:
+        fail(path, f"bgpsdn_matrix params missing {sorted(missing)}")
+    if not isinstance(params["trials"], int) or params["trials"] < 1:
+        fail(path, "bgpsdn_matrix params.trials must be a positive integer")
+    axes = params["axes"]
+    if not isinstance(axes, dict) or not axes:
+        fail(path, "bgpsdn_matrix params.axes must be a non-empty object")
+    for name, values in axes.items():
+        if (
+            not isinstance(values, list)
+            or not values
+            or any(not isinstance(v, str) for v in values)
+        ):
+            fail(path, f"axis {name!r} must list at least one string value")
+    filters = params.get("filters")
+    if filters is not None and (
+        not isinstance(filters, list)
+        or any(not isinstance(f, str) or "=" not in f for f in filters)
+    ):
+        fail(path, "bgpsdn_matrix params.filters must be 'axis=value' strings")
+
+    product = 1
+    for values in axes.values():
+        product *= len(values)
+    cells = len(doc["points"])
+    if filters is None and cells != product:
+        fail(path, f"{cells} cells but the axes declare a {product}-cell product")
+    if filters is not None and not 1 <= cells <= product:
+        fail(path, f"{cells} filtered cells outside [1, {product}]")
+
+    labels = set()
+    for i, point in enumerate(doc["points"]):
+        where = f"points[{i}] ({point['label']!r})"
+        if point["label"] in labels:
+            fail(path, f"{where}: duplicate cell label")
+        labels.add(point["label"])
+        if point["n"] != params["trials"]:
+            fail(path, f"{where}: n={point['n']} != trials={params['trials']}")
+        coords = point["extra"].get("coords")
+        if not isinstance(coords, dict):
+            fail(path, f"{where}.extra.coords must be an object")
+        if set(coords) != set(axes):
+            fail(
+                path,
+                f"{where}: coords name {sorted(coords)}, axes are {sorted(axes)}",
+            )
+        for name, value in coords.items():
+            if value not in axes[name]:
+                fail(path, f"{where}: coord {name}={value!r} not a declared value")
 
 
 def main():

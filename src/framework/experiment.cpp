@@ -408,11 +408,6 @@ ConvergenceResult Experiment::wait_converged(const WaitOpts& opts) {
   return result;
 }
 
-core::TimePoint Experiment::wait_converged(core::Duration quiet,
-                                           core::Duration timeout) {
-  return wait_converged(WaitOpts{quiet, timeout}).instant;
-}
-
 telemetry::Json Experiment::monitors_snapshot() const {
   telemetry::Json arr = telemetry::Json::array();
   for (const auto& m : monitors_) {

@@ -150,14 +150,6 @@ class Experiment {
   /// applied — no side-channel queries needed.
   ConvergenceResult wait_converged(const WaitOpts& opts = {});
 
-  /// Positional-durations form. Prefer wait_converged(WaitOpts{...}).
-  [[deprecated("use wait_converged(WaitOpts{.quiet, .timeout})")]]
-  core::TimePoint wait_converged(core::Duration quiet, core::Duration timeout);
-  /// Side-channel for the deprecated overload; the structured result
-  /// carries `timed_out` directly.
-  [[deprecated("read ConvergenceResult::timed_out instead")]]
-  bool last_wait_timed_out() const { return detector_->timed_out(); }
-
   // --- monitors ------------------------------------------------------------
 
   /// Construct a Monitor owned by this experiment. Monitors that declare an
@@ -238,9 +230,6 @@ class Experiment {
   /// The network's telemetry hub (metrics always collect; attach a
   /// TelemetryMonitor to capture traces).
   telemetry::Telemetry& telemetry() { return net_.telemetry(); }
-  /// Prefer monitor<ConvergenceDetector>().
-  [[deprecated("use monitor<ConvergenceDetector>()")]]
-  ConvergenceDetector& detector() { return *detector_; }
   const topology::TopologySpec& spec() const { return spec_; }
   net::Prefix as_prefix(core::AsNumber as) { return alloc_.as_prefix(as); }
   const std::set<core::AsNumber>& members() const { return members_; }

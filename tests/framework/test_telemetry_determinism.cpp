@@ -203,21 +203,22 @@ TEST(WaitApi, ResultCarriesTimeoutAndQuietWindow) {
                 core::Duration::seconds(1));
 }
 
-TEST(WaitApi, DeprecatedShimsStillWork) {
+TEST(WaitApi, StructuredResultAndTypedMonitorRetrieval) {
+  // The replacement surface for the removed PR-2 shims: the structured
+  // ConvergenceResult carries instant + timed_out, and the built-in
+  // detector is reachable via the typed monitor<T>() accessor.
   const auto spec = topology::clique(4);
   Experiment exp{spec, {}, fast_config(13)};
   const auto pfx = *net::Prefix::parse("10.0.0.0/16");
   exp.announce_prefix(core::AsNumber{1}, pfx);
   ASSERT_TRUE(exp.start());
   exp.withdraw_prefix(core::AsNumber{1}, pfx);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const core::TimePoint conv = exp.wait_converged(
-      core::Duration::seconds(2), core::Duration::seconds(600));
-  EXPECT_FALSE(exp.last_wait_timed_out());
-  EXPECT_GT(conv.nanos_since_origin(), 0);
-  EXPECT_EQ(&exp.detector(), exp.monitor<ConvergenceDetector>());
-#pragma GCC diagnostic pop
+  const ConvergenceResult conv = exp.wait_converged(
+      WaitOpts{core::Duration::seconds(2), core::Duration::seconds(600)});
+  EXPECT_FALSE(conv.timed_out);
+  EXPECT_GT(conv.instant.nanos_since_origin(), 0);
+  ASSERT_NE(exp.monitor<ConvergenceDetector>(), nullptr);
+  EXPECT_EQ(exp.monitor<ConvergenceDetector>()->kind(), "convergence");
 }
 
 }  // namespace

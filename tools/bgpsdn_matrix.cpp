@@ -1,0 +1,260 @@
+// bgpsdn_matrix — run a scenario matrix (.matrix file) through the trial pool.
+//
+//   $ bgpsdn_matrix scenarios/fig2.matrix
+//   $ bgpsdn_matrix --filter event=withdrawal --trials 3 scenarios/fig2.matrix
+//   $ bgpsdn_matrix --list scenarios/fig2.matrix       # print cells, run none
+//
+// The file declares fixed settings plus per-axis value lists (see
+// src/framework/matrix.hpp for the format); the cross product of cells runs
+// as seeded trials on BGPSDN_JOBS (or --jobs) workers. Rows and the --json
+// document are byte-identical at any job count (only the wall-clock footer
+// varies). BGPSDN_QUICK=1 caps trials at 3, matching the benches.
+//
+// Exit code 0 when every trial converged; 1 when any trial failed to start
+// or timed out.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "framework/matrix.hpp"
+#include "framework/report.hpp"
+#include "framework/stats.hpp"
+#include "framework/trial.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--trials N] [--seed S] [--jobs J] [--json PATH]\n"
+         "       [--filter axis=value]... [--list] <matrix-file | ->\n"
+         "  --trials N   override the file's trial count\n"
+         "  --seed S     override the file's base seed\n"
+         "  --filter     keep only cells whose axis coordinate matches;\n"
+         "               repeatable, filters compose (AND)\n"
+         "  --list       print the expanded cell labels and exit\n"
+         "  --json PATH  write a bgpsdn.bench/1 document with per-cell\n"
+         "               boxplot stats, coordinates and telemetry counters\n"
+         "BGPSDN_QUICK=1 caps trials at 3 for smoke runs.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::size_t> trials_override;
+  std::optional<std::uint64_t> seed_override;
+  std::size_t jobs = 0;  // 0 = BGPSDN_JOBS / hardware_concurrency
+  std::string json_path;
+  std::vector<std::pair<std::string, std::string>> filters;
+  bool list_only = false;
+  std::string input;
+  bool have_input = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    const auto number_arg = [&](const char* flag) -> long long {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      try {
+        std::size_t used = 0;
+        const std::string value{argv[++i]};
+        const long long parsed = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument{value};
+        return parsed;
+      } catch (const std::exception&) {
+        std::cerr << flag << " needs a number, got '" << argv[i] << "'\n";
+        std::exit(2);
+      }
+    };
+    if (arg == "--trials") {
+      const auto v = number_arg("--trials");
+      if (v < 1) {
+        std::cerr << "--trials must be >= 1\n";
+        return 2;
+      }
+      trials_override = static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      seed_override = static_cast<std::uint64_t>(number_arg("--seed"));
+    } else if (arg == "--jobs") {
+      const auto v = number_arg("--jobs");
+      if (v < 1) {
+        std::cerr << "--jobs must be >= 1\n";
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(v);
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json needs a path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (arg == "--filter") {
+      if (i + 1 >= argc) {
+        std::cerr << "--filter needs axis=value\n";
+        return 2;
+      }
+      const std::string value{argv[++i]};
+      const auto eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        std::cerr << "--filter wants axis=value, got '" << value << "'\n";
+        return 2;
+      }
+      filters.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!have_input) {
+      input = arg;
+      have_input = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!have_input) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string text;
+  if (input == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream file{input};
+    if (!file) {
+      std::cerr << "cannot open " << input << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+
+  namespace fw = bgpsdn::framework;
+  fw::MatrixSpec matrix;
+  std::vector<fw::MatrixCell> cells;
+  try {
+    matrix = fw::MatrixSpec::parse(text);
+    if (trials_override) matrix.trials = *trials_override;
+    if (seed_override) matrix.base_seed = *seed_override;
+    const char* quick = std::getenv("BGPSDN_QUICK");
+    if (quick != nullptr && quick[0] == '1' && matrix.trials > 3) {
+      matrix.trials = 3;
+    }
+    cells = matrix.expand();
+    for (const auto& [axis, value] : filters) {
+      cells = matrix.filter(std::move(cells), axis, value);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << input << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  if (list_only) {
+    for (const auto& cell : cells) std::printf("%s\n", cell.label.c_str());
+    return 0;
+  }
+
+  // lint: wall-clock-ok(wall/serial-equivalent/speedup footer only; trial
+  // measurements run on virtual time and the determinism diff excludes the
+  // footer)
+  if (jobs == 0) jobs = fw::default_jobs();
+  std::printf("# matrix %s: %zu cells x %zu trials (seeds %llu..%llu)\n",
+              matrix.name.c_str(), cells.size(), matrix.trials,
+              static_cast<unsigned long long>(matrix.base_seed),
+              static_cast<unsigned long long>(matrix.base_seed +
+                                              matrix.trials - 1));
+  std::printf("%s\ttrial_s\ttrials_per_s\n",
+              fw::boxplot_header("cell").c_str());
+
+  // Per-task counter snapshots land in index-addressed slots and are summed
+  // in task order after the sweep — deterministic at any job count.
+  std::vector<std::map<std::string, std::int64_t>> task_counters(
+      json_path.empty() ? 0 : cells.size() * matrix.trials);
+  fw::ParamSweepRunner runner{matrix.trials, matrix.base_seed, jobs};
+  const auto sweep =
+      runner.run(cells.size(), [&](std::size_t cell, std::uint64_t seed) {
+        auto* counters =
+            json_path.empty()
+                ? nullptr
+                : &task_counters[cell * matrix.trials +
+                                 static_cast<std::size_t>(seed -
+                                                          matrix.base_seed)];
+        return cells[cell].spec.run_trial(seed, counters);
+      });
+
+  bool all_ok = true;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& row = sweep.points[c];
+    for (const double v : row.values) all_ok &= v >= 0.0;
+    std::printf("%s\t%.2f\t%.2f\n",
+                fw::boxplot_row(cells[c].label, row.summary).c_str(),
+                row.trial_seconds, row.trials_per_second());
+  }
+  std::printf(
+      "# sweep: %zu trials, jobs=%zu, wall %.2f s, serial-equivalent %.2f s, "
+      "speedup %.2fx, %.2f trials/s\n",
+      sweep.trials, sweep.jobs, sweep.wall_seconds, sweep.trial_seconds,
+      sweep.speedup(), sweep.trials_per_second());
+
+  if (!json_path.empty()) {
+    namespace tel = bgpsdn::telemetry;
+    fw::BenchReport report{"bgpsdn_matrix"};
+    report.set_param("matrix", tel::Json{matrix.name});
+    report.set_param("file", tel::Json{input});
+    report.set_param("trials",
+                     tel::Json{static_cast<std::int64_t>(matrix.trials)});
+    report.set_param("base_seed",
+                     tel::Json{static_cast<std::int64_t>(matrix.base_seed)});
+    tel::Json axes = tel::Json::object();
+    for (const auto& axis : matrix.axes) {
+      tel::Json values = tel::Json::array();
+      for (const auto& v : axis.values) values.push_back(tel::Json{v});
+      axes[axis.name] = std::move(values);
+    }
+    report.set_param("axes", std::move(axes));
+    if (!filters.empty()) {
+      tel::Json applied = tel::Json::array();
+      for (const auto& [axis, value] : filters) {
+        applied.push_back(tel::Json{axis + "=" + value});
+      }
+      report.set_param("filters", std::move(applied));
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      tel::Json extra = tel::Json::object();
+      tel::Json coords = tel::Json::object();
+      for (const auto& [axis, value] : cells[c].coords) {
+        coords[axis] = tel::Json{value};
+      }
+      extra["coords"] = std::move(coords);
+      report.add_point(cells[c].label, sweep.points[c].summary,
+                       sweep.points[c].values, std::move(extra));
+    }
+    for (const auto& per_task : task_counters) {
+      for (const auto& [name, value] : per_task) {
+        report.add_counter(name, value);
+      }
+    }
+    report.set_footer(static_cast<std::int64_t>(sweep.trials),
+                      static_cast<std::int64_t>(sweep.jobs),
+                      sweep.wall_seconds, sweep.trial_seconds);
+    if (!report.write_file(json_path)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::printf("# json: %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

@@ -16,9 +16,17 @@
 //   ctrl_restart      the controller returns and resyncs from the speaker
 //   speaker_restart   the cluster speaker crashes silently and returns;
 //                     peers rediscover it via hold-timer expiry
+//   ha_failover_rN    replication-factor sweep (N = 1..5): the serving
+//                     controller replica crashes at the same instant a
+//                     clique link fails. r1 is the single-controller
+//                     baseline (full degradation to distributed BGP);
+//                     r>=2 elects a hot standby, which replays the
+//                     unacknowledged delta suffix and reprograms — the
+//                     failover hiccup the HA layer exists to shrink.
 //
 // Fast timers (MRAI 0.3 s, hold 6 s, recompute 100 ms) keep the virtual
 // clock short; recovery is probed every 100 ms and censored at 60 s.
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -43,7 +51,14 @@ struct Row {
   bool pre_degrade;
   /// FaultPlan armed at t0 — the disruption being measured.
   const char* plan;
+  /// Controller replication factor (1 = the single-controller baseline).
+  std::size_t replicas{1};
 };
+
+// The HA rows crash the serving replica (id 0) and fail a clique link in
+// the same instant, so recovery needs a live controller to reprogram the
+// member flow tables around the failure.
+constexpr const char* kHaPlan = "at 0 controller-crash 0\nat 0 link-down 1 10";
 
 constexpr Row kRows[] = {
     {"bgp_linkfail", false, false, "at 0 link-down 1 10"},
@@ -53,6 +68,18 @@ constexpr Row kRows[] = {
     {"ctrl_restart", true, true, "at 0 controller-restart"},
     {"speaker_restart", true, false,
      "at 0 speaker-crash\nat 8 speaker-restart"},
+    {"ha_failover_r1", true, false, kHaPlan, 1},
+    {"ha_failover_r2", true, false, kHaPlan, 2},
+    {"ha_failover_r3", true, false, kHaPlan, 3},
+    {"ha_failover_r4", true, false, kHaPlan, 4},
+    {"ha_failover_r5", true, false, kHaPlan, 5},
+};
+
+/// Per-trial HA failover observables, medians of which go into the row's
+/// extra block. Zero for non-HA rows.
+struct HaStats {
+  double flow_mods_replayed{0.0};
+  double election_latency_s{0.0};
 };
 
 framework::ExperimentConfig fast_config(std::uint64_t seed) {
@@ -76,8 +103,10 @@ bool all_reach(framework::Experiment& exp, net::Ipv4Addr host) {
 /// Virtual seconds from arming the row's plan until every AS reaches the
 /// host again (100 ms probe; kTimeoutS when censored). -1 on setup failure.
 double run_row(const Row& row, std::uint64_t seed,
-               std::map<std::string, std::int64_t>* counters) {
+               std::map<std::string, std::int64_t>* counters,
+               HaStats* ha_stats) {
   auto cfg = fast_config(seed);
+  cfg.controller_replicas = row.replicas;
   const auto spec = topology::clique(kCliqueSize);
   std::set<core::AsNumber> members;
   if (row.with_members) {
@@ -108,8 +137,23 @@ double run_row(const Row& row, std::uint64_t seed,
   exp.attach_monitor<framework::FaultInjector>(
       framework::FaultPlan::parse(row.plan));
   const double recovery = probe_until_reach();
+  if (ha_stats != nullptr && exp.replica_set() != nullptr) {
+    const auto& rc = exp.replica_set()->counters();
+    ha_stats->flow_mods_replayed =
+        static_cast<double>(rc.flow_mods_replayed);
+    ha_stats->election_latency_s =
+        exp.replica_set()->last_election_latency().to_seconds();
+  }
   if (counters != nullptr) bench::accumulate_counters(exp, *counters);
   return recovery;
+}
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
 }
 
 }  // namespace
@@ -127,12 +171,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::map<std::string, std::int64_t>> task_counters(
       cli.want_json() ? points * runs : 0);
+  std::vector<HaStats> ha_stats(points * runs);
   std::vector<double> results;
   const auto timing = bench::run_trial_grid(
       points, runs, results, [&](std::size_t point, std::size_t run) {
         auto* counters =
             cli.want_json() ? &task_counters[point * runs + run] : nullptr;
-        return run_row(kRows[point], kBaseSeed + run, counters);
+        return run_row(kRows[point], kBaseSeed + run, counters,
+                       &ha_stats[point * runs + run]);
       });
 
   framework::BenchReport report{"bench_chaos"};
@@ -144,6 +190,14 @@ int main(int argc, char** argv) {
                 framework::boxplot_row(kRows[p].label, summary).c_str());
     telemetry::Json extra = telemetry::Json::object();
     extra["fault"] = std::string{kRows[p].plan};
+    extra["replicas"] = static_cast<std::int64_t>(kRows[p].replicas);
+    std::vector<double> replayed, latency;
+    for (std::size_t r = 0; r < runs; ++r) {
+      replayed.push_back(ha_stats[p * runs + r].flow_mods_replayed);
+      latency.push_back(ha_stats[p * runs + r].election_latency_s);
+    }
+    extra["flow_mods_replayed_median"] = median_of(std::move(replayed));
+    extra["election_latency_s_median"] = median_of(std::move(latency));
     report.add_point(kRows[p].label, summary, values, std::move(extra));
   }
   bench::print_parallel_footer(timing);

@@ -71,6 +71,9 @@ done
 echo "===== scenarios/chaos_recovery.bgpsdn --faults scenarios/chaos.plan"
 ./build/tools/bgpsdn_run --faults scenarios/chaos.plan \
   scenarios/chaos_recovery.bgpsdn > /dev/null
+echo "===== scenarios/ha_chaos.bgpsdn --faults scenarios/ha_chaos.plan"
+./build/tools/bgpsdn_run --faults scenarios/ha_chaos.plan \
+  scenarios/ha_chaos.bgpsdn > /dev/null
 # The churn scenario's link-flap train, with both recomputation engines:
 # the printed output (routes, reachability, traces) must be byte-identical.
 echo "===== scenarios/churn.bgpsdn --faults scenarios/churn.plan (both engines)"
@@ -83,6 +86,32 @@ sed 's/^spt incremental/spt reference/' scenarios/churn.bgpsdn \
   build/json/churn_reference.bgpsdn > build/json/churn_reference.out
 diff build/json/churn_incremental.out build/json/churn_reference.out \
   || { echo "churn scenario diverges between SPT engines" >&2; exit 1; }
+
+# HA chaos job: the replicated-controller scenario (elections, partition
+# deposal, full degradation + recovery) must emit byte-identical trial JSON
+# at BGPSDN_JOBS=1 and 4 — the determinism guard on the replica set's
+# private rng fork, election jitter, and replication-channel timers.
+echo "===== scenarios/ha_chaos.bgpsdn (jobs=1 vs 4)"
+BGPSDN_JOBS=1 ./build/tools/bgpsdn_run --trials 4 \
+  --json build/json/ha_j1.json scenarios/ha_chaos.bgpsdn > /dev/null
+BGPSDN_JOBS=4 ./build/tools/bgpsdn_run --trials 4 \
+  --json build/json/ha_j4.json scenarios/ha_chaos.bgpsdn > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+docs = []
+for jobs in (1, 4):
+    with open(f"build/json/ha_j{jobs}.json") as f:
+        doc = json.load(f)
+    doc.pop("footer", None)  # wall-clock + jobs count legitimately differ
+    docs.append(json.dumps(doc, sort_keys=True))
+if docs[0] != docs[1]:
+    sys.exit("ha_chaos: trial JSON differs between BGPSDN_JOBS=1 and 4")
+print("ha_chaos: byte-identical across jobs counts (footer excluded)")
+EOF
+else
+  echo "WARNING: python3 not found; skipping ha_chaos determinism diff" >&2
+fi
 
 # Matrix-runner job: every shipped .matrix file must expand, and the smoke
 # matrix (2x2x2 on a 5-AS clique) must emit byte-identical summary JSON at
@@ -216,6 +245,13 @@ if command -v python3 > /dev/null 2>&1; then
   #     --json BENCH_baseline_recompute.json
   python3 scripts/compare_bench.py build/json/ablation.json \
     --baseline BENCH_baseline_recompute.json --tolerance 0.01
+  # Failover gate against the committed HA baseline: bench_chaos medians are
+  # virtual time (deterministic), so any drift means an election-timing or
+  # replication change altered recovery behaviour. Refresh after an
+  # intentional change with:
+  #   BGPSDN_QUICK=1 ./build/bench/bench_chaos --json BENCH_baseline_ha.json
+  python3 scripts/compare_bench.py build/json/chaos.json \
+    --baseline BENCH_baseline_ha.json --tolerance 0.01
 else
   echo "WARNING: python3 not found; skipping perf gate" >&2
 fi
@@ -233,9 +269,14 @@ cmake -B build-asan "${GENERATOR[@]}" \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "$(nproc)" \
-  --target test_framework test_bgp test_net test_core
+  --target test_framework test_bgp test_net test_core test_controller bgpsdn_run
 ./build-asan/tests/test_framework \
   --gtest_filter='FaultPlanParse.*:FaultInjector.*:FaultDsl.*:FaultDeterminism.*:CrashRecovery.*'
+./build-asan/tests/test_controller --gtest_filter='ReplicaSet*'
+# The HA chaos scenario + plan under ASan: elections, partition deposal and
+# the degrade/recover hooks all tear subsystems down mid-flight.
+./build-asan/tools/bgpsdn_run --faults scenarios/ha_chaos.plan \
+  scenarios/ha_chaos.bgpsdn > /dev/null
 ./build-asan/tests/test_bgp \
   --gtest_filter='*CodecFuzz*:*LiveSessionFuzz*:AttrIntern.*:EncodeShared.*'
 ./build-asan/tests/test_net \
@@ -251,9 +292,11 @@ cmake -B build-tsan "${GENERATOR[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "$(nproc)" --target test_framework test_core
+cmake --build build-tsan -j "$(nproc)" \
+  --target test_framework test_core test_controller
 ./build-tsan/tests/test_framework \
   --gtest_filter='Determinism.*:FaultDeterminism.*:TrialRunnerParallel.*:ParamSweepRunnerParallel.*:ParallelForIndex.*:DefaultJobs.*:IncrementalEquivalence.ByteIdenticalAcrossJobCounts'
 ./build-tsan/tests/test_core --gtest_filter='EventLoop.*'
+./build-tsan/tests/test_controller --gtest_filter='ReplicaSetDeterminism.*'
 
 echo "ALL CHECKS PASSED"

@@ -37,7 +37,15 @@ CHAOS_PARAMS = {"clique_size", "members", "runs", "timeout_s"}
 CHAOS_LABELS = {
     "bgp_linkfail", "hybrid_linkfail", "degraded_linkfail", "ctrl_crash",
     "ctrl_restart", "speaker_restart",
+    "ha_failover_r1", "ha_failover_r2", "ha_failover_r3", "ha_failover_r4",
+    "ha_failover_r5",
 }
+# Replication-factor sweep points additionally carry the failover-hiccup
+# observables. r1 is the single-controller baseline (full degradation);
+# r>=2 must beat it, and beat it into the sub-second regime.
+CHAOS_HA_EXTRAS = (
+    "replicas", "flow_mods_replayed_median", "election_latency_s_median",
+)
 
 # ablation_recompute documents carry two sweeps: the recompute-delay sweep
 # (each point reporting the recompute_batch span cost) and the churn
@@ -148,6 +156,34 @@ def validate_chaos(path, doc):
         for v in point["values"]:
             if not 0 <= v <= timeout:
                 fail(path, f"{where}: recovery {v} outside [0, {timeout}]")
+
+    points = {point["label"]: point for point in doc["points"]}
+    for n in range(1, 6):
+        point = points[f"ha_failover_r{n}"]
+        for key in CHAOS_HA_EXTRAS:
+            if not isinstance(point["extra"].get(key), NUMBER):
+                fail(path, f"ha_failover_r{n}.extra.{key} must be a number")
+        if point["extra"]["replicas"] != n:
+            fail(
+                path,
+                f"ha_failover_r{n}.extra.replicas is "
+                f"{point['extra']['replicas']}, want {n}",
+            )
+    baseline = points["ha_failover_r1"]["median"]
+    for n in range(2, 6):
+        median = points[f"ha_failover_r{n}"]["median"]
+        if median >= baseline:
+            fail(
+                path,
+                f"ha_failover_r{n} median {median} not below the "
+                f"single-controller baseline {baseline}",
+            )
+        if median >= 1.0:
+            fail(
+                path,
+                f"ha_failover_r{n} median {median} not sub-second; the "
+                f"standby takeover is not hiding the failover",
+            )
 
 
 def validate_ablation_recompute(path, doc):

@@ -171,6 +171,7 @@ void FallbackRouting::recompute_prefix(const net::Prefix& prefix) {
     mod.match.dst = prefix;
     mod.priority = kDataRulePriority;
     mod.action = action;
+    mod.epoch = programming_epoch_;
     speaker_.send_relay_control(*relay, mod);
     installed[dpid] = action;
     ++counters_.flow_adds;
@@ -184,6 +185,7 @@ void FallbackRouting::recompute_prefix(const net::Prefix& prefix) {
       mod.command = sdn::FlowModCommand::kDelete;
       mod.match.dst = prefix;
       mod.priority = kDataRulePriority;
+      mod.epoch = programming_epoch_;
       speaker_.send_relay_control(*relay, mod);
       ++counters_.flow_deletes;
       if (telemetry_ != nullptr) {

@@ -89,6 +89,12 @@ class FallbackRouting : public speaker::SpeakerListener {
   bool active() const { return active_; }
   const FallbackCounters& counters() const { return counters_; }
 
+  /// Epoch stamped into relay-path FlowMods. Under controller HA the
+  /// degradation itself is a leadership change: the experiment fences the
+  /// fallback above every dead replica so switches that saw HA programming
+  /// still accept the degraded path's rules.
+  void set_programming_epoch(std::uint32_t epoch) { programming_epoch_ = epoch; }
+
   // SpeakerListener
   void on_peer_established(const speaker::Peering& peering) override;
   void on_peer_down(const speaker::Peering& peering,
@@ -123,6 +129,7 @@ class FallbackRouting : public speaker::SpeakerListener {
   std::map<net::Prefix, std::map<sdn::Dpid, sdn::FlowAction>> installed_;
   std::set<net::Prefix> dirty_;
   FallbackCounters counters_;
+  std::uint32_t programming_epoch_{0};
 };
 
 }  // namespace bgpsdn::controller

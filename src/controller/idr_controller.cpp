@@ -52,6 +52,38 @@ void IdrController::on_restart() {
   if (auto* tel = telemetry()) tel->metrics().counter("ctrl.idr.restarts").inc();
 }
 
+// --- controller HA hooks ----------------------------------------------------
+
+void IdrController::reset_for_takeover() {
+  external_routes_.clear();
+  origins_.clear();
+  installed_.clear();
+  decisions_.clear();
+  dirty_.clear();
+  if (decider_ != nullptr) decider_->clear();
+  topology_pending_ = false;
+  recompute_pending_ = false;
+}
+
+void IdrController::adopt_shadow(IdrShadowState&& shadow) {
+  external_routes_ = std::move(shadow.external_routes);
+  origins_ = std::move(shadow.origins);
+  installed_ = std::move(shadow.installed);
+  logger().log(loop().now(), core::LogLevel::kInfo, "idr." + name(),
+               "adopt_shadow",
+               std::to_string(external_routes_.size()) + " rib prefixes, " +
+                   std::to_string(installed_.size()) + " flow prefixes");
+  mark_all_dirty();
+}
+
+IdrShadowState IdrController::export_shadow() const {
+  IdrShadowState out;
+  out.external_routes = external_routes_;
+  out.origins = origins_;
+  out.installed = installed_;
+  return out;
+}
+
 // --- speaker input ----------------------------------------------------------
 
 void IdrController::on_peer_established(const speaker::Peering&) {
@@ -113,6 +145,7 @@ void IdrController::on_packet_in(const sdn::SwitchChannel& channel,
   mod.match.dst = *best_prefix;
   mod.priority = kDataRulePriority;
   mod.action = it->second;
+  mod.epoch = programming_epoch_;
   send_flow_mod(channel.dpid, mod);
   if (it->second.type == sdn::ActionType::kOutput) {
     send_packet_out(channel.dpid, it->second.port, in.packet);
@@ -315,18 +348,22 @@ void IdrController::recompute_prefix(const net::Prefix& prefix) {
     mod.match.dst = prefix;
     mod.priority = kDataRulePriority;
     mod.action = action;
+    mod.epoch = programming_epoch_;
     send_flow_mod(dpid, mod);
     installed[dpid] = action;
     ++idr_counters_.flow_adds;
+    if (flow_observer_) flow_observer_(prefix, dpid, &action);
   }
   for (const auto dpid : delta.removals) {
     sdn::OfFlowMod mod;
     mod.command = sdn::FlowModCommand::kDelete;
     mod.match.dst = prefix;
     mod.priority = kDataRulePriority;
+    mod.epoch = programming_epoch_;
     send_flow_mod(dpid, mod);
     ++idr_counters_.flow_deletes;
     installed.erase(dpid);
+    if (flow_observer_) flow_observer_(prefix, dpid, nullptr);
   }
   if (installed.empty()) installed_.erase(prefix);
   if (tel != nullptr) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -59,6 +60,21 @@ struct IdrCounters {
   std::uint64_t reference_fallbacks{0};
 };
 
+/// Application state a controller replica shadows (and a new leader adopts
+/// at takeover): the external RIB, cluster originations and the
+/// installed-flow mirror. The cluster graph is node-resident config and is
+/// not part of the shadow.
+struct IdrShadowState {
+  std::unordered_map<net::Prefix, std::map<speaker::PeeringId, bgp::AttrSetRef>>
+      external_routes;
+  struct Origin {
+    sdn::Dpid dpid{0};
+    std::optional<core::PortId> host_port;
+  };
+  std::map<net::Prefix, Origin> origins;
+  std::map<net::Prefix, std::map<sdn::Dpid, sdn::FlowAction>> installed;
+};
+
 class IdrController : public ClusterController {
  public:
   explicit IdrController(IdrControllerConfig config = {}) : config_{config} {}
@@ -82,6 +98,34 @@ class IdrController : public ClusterController {
                     const std::string& reason) override;
   void on_route_update(const speaker::Peering& peering,
                        const bgp::UpdateMessage& update) override;
+
+  // --- controller HA hooks (ControllerReplicaSet) ---------------------------
+
+  /// Observer for flow-mirror changes: (prefix, dpid, action) with a null
+  /// action meaning removal. Called after the FlowMod was sent, so the
+  /// replicated mirror never claims state a switch might not have.
+  using FlowObserver =
+      std::function<void(const net::Prefix&, sdn::Dpid, const sdn::FlowAction*)>;
+  void set_flow_observer(FlowObserver observer) {
+    flow_observer_ = std::move(observer);
+  }
+
+  /// Epoch stamped into every FlowMod; switches fence out lower epochs.
+  void set_programming_epoch(std::uint32_t epoch) { programming_epoch_ = epoch; }
+  std::uint32_t programming_epoch() const { return programming_epoch_; }
+
+  /// Drop the leading process's application state at a leadership change
+  /// without modeling a node crash: switches stay connected (same physical
+  /// node), no crash counters move. The new leader's shadow follows via
+  /// adopt_shadow().
+  void reset_for_takeover();
+
+  /// Install a standby's shadowed state as the live application state and
+  /// schedule a full recomputation pass to diff it against reality.
+  void adopt_shadow(IdrShadowState&& shadow);
+
+  /// Snapshot the live application state (anti-entropy full sync source).
+  IdrShadowState export_shadow() const;
 
   const IdrCounters& counters() const { return idr_counters_; }
   /// Latest decision per prefix (for tests and analysis tools).
@@ -126,10 +170,7 @@ class IdrController : public ClusterController {
   std::unordered_map<net::Prefix, std::map<speaker::PeeringId, bgp::AttrSetRef>>
       external_routes_;
   /// Cluster-originated prefixes: prefix -> (origin switch, host port).
-  struct OriginInfo {
-    sdn::Dpid dpid{0};
-    std::optional<core::PortId> host_port;
-  };
+  using OriginInfo = IdrShadowState::Origin;
   std::map<net::Prefix, OriginInfo> origins_;
 
   /// Installed flow state: prefix -> per-switch action (diff target).
@@ -145,6 +186,8 @@ class IdrController : public ClusterController {
   /// "recompute_batch" delay-wait span and batch_wait histogram.
   core::TimePoint batch_opened_at_{};
   IdrCounters idr_counters_;
+  FlowObserver flow_observer_;
+  std::uint32_t programming_epoch_{0};
 };
 
 }  // namespace bgpsdn::controller

@@ -22,6 +22,9 @@ Experiment::Experiment(const topology::TopologySpec& spec,
       rng_{config.seed},
       net_{loop_, log_, rng_} {
   spec_.validate();
+  if (config_.controller_replicas == 0 || config_.controller_replicas > 16) {
+    throw std::invalid_argument{"controller_replicas must be in [1, 16]"};
+  }
   for (const auto as : members_) {
     if (!spec_.has_as(as)) {
       throw std::invalid_argument{"SDN member " + as.to_string() +
@@ -84,6 +87,25 @@ void Experiment::build() {
       sw->set_controller_port(l.b.port);
       controller_->switch_graph().add_switch(sw->dpid(), as);
       control_links_.push_back(link);
+    }
+
+    if (config_.controller_replicas >= 2) {
+      if (idr_ == nullptr) {
+        throw std::invalid_argument{
+            "controller replication requires the IDR controller style"};
+      }
+      controller::ReplicaSetConfig rc = config_.ha;
+      rc.replicas = config_.controller_replicas;
+      // A private forked stream: HA jitter/loss draws never perturb the
+      // experiment's main stream (and non-HA runs never fork at all).
+      rc.seed = rng_.engine()();
+      replica_set_ = std::make_unique<controller::ControllerReplicaSet>(
+          loop_, log_, &net_.telemetry(), *idr_, *speaker_, rc);
+      replica_set_->set_degrade_hook(
+          [this](std::uint32_t epoch) { degrade_to_fallback(epoch); });
+      replica_set_->set_recover_hook(
+          [this](std::uint32_t epoch) { recover_from_fallback(epoch); });
+      replica_set_->activate();
     }
   }
 
@@ -237,6 +259,7 @@ net::Host& Experiment::add_host(core::AsNumber as) {
     const auto& l = net_.link(id);
     controller_->originate(sw.dpid(), prefix, l.b.port);
     member_origins_[prefix] = {sw.dpid(), l.b.port};
+    if (replica_set_) replica_set_->record_originate(sw.dpid(), prefix, l.b.port);
   } else {
     bgp::BgpRouter& r = *routers_.at(as);
     const auto id = net_.connect(host.id(), r.id(), kControlLink);
@@ -278,6 +301,10 @@ void Experiment::announce_prefix(core::AsNumber as, const net::Prefix& prefix) {
       fallback_->originate(prefix, member_origins_.at(prefix));
     } else {
       controller_->originate(switches_.at(as)->dpid(), prefix, std::nullopt);
+      if (replica_set_) {
+        replica_set_->record_originate(switches_.at(as)->dpid(), prefix,
+                                       std::nullopt);
+      }
     }
   } else {
     routers_.at(as)->originate(prefix);
@@ -291,6 +318,7 @@ void Experiment::withdraw_prefix(core::AsNumber as, const net::Prefix& prefix) {
       fallback_->withdraw_origin(prefix);
     } else {
       controller_->withdraw_origin(prefix);
+      if (replica_set_) replica_set_->record_withdraw_origin(prefix);
     }
   } else {
     routers_.at(as)->withdraw_origin(prefix);
@@ -327,6 +355,16 @@ void Experiment::crash_controller() {
     throw std::logic_error{
         "controller crash-recovery requires the IDR controller style"};
   }
+  if (replica_set_) {
+    // Whole-controller crash under HA: every replica dies; the last one
+    // triggers the degradation hook below.
+    replica_set_->crash_all();
+    return;
+  }
+  degrade_to_fallback(0);
+}
+
+void Experiment::degrade_to_fallback(std::uint32_t epoch) {
   if (controller_crashed_) return;
   controller_crashed_ = true;
   log_.log(loop_.now(), core::LogLevel::kWarn, "experiment", "controller_crash",
@@ -340,10 +378,23 @@ void Experiment::crash_controller() {
     fallback_ = std::make_unique<controller::FallbackRouting>(
         loop_, log_, &net_.telemetry(), controller_->switch_graph(), *speaker_);
   }
+  // Degradation is a leadership change: fence the fallback above every dead
+  // replica's programming (0 outside HA keeps legacy behaviour).
+  fallback_->set_programming_epoch(epoch);
   fallback_->activate(member_origins_);
 }
 
 void Experiment::restart_controller() {
+  if (replica_set_) {
+    // Whole-controller restart under HA: the first restarted replica leads
+    // the recovery (via the hook below); the rest rejoin as standbys.
+    replica_set_->restart_all();
+    return;
+  }
+  recover_from_fallback(0);
+}
+
+void Experiment::recover_from_fallback(std::uint32_t epoch) {
   if (!controller_crashed_) return;
   controller_crashed_ = false;
   log_.log(loop_.now(), core::LogLevel::kInfo, "experiment",
@@ -352,6 +403,7 @@ void Experiment::restart_controller() {
   fallback_->deactivate();
   controller_->restart();
   controller_->bind_speaker(*speaker_);
+  if (idr_ != nullptr) idr_->set_programming_epoch(epoch);
   // Heal the control channel; each switch re-handshakes and the controller
   // re-learns the datapath mapping.
   for (const auto link : control_links_) net_.set_link_up(link, true);
@@ -361,6 +413,55 @@ void Experiment::restart_controller() {
     controller_->originate(origin.dpid, prefix, origin.host_port);
   }
   speaker_->replay_to(*controller_);
+}
+
+void Experiment::crash_controller_replica(int replica) {
+  if (replica < 0) {
+    crash_controller();
+    return;
+  }
+  if (!replica_set_) {
+    if (replica == 0) {
+      // The single controller is replica 0 of a degenerate replica set.
+      crash_controller();
+      return;
+    }
+    throw std::invalid_argument{"replica id " + std::to_string(replica) +
+                                " out of range (controller_replicas=1)"};
+  }
+  replica_set_->crash_replica(static_cast<std::size_t>(replica));
+}
+
+void Experiment::restart_controller_replica(int replica) {
+  if (replica < 0) {
+    restart_controller();
+    return;
+  }
+  if (!replica_set_) {
+    if (replica == 0) {
+      restart_controller();
+      return;
+    }
+    throw std::invalid_argument{"replica id " + std::to_string(replica) +
+                                " out of range (controller_replicas=1)"};
+  }
+  replica_set_->restart_replica(static_cast<std::size_t>(replica));
+}
+
+void Experiment::partition_replication(int replica) {
+  if (!replica_set_ || replica < 0) {
+    throw std::logic_error{
+        "replication partitions require controller_replicas >= 2"};
+  }
+  replica_set_->partition_replica(static_cast<std::size_t>(replica));
+}
+
+void Experiment::heal_replication(int replica) {
+  if (!replica_set_ || replica < 0) {
+    throw std::logic_error{
+        "replication partitions require controller_replicas >= 2"};
+  }
+  replica_set_->heal_replica(static_cast<std::size_t>(replica));
 }
 
 void Experiment::crash_speaker() {

@@ -21,6 +21,7 @@
 #include "bgp/router.hpp"
 #include "controller/fallback.hpp"
 #include "controller/idr_controller.hpp"
+#include "controller/replica_set.hpp"
 #include "controller/routeflow.hpp"
 #include "core/event_loop.hpp"
 #include "core/logger.hpp"
@@ -66,6 +67,14 @@ struct ExperimentConfig {
   ControllerStyle controller_style{ControllerStyle::kIdrCentralized};
   /// RouteFlow mirror: RIB->flows poll period.
   core::Duration routeflow_sync{core::Duration::millis(500)};
+  /// Controller replication factor. 1 (default) keeps the paper's single
+  /// controller; >= 2 models hot-standby replicas with leader election and
+  /// epoch-fenced failover (requires the IDR controller style). Only when
+  /// all replicas are down does the cluster degrade to FallbackRouting.
+  std::size_t controller_replicas{1};
+  /// HA channel/election timers (replicas and seed fields are overridden
+  /// from controller_replicas and the experiment seed).
+  controller::ReplicaSetConfig ha{};
   /// Whether to attach the monitoring route collector to legacy routers.
   bool with_collector{true};
   /// Log level kept by the in-memory logger (kDebug needed for detectors).
@@ -121,6 +130,15 @@ class Experiment {
   /// Crash / restart the cluster BGP speaker process. Crash drops every
   /// external session silently (peers discover via hold-timer expiry);
   /// restart reconnects and peers re-send their tables.
+  /// Replica-targeted faults (controller HA). A negative replica id means
+  /// the whole controller (all replicas). With controller_replicas == 1,
+  /// replica 0 aliases the whole controller; other ids are rejected.
+  void crash_controller_replica(int replica);
+  void restart_controller_replica(int replica);
+  /// Partition / heal a replica's replication links (requires HA).
+  void partition_replication(int replica);
+  void heal_replication(int replica);
+
   void crash_speaker();
   void restart_speaker();
 
@@ -131,6 +149,12 @@ class Experiment {
   /// The degraded-mode engine; created lazily on the first controller
   /// crash, nullptr before that.
   controller::FallbackRouting* fallback() { return fallback_.get(); }
+
+  /// The controller replica set; nullptr unless controller_replicas >= 2.
+  controller::ControllerReplicaSet* replica_set() { return replica_set_.get(); }
+  const controller::ControllerReplicaSet* replica_set() const {
+    return replica_set_.get();
+  }
 
   /// The link between two ASes (member or legacy); throws
   /// std::invalid_argument when no such link exists. For targeted
@@ -231,11 +255,14 @@ class Experiment {
   /// TelemetryMonitor to capture traces).
   telemetry::Telemetry& telemetry() { return net_.telemetry(); }
   const topology::TopologySpec& spec() const { return spec_; }
+  const ExperimentConfig& config() const { return config_; }
   net::Prefix as_prefix(core::AsNumber as) { return alloc_.as_prefix(as); }
   const std::set<core::AsNumber>& members() const { return members_; }
 
  private:
   void build();
+  void degrade_to_fallback(std::uint32_t epoch);
+  void recover_from_fallback(std::uint32_t epoch);
   void build_legacy_link(const topology::LinkSpec& link);
   void build_cluster_link(const topology::LinkSpec& link);
   void build_border_link(const topology::LinkSpec& link);
@@ -269,6 +296,7 @@ class Experiment {
   /// origin table dies with it).
   std::map<net::Prefix, controller::FallbackRouting::Origin> member_origins_;
   std::unique_ptr<controller::FallbackRouting> fallback_;
+  std::unique_ptr<controller::ControllerReplicaSet> replica_set_;
   bool controller_crashed_{false};
   /// All attached monitors, in attachment order; owns the built-in
   /// convergence detector (always monitors_[0]).

@@ -104,6 +104,17 @@ void ExperimentSpec::validate() const {
     if (flap_cycles < 1) bad("flap-train needs at least 1 cycle");
   }
   if (trials < 1) bad("trials must be >= 1");
+  if (config.controller_replicas < 1 || config.controller_replicas > 16) {
+    bad("controller replicas must be in [1, 16], got " +
+        std::to_string(config.controller_replicas));
+  }
+  if (config.controller_replicas >= 2 &&
+      config.controller_style != ControllerStyle::kIdrCentralized) {
+    bad("controller replication requires the IDR controller style");
+  }
+  if (config.controller_replicas >= 2 && sdn_count < 1) {
+    bad("controller replication needs at least 1 SDN member");
+  }
   for (const auto& [as, prefix] : announcements) {
     (void)prefix;
     const bool in_topology = as.value() >= 1 && as.value() <= topology_size;
@@ -257,11 +268,12 @@ double ExperimentSpec::run_trial(
 }
 
 std::string ExperimentSpec::signature() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(
       buf, sizeof buf,
       "topo=%s:%zu sdn=%zu event=%s flaps=%zu mrai=%lld recompute=%lld "
-      "damping=%d spt=%s controller=%s quiet=%lld link_delay=%lld",
+      "damping=%d spt=%s controller=%s quiet=%lld link_delay=%lld "
+      "replicas=%zu election=%lld",
       to_string(topology), topology_size, sdn_count, to_string(event),
       event == EventKind::kFlapTrain ? flap_cycles : std::size_t{0},
       static_cast<long long>(config.timers.mrai.count_nanos()),
@@ -272,7 +284,9 @@ std::string ExperimentSpec::signature() const {
           ? "idr"
           : "routeflow",
       static_cast<long long>(wait_quiet.count_nanos()),
-      static_cast<long long>(config.default_link.delay.count_nanos()));
+      static_cast<long long>(config.default_link.delay.count_nanos()),
+      config.controller_replicas,
+      static_cast<long long>(config.ha.election_min.count_nanos()));
   std::string out{buf};
   for (const auto& [as, prefix] : announcements) {
     out += " announce=" + as.to_string() + ":" + prefix.to_string();
@@ -372,6 +386,24 @@ ExperimentSpecBuilder& ExperimentSpecBuilder::incremental_spt(
 ExperimentSpecBuilder& ExperimentSpecBuilder::controller_style(
     ControllerStyle style) {
   spec_.config.controller_style = style;
+  return *this;
+}
+
+ExperimentSpecBuilder& ExperimentSpecBuilder::controller_replicas(
+    std::size_t replicas) {
+  if (replicas < 1 || replicas > 16) {
+    bad("controller replicas must be in [1, 16], got " +
+        std::to_string(replicas));
+  }
+  spec_.config.controller_replicas = replicas;
+  return *this;
+}
+
+ExperimentSpecBuilder& ExperimentSpecBuilder::election_timeout(
+    core::Duration timeout) {
+  if (timeout <= core::Duration::zero()) bad("election timeout must be > 0");
+  spec_.config.ha.election_min = timeout;
+  spec_.config.ha.election_max = timeout * 2;
   return *this;
 }
 

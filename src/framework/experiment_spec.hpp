@@ -188,6 +188,11 @@ class ExperimentSpecBuilder {
   ExperimentSpecBuilder& damping(bool enabled);
   ExperimentSpecBuilder& incremental_spt(bool incremental);
   ExperimentSpecBuilder& controller_style(ControllerStyle style);
+  /// Controller replication factor (1 = the single-controller baseline,
+  /// 2..16 = hot-standby HA; requires the IDR controller style).
+  ExperimentSpecBuilder& controller_replicas(std::size_t replicas);
+  /// Base election timeout; replicas draw from [timeout, 2*timeout].
+  ExperimentSpecBuilder& election_timeout(core::Duration timeout);
   ExperimentSpecBuilder& wait_quiet(core::Duration quiet);
   ExperimentSpecBuilder& announce(core::AsNumber as, const net::Prefix& prefix);
   ExperimentSpecBuilder& trials(std::size_t count);

@@ -1,5 +1,6 @@
 #include "framework/faults.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -24,6 +25,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kPartitionHeal: return "heal";
     case FaultKind::kControllerCrash: return "controller_crash";
     case FaultKind::kControllerRestart: return "controller_restart";
+    case FaultKind::kReplPartition: return "repl_partition";
+    case FaultKind::kReplHeal: return "repl_heal";
     case FaultKind::kSpeakerCrash: return "speaker_crash";
     case FaultKind::kSpeakerRestart: return "speaker_restart";
   }
@@ -66,6 +69,20 @@ core::AsNumber parse_as(const std::string& token) {
     bad("AS number '" + token + "' must be a positive integer");
   }
   return core::AsNumber{n};
+}
+
+int parse_replica(const std::string& token) {
+  // A bare digit check (not parse_double) so every malformed id — 'x',
+  // '-1', '1.5' alike — gets the one canonical diagnostic.
+  const bool digits =
+      !token.empty() && std::all_of(token.begin(), token.end(), [](char c) {
+        return c >= '0' && c <= '9';
+      });
+  if (!digits || token.size() > 6) {
+    bad("controller replica id '" + token +
+        "' must be a non-negative integer");
+  }
+  return std::stoi(token);
 }
 
 core::Duration parse_seconds(const std::string& token, const char* what) {
@@ -139,12 +156,19 @@ FaultEvent FaultPlan::parse_event(const std::vector<std::string>& tokens,
   } else if (kind == "heal") {
     need_args(tokens, 0);
     e.kind = FaultKind::kPartitionHeal;
-  } else if (kind == "controller-crash") {
-    need_args(tokens, 0);
-    e.kind = FaultKind::kControllerCrash;
-  } else if (kind == "controller-restart") {
-    need_args(tokens, 0);
-    e.kind = FaultKind::kControllerRestart;
+  } else if (kind == "controller-crash" || kind == "controller-restart") {
+    if (tokens.size() > 2) {
+      bad("'" + kind + "' takes at most one replica id, got " +
+          std::to_string(tokens.size() - 1) + " arguments");
+    }
+    e.kind = kind == "controller-crash" ? FaultKind::kControllerCrash
+                                        : FaultKind::kControllerRestart;
+    e.count = tokens.size() == 2 ? parse_replica(tokens[1]) : -1;
+  } else if (kind == "repl-partition" || kind == "repl-heal") {
+    need_args(tokens, 1);
+    e.kind = kind == "repl-partition" ? FaultKind::kReplPartition
+                                      : FaultKind::kReplHeal;
+    e.count = parse_replica(tokens[1]);
   } else if (kind == "speaker-crash") {
     need_args(tokens, 0);
     e.kind = FaultKind::kSpeakerCrash;
@@ -257,6 +281,26 @@ void FaultInjector::validate(const FaultEvent& event) const {
       if (experiment_.idr_controller() == nullptr) {
         bad("controller faults require the IDR controller style");
       }
+      if (event.count >= 0 &&
+          static_cast<std::size_t>(event.count) >=
+              std::max<std::size_t>(1, experiment_.config().controller_replicas)) {
+        bad("controller replica id " + std::to_string(event.count) +
+            " out of range (controller_replicas=" +
+            std::to_string(experiment_.config().controller_replicas) + ")");
+      }
+      break;
+    case FaultKind::kReplPartition:
+    case FaultKind::kReplHeal:
+      if (experiment_.config().controller_replicas < 2) {
+        bad("replication faults require controller_replicas >= 2");
+      }
+      if (event.count < 0 ||
+          static_cast<std::size_t>(event.count) >=
+              experiment_.config().controller_replicas) {
+        bad("controller replica id " + std::to_string(event.count) +
+            " out of range (controller_replicas=" +
+            std::to_string(experiment_.config().controller_replicas) + ")");
+      }
       break;
     case FaultKind::kSpeakerCrash:
     case FaultKind::kSpeakerRestart:
@@ -320,10 +364,16 @@ void FaultInjector::expand(const FaultEvent& event, core::Rng& jitter,
       proto.value = 0.0;
       out.push_back(proto);
       break;
-    case FaultKind::kPartition:
-    case FaultKind::kPartitionHeal:
     case FaultKind::kControllerCrash:
     case FaultKind::kControllerRestart:
+    case FaultKind::kReplPartition:
+    case FaultKind::kReplHeal:
+      proto.replica = event.count;
+      proto.at = base + event.at;
+      out.push_back(proto);
+      break;
+    case FaultKind::kPartition:
+    case FaultKind::kPartitionHeal:
     case FaultKind::kSpeakerCrash:
     case FaultKind::kSpeakerRestart:
       proto.at = base + event.at;
@@ -403,10 +453,16 @@ void FaultInjector::apply(const Action& action) {
       partition_downed_.clear();
       break;
     case FaultKind::kControllerCrash:
-      experiment_.crash_controller();
+      experiment_.crash_controller_replica(action.replica);
       break;
     case FaultKind::kControllerRestart:
-      experiment_.restart_controller();
+      experiment_.restart_controller_replica(action.replica);
+      break;
+    case FaultKind::kReplPartition:
+      experiment_.partition_replication(action.replica);
+      break;
+    case FaultKind::kReplHeal:
+      experiment_.heal_replication(action.replica);
       break;
     case FaultKind::kSpeakerCrash:
       experiment_.crash_speaker();

@@ -23,6 +23,9 @@
 //   at 10  partition 7 8 9 10       # cut the AS set off from the rest
 //   at 14  heal                     # restore the partition's links
 //   at 16  controller-crash
+//   at 18  controller-crash 1       # crash one controller replica (HA mode)
+//   at 19  repl-partition 2         # cut a replica's replication links
+//   at 19.5 repl-heal 2
 //   at 20  controller-restart
 //   at 24  speaker-crash
 //   at 28  speaker-restart
@@ -54,6 +57,8 @@ enum class FaultKind {
   kPartitionHeal,
   kControllerCrash,
   kControllerRestart,
+  kReplPartition,
+  kReplHeal,
   kSpeakerCrash,
   kSpeakerRestart,
 };
@@ -73,7 +78,9 @@ struct FaultEvent {
   /// Probability: drop rate (kLinkLoss), ramp target (kLossRamp),
   /// corruption rate (kCorrupt).
   double value{0.0};
-  /// Cycles (kLinkFlap) / steps (kLossRamp).
+  /// Cycles (kLinkFlap) / steps (kLossRamp). Controller kinds reuse this
+  /// as the replica id (-1 = the whole controller / all replicas);
+  /// kReplPartition/kReplHeal require a concrete id.
   int count{0};
   /// Cycle period (kLinkFlap), step interval (kLossRamp), window length
   /// (kCorrupt).
@@ -132,6 +139,8 @@ class FaultInjector final : public Monitor {
     core::AsNumber b{};
     std::vector<core::AsNumber> as_set;
     double value{0.0};
+    /// Replica id for controller kinds (-1 = whole controller).
+    int replica{-1};
   };
 
   void validate(const FaultEvent& event) const;

@@ -92,8 +92,9 @@ void apply_on_off(bool& slot, const std::string& value, const char* what) {
 
 const std::vector<std::string>& axis_keys() {
   static const std::vector<std::string> keys{
-      "topology", "sdn-frac",   "sdn-count", "event",          "spt",
-      "damping",  "controller", "mrai",      "recompute-delay"};
+      "topology", "sdn-frac",   "sdn-count", "event",
+      "spt",      "damping",    "controller", "mrai",
+      "recompute-delay", "replicas", "election-timeout-ms"};
   return keys;
 }
 
@@ -139,6 +140,17 @@ void apply_axis_value(ExperimentSpec& spec, const std::string& axis,
       const double s = parse_double(value, "recompute-delay");
       if (s < 0.0) bad("recompute delay must be >= 0, got " + value);
       spec.config.recompute_delay = core::Duration::seconds_f(s);
+    } else if (axis == "replicas") {
+      const std::size_t n = parse_count(value, "replicas");
+      if (n < 1 || n > 16) {
+        bad("replicas must be in [1, 16], got " + value);
+      }
+      spec.config.controller_replicas = n;
+    } else if (axis == "election-timeout-ms") {
+      const double ms = parse_double(value, "election-timeout-ms");
+      if (ms <= 0.0) bad("election timeout must be > 0, got " + value);
+      spec.config.ha.election_min = core::Duration::seconds_f(ms / 1000.0);
+      spec.config.ha.election_max = core::Duration::seconds_f(ms / 500.0);
     } else {
       throw std::invalid_argument{"unknown axis '" + axis +
                                   "' (known: " + join(axis_keys()) + ")"};

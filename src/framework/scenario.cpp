@@ -1,5 +1,6 @@
 #include "framework/scenario.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <sstream>
@@ -169,6 +170,25 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     } else {
       fail(line, "usage: damping on|off");
     }
+  } else if (cmd == "replicas") {
+    need(1);
+    forbid_after_start();
+    const double v = parse_number(line, t[1]);
+    const auto n = static_cast<std::size_t>(v);
+    if (v != static_cast<double>(n) || n < 1 || n > 16) {
+      fail(line, "replicas '" + t[1] + "' must be an integer in [1, 16]");
+    }
+    config_.controller_replicas = n;
+  } else if (cmd == "election-timeout-ms") {
+    need(1);
+    forbid_after_start();
+    const double ms = parse_number(line, t[1]);
+    if (ms <= 0.0) {
+      fail(line, "election-timeout-ms '" + t[1] + "' must be > 0");
+    }
+    // Timeouts are drawn from [min, 2*min], Raft-style.
+    config_.ha.election_min = core::Duration::seconds_f(ms / 1000.0);
+    config_.ha.election_max = core::Duration::seconds_f(ms / 500.0);
   } else if (cmd == "topology") {
     forbid_after_start();
     if (t.size() < 3) {
@@ -285,18 +305,41 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
       fault_plan_.events.push_back(event);
     }
   } else if (cmd == "crash" || cmd == "restart") {
-    need(1);
+    if (t.size() != 2 && t.size() != 3) {
+      fail(line, "usage: " + cmd + " controller [replica]|speaker");
+    }
     auto& exp = running(line);
     const bool crash = cmd == "crash";
     if (t[1] == "controller") {
-      crash ? exp.crash_controller() : exp.restart_controller();
+      int replica = -1;
+      if (t.size() == 3) {
+        const std::string& tok = t[2];
+        const bool digits =
+            !tok.empty() && std::all_of(tok.begin(), tok.end(), [](char c) {
+              return c >= '0' && c <= '9';
+            });
+        if (!digits) {
+          fail(line, "controller replica id '" + tok +
+                         "' must be a non-negative integer");
+        }
+        // Clamp absurd ids so the int cast stays sane; the experiment's
+        // bounds check below rejects anything >= the replica count anyway.
+        replica = tok.size() > 6 ? 1000000 : std::stoi(tok);
+      }
+      try {
+        crash ? exp.crash_controller_replica(replica)
+              : exp.restart_controller_replica(replica);
+      } catch (const std::invalid_argument& e) {
+        fail(line, e.what());
+      }
     } else if (t[1] == "speaker") {
+      if (t.size() == 3) fail(line, "usage: " + cmd + " speaker");
       crash ? exp.crash_speaker() : exp.restart_speaker();
     } else {
-      fail(line, "usage: " + cmd + " controller|speaker");
+      fail(line, "usage: " + cmd + " controller [replica]|speaker");
     }
     last_event_ = exp.loop().now();
-    result.output.push_back(cmd + " " + t[1]);
+    result.output.push_back(cmd + " " + join(t, 1));
   } else if (cmd == "run") {
     need(1);
     running(line).run_for(core::Duration::seconds_f(parse_number(line, t[1])));

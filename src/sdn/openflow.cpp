@@ -92,6 +92,7 @@ std::vector<std::byte> encode(const OfMessage& m) {
           write_match(w, msg.match);
           w.u16(msg.priority);
           write_action(w, msg.action);
+          w.u32(msg.epoch);
         } else if constexpr (std::is_same_v<T, OfPortStatus>) {
           w.u32(msg.port.value());
           w.u8(msg.up ? 1 : 0);
@@ -137,6 +138,7 @@ std::optional<OfMessage> decode(const std::vector<std::byte>& wire) {
       m.match = read_match(r);
       m.priority = r.u16();
       m.action = read_action(r);
+      m.epoch = r.u32();
       out = m;
       break;
     }

@@ -59,6 +59,11 @@ struct OfFlowMod {
   FlowMatch match;
   std::uint16_t priority{0};
   FlowAction action;  // ignored for kDelete
+  /// Programming epoch: switches remember the highest epoch they have seen
+  /// and reject mods from a lower one, fencing out a deposed leader whose
+  /// in-flight FlowMods arrive after a takeover. 0 (the default everywhere
+  /// outside controller HA) never fences anything.
+  std::uint32_t epoch{0};
 };
 
 struct OfPortStatus {

@@ -74,6 +74,20 @@ void SdnSwitch::handle_control(const net::Packet& packet) {
   switch (type_of(*msg)) {
     case OfType::kFlowMod: {
       const auto& fm = std::get<OfFlowMod>(*msg);
+      if (fm.epoch < max_epoch_seen_) {
+        // A deposed leader's in-flight programming: the cluster has moved
+        // to a higher epoch, so this mod would reintroduce stale state.
+        ++counters_.stale_flowmods_rejected;
+        logger().log(loop().now(), core::LogLevel::kWarn, "sw." + name(),
+                     "stale_flow_mod",
+                     "epoch " + std::to_string(fm.epoch) + " < " +
+                         std::to_string(max_epoch_seen_));
+        if (auto* tel = telemetry()) {
+          tel->metrics().counter("sdn.switch.stale_flowmods_rejected").inc();
+        }
+        break;
+      }
+      max_epoch_seen_ = fm.epoch;
       ++counters_.flow_mods;
       if (fm.command == FlowModCommand::kAdd) {
         FlowEntry e;
@@ -178,6 +192,26 @@ void SdnSwitch::exit_standalone() {
     }
   }
   start();
+  // Any cluster link that changed while the channel was down never produced
+  // a PortStatus (there was nobody to send it to). Replay the current state
+  // of every data port so the revived controller's SwitchGraph converges to
+  // reality instead of its pre-crash snapshot; up-to-date ports are no-ops
+  // on the graph side.
+  resend_port_states();
+}
+
+void SdnSwitch::resend_port_states() {
+  const auto ports = network().port_count(id());
+  for (std::size_t p = 0; p < ports; ++p) {
+    const core::PortId port{static_cast<std::uint32_t>(p)};
+    if (controller_port_ && port == *controller_port_) continue;
+    const core::LinkId link = network().link_at(id(), port);
+    if (!link.is_valid()) continue;
+    OfPortStatus status;
+    status.port = port;
+    status.up = network().link_is_up(link);
+    send_to_controller(status);
+  }
 }
 
 }  // namespace bgpsdn::sdn

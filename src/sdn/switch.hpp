@@ -26,6 +26,7 @@ struct SwitchCounters {
   std::uint64_t dropped{0};
   std::uint64_t standalone_entries{0};  // controller-channel losses survived
   std::uint64_t standalone_flushed{0};  // data rules dropped across flushes
+  std::uint64_t stale_flowmods_rejected{0};  // fenced-out deposed-leader mods
 };
 
 class SdnSwitch : public net::Node {
@@ -58,6 +59,10 @@ class SdnSwitch : public net::Node {
   /// through the static BGP relay rules.
   bool standalone() const { return standalone_; }
 
+  /// Highest FlowMod programming epoch accepted so far (0 until a
+  /// replicated controller starts fencing; see OfFlowMod::epoch).
+  std::uint32_t max_epoch_seen() const { return max_epoch_seen_; }
+
   const SwitchCounters& counters() const { return counters_; }
 
  private:
@@ -66,12 +71,14 @@ class SdnSwitch : public net::Node {
   void enter_standalone();
   void exit_standalone();
   void flush_data_rules(const char* why);
+  void resend_port_states();
 
   core::AsNumber owner_as_;
   std::optional<core::PortId> controller_port_;
   FlowTable table_;
   SwitchCounters counters_;
   bool standalone_{false};
+  std::uint32_t max_epoch_seen_{0};
 };
 
 }  // namespace bgpsdn::sdn

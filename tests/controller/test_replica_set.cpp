@@ -1,0 +1,293 @@
+// ControllerReplicaSet acceptance tests: leader election and sub-second
+// takeover, unacknowledged-suffix replay, split votes under partition,
+// partition-triggered deposal with anti-entropy resync, graceful degradation
+// when every replica is down, and byte-identical seeded election churn at 1
+// and 4 worker threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "controller/replica_set.hpp"
+#include "framework/experiment.hpp"
+#include "framework/trial.hpp"
+#include "topology/generators.hpp"
+
+namespace bgpsdn::framework {
+namespace {
+
+using core::AsNumber;
+
+const net::Prefix kPfx = *net::Prefix::parse("10.0.0.0/16");
+const net::Prefix kPfx2 = *net::Prefix::parse("10.50.0.0/16");
+
+ExperimentConfig ha_config(std::uint64_t seed, std::size_t replicas) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.controller_replicas = replicas;
+  cfg.timers.mrai = core::Duration::millis(300);
+  cfg.timers.hold = core::Duration::seconds(6);
+  cfg.timers.keepalive = core::Duration::seconds(2);
+  cfg.recompute_delay = core::Duration::millis(100);
+  return cfg;
+}
+
+std::set<AsNumber> members_3to5() {
+  return {AsNumber{3}, AsNumber{4}, AsNumber{5}};
+}
+
+bool all_reach(Experiment& exp, net::Ipv4Addr host) {
+  for (const auto as : exp.spec().ases) {
+    if (as == AsNumber{1}) continue;
+    if (exp.trace_route(as, host).empty()) return false;
+  }
+  return true;
+}
+
+/// Run until every AS reaches the host again; returns the virtual seconds
+/// it took (probing every 100 ms), or `limit` when censored.
+double probe_until_reach(Experiment& exp, net::Ipv4Addr host, double limit) {
+  const auto t0 = exp.loop().now();
+  while ((exp.loop().now() - t0).to_seconds() < limit) {
+    exp.run_for(core::Duration::millis(100));
+    if (all_reach(exp, host)) return (exp.loop().now() - t0).to_seconds();
+  }
+  return limit;
+}
+
+TEST(ReplicaSet, SingleControllerHasNoReplicaLayer) {
+  Experiment exp{topology::clique(5), members_3to5(), ha_config(3, 1)};
+  ASSERT_TRUE(exp.start());
+  EXPECT_EQ(exp.replica_set(), nullptr);
+  // Replica-targeted faults on the single controller need id 0 or "all".
+  EXPECT_THROW(exp.crash_controller_replica(1), std::invalid_argument);
+}
+
+TEST(ReplicaSet, ActivationElectsReplicaZero) {
+  Experiment exp{topology::clique(5), members_3to5(), ha_config(3, 3)};
+  ASSERT_TRUE(exp.start());
+  auto* rs = exp.replica_set();
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->size(), 3u);
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_EQ(*rs->leader(), 0u);
+  EXPECT_EQ(rs->cluster_epoch(), 1u);
+  EXPECT_FALSE(rs->degraded());
+  EXPECT_EQ(rs->live_count(), 3u);
+  // The replication channel is live: standbys ack the bring-up deltas.
+  exp.run_for(core::Duration::seconds(2));
+  EXPECT_GT(rs->log_size(), 0u);
+  EXPECT_EQ(rs->replica_acked(1), rs->log_size());
+  EXPECT_EQ(rs->replica_acked(2), rs->log_size());
+}
+
+TEST(ReplicaSet, LeaderCrashTriggersSubSecondTakeover) {
+  Experiment exp{topology::clique(5), members_3to5(), ha_config(7, 2)};
+  const auto host = exp.add_host(AsNumber{1}).address();
+  ASSERT_TRUE(exp.start());
+  exp.run_for(core::Duration::seconds(2));
+  ASSERT_TRUE(all_reach(exp, host));
+  auto* rs = exp.replica_set();
+  ASSERT_NE(rs, nullptr);
+  const auto epoch_before = rs->cluster_epoch();
+
+  // Crash the serving replica and fail a member's direct path to the host
+  // in the same instant: recovery needs a live controller to reprogram the
+  // member flow tables around the failure, so the probe measures the
+  // failover hiccup (not the mere survival of installed flows).
+  exp.crash_controller_replica(0);
+  exp.fail_link(AsNumber{1}, AsNumber{3});
+  EXPECT_FALSE(rs->degraded());  // the standby keeps the cluster centralized
+  const double hiccup = probe_until_reach(exp, host, 10.0);
+  EXPECT_LT(hiccup, 1.0) << "takeover did not hide the failover";
+
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_EQ(*rs->leader(), 1u);
+  EXPECT_GE(rs->counters().takeovers, 1u);
+  EXPECT_GT(rs->cluster_epoch(), epoch_before);
+  const double latency = rs->last_election_latency().to_seconds();
+  EXPECT_GT(latency, 0.0);
+  EXPECT_LT(latency, 1.0);
+  // The new leader's programming carries the bumped epoch end-to-end.
+  exp.run_for(core::Duration::seconds(1));
+  EXPECT_GE(exp.member_switch(AsNumber{3}).max_epoch_seen(),
+            rs->cluster_epoch());
+}
+
+TEST(ReplicaSet, PartitionedStandbySplitVotesUntilLeaderDies) {
+  Experiment exp{topology::clique(5), members_3to5(), ha_config(11, 2)};
+  const auto host = exp.add_host(AsNumber{1}).address();
+  ASSERT_TRUE(exp.start());
+  exp.run_for(core::Duration::seconds(2));
+  auto* rs = exp.replica_set();
+  ASSERT_NE(rs, nullptr);
+
+  // Cut the replication channel to the standby. Its lease expires, but its
+  // candidacies cannot assemble quorum (2 of 2 live) across the partition:
+  // every one expires as a split vote and the leader keeps serving.
+  exp.partition_replication(1);
+  exp.announce_prefix(AsNumber{2}, kPfx2);  // journaled but never acked
+  exp.run_for(core::Duration::seconds(3));
+  EXPECT_GT(rs->counters().split_votes, 0u);
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_EQ(*rs->leader(), 0u);
+  EXPECT_LT(rs->replica_acked(1), rs->log_size());
+
+  // Leader dies: the electorate shrinks to the partitioned survivor, which
+  // self-elects and replays the whole unacknowledged suffix at takeover.
+  exp.crash_controller_replica(0);
+  exp.run_for(core::Duration::seconds(1));
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_EQ(*rs->leader(), 1u);
+  EXPECT_GT(rs->counters().deltas_replayed, 0u);
+  EXPECT_FALSE(rs->degraded());
+  EXPECT_LT(probe_until_reach(exp, host, 10.0), 10.0);
+  EXPECT_TRUE(exp.all_know_prefix(kPfx2));
+}
+
+TEST(ReplicaSet, PartitionedLeaderIsDeposedAndResyncsAfterHeal) {
+  Experiment exp{topology::clique(5), members_3to5(), ha_config(13, 3)};
+  const auto host = exp.add_host(AsNumber{1}).address();
+  ASSERT_TRUE(exp.start());
+  exp.run_for(core::Duration::seconds(2));
+  auto* rs = exp.replica_set();
+  ASSERT_NE(rs, nullptr);
+  const auto epoch_before = rs->cluster_epoch();
+
+  // The leader's replication links go dark; the two standbys still see each
+  // other, miss the lease, and elect a new leader among themselves. The old
+  // leader is deposed in place — its stale programming is epoch-fenced.
+  exp.partition_replication(0);
+  exp.run_for(core::Duration::seconds(2));
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_NE(*rs->leader(), 0u);
+  EXPECT_GT(rs->cluster_epoch(), epoch_before);
+  EXPECT_FALSE(rs->degraded());
+  EXPECT_TRUE(rs->replica_partitioned(0));
+
+  // Heal: the deposed ex-leader rejoins as an empty standby and anti-entropy
+  // full-snapshots it back into sync.
+  exp.heal_replication(0);
+  exp.run_for(core::Duration::seconds(3));
+  EXPECT_FALSE(rs->replica_partitioned(0));
+  EXPECT_GE(rs->counters().snapshots_sent, 1u);
+  EXPECT_EQ(rs->replica_acked(0), rs->log_size());
+  EXPECT_TRUE(all_reach(exp, host));
+}
+
+TEST(ReplicaSet, AllReplicasDownDegradesThenRecovers) {
+  Experiment exp{topology::clique(5), members_3to5(), ha_config(17, 2)};
+  const auto host = exp.add_host(AsNumber{1}).address();
+  ASSERT_TRUE(exp.start());
+  exp.run_for(core::Duration::seconds(2));
+  auto* rs = exp.replica_set();
+  ASSERT_NE(rs, nullptr);
+
+  exp.crash_controller_replica(0);
+  exp.run_for(core::Duration::seconds(1));
+  ASSERT_TRUE(rs->leader().has_value());
+  const auto epoch_serving = rs->cluster_epoch();
+
+  // The last replica dies: only now does the cluster fall back to PR 3's
+  // distributed-BGP degradation, behind a fresh fencing epoch.
+  exp.crash_controller_replica(1);
+  EXPECT_TRUE(rs->degraded());
+  EXPECT_FALSE(rs->leader().has_value());
+  EXPECT_GT(rs->cluster_epoch(), epoch_serving);
+  ASSERT_NE(exp.fallback(), nullptr);
+  EXPECT_TRUE(exp.fallback()->active());
+  EXPECT_LT(probe_until_reach(exp, host, 30.0), 30.0);
+
+  // One replica returns: fallback stands down and the controller resyncs.
+  exp.restart_controller_replica(0);
+  EXPECT_FALSE(rs->degraded());
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_EQ(*rs->leader(), 0u);
+  EXPECT_FALSE(exp.fallback()->active());
+  EXPECT_LT(probe_until_reach(exp, host, 30.0), 30.0);
+}
+
+// --- seeded election churn, byte-identical across job counts ----------------
+
+struct ChurnCapture {
+  std::string ribs;
+  std::string flows;
+  std::string metrics;
+  std::uint64_t elections{0};
+  std::uint32_t epoch{0};
+};
+
+/// 25 seeded leader crash/restart rounds on a 3-replica cluster. Every
+/// round forces one election, so four seeds give a 100-election churn.
+ChurnCapture run_election_churn(std::uint64_t seed) {
+  Experiment exp{topology::clique(4), {AsNumber{3}, AsNumber{4}},
+                 ha_config(seed, 3)};
+  exp.announce_prefix(AsNumber{1}, kPfx);
+  EXPECT_TRUE(exp.start());
+  exp.run_for(core::Duration::seconds(2));
+  auto* rs = exp.replica_set();
+  EXPECT_NE(rs, nullptr);
+
+  for (int round = 0; round < 25; ++round) {
+    while (!rs->leader().has_value()) {
+      exp.run_for(core::Duration::millis(100));
+    }
+    const int leader = static_cast<int>(*rs->leader());
+    exp.crash_controller_replica(leader);
+    exp.run_for(core::Duration::millis(800));
+    exp.restart_controller_replica(leader);
+    exp.run_for(core::Duration::millis(400));
+  }
+  exp.wait_converged();
+
+  ChurnCapture cap;
+  std::vector<std::string> ribs;
+  for (const auto as : exp.spec().ases) {
+    if (exp.is_member(as)) continue;
+    for (const auto& [pfx, route] : exp.router(as).loc_rib().all()) {
+      ribs.push_back(as.to_string() + " " + pfx.to_string() + " [" +
+                     route.attributes->as_path.to_string() + "]");
+    }
+  }
+  std::sort(ribs.begin(), ribs.end());
+  for (const auto& line : ribs) cap.ribs += line + "\n";
+  for (const auto as : exp.spec().ases) {
+    if (!exp.is_member(as)) continue;
+    for (const auto& e : exp.member_switch(as).table().entries()) {
+      cap.flows += as.to_string() + " " + e.to_string() + "\n";
+    }
+  }
+  cap.metrics = exp.telemetry().metrics().snapshot().dump();
+  cap.elections = rs->counters().elections;
+  cap.epoch = rs->cluster_epoch();
+  return cap;
+}
+
+TEST(ReplicaSetDeterminism, ElectionChurnByteIdenticalAcrossJobCounts) {
+  const auto run_with_jobs = [](std::size_t jobs) {
+    std::vector<ChurnCapture> caps(4);
+    parallel_for_index(4, jobs, [&](std::size_t i) {
+      caps[i] = run_election_churn(200 + i);
+    });
+    return caps;
+  };
+  const auto serial = run_with_jobs(1);
+  const auto threaded = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  std::uint64_t total_elections = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].ribs.empty()) << "seed " << 200 + i;
+    EXPECT_EQ(serial[i].ribs, threaded[i].ribs) << "seed " << 200 + i;
+    EXPECT_EQ(serial[i].flows, threaded[i].flows) << "seed " << 200 + i;
+    EXPECT_EQ(serial[i].metrics, threaded[i].metrics) << "seed " << 200 + i;
+    EXPECT_EQ(serial[i].elections, threaded[i].elections) << "seed " << 200 + i;
+    EXPECT_EQ(serial[i].epoch, threaded[i].epoch) << "seed " << 200 + i;
+    total_elections += serial[i].elections;
+  }
+  // The churn is vacuous unless it actually held ~100 elections.
+  EXPECT_GE(total_elections, 100u);
+}
+
+}  // namespace
+}  // namespace bgpsdn::framework

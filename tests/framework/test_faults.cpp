@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,23 @@ std::string rib_snapshot(Experiment& exp) {
   return out;
 }
 
+/// Every member flow table rendered to one comparable string, sorted so the
+/// comparison survives insertion-order differences between runs whose
+/// histories legitimately diverge (crash cycles flush and reinstall).
+std::string flow_snapshot(Experiment& exp) {
+  std::vector<std::string> lines;
+  for (const auto as : exp.spec().ases) {
+    if (!exp.is_member(as)) continue;
+    for (const auto& e : exp.member_switch(as).table().entries()) {
+      lines.push_back(as.to_string() + " " + e.to_string());
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) out += line + "\n";
+  return out;
+}
+
 TEST(FaultPlanParse, FullGrammar) {
   const auto plan = FaultPlan::parse(
       "# chaos plan\n"
@@ -84,6 +103,95 @@ TEST(FaultPlanParse, FullGrammar) {
   EXPECT_EQ(plan.events[7].kind, FaultKind::kPartitionHeal);
   EXPECT_EQ(plan.events[8].kind, FaultKind::kControllerCrash);
   EXPECT_EQ(plan.events[11].kind, FaultKind::kSpeakerRestart);
+}
+
+TEST(FaultPlanParse, ControllerReplicaAndReplicationGrammar) {
+  const auto plan = FaultPlan::parse(
+      "at 1 controller-crash 2\n"
+      "at 2 controller-restart 2\n"
+      "at 3 controller-crash\n"
+      "at 4 repl-partition 1\n"
+      "at 5 repl-heal 1\n");
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kControllerCrash);
+  EXPECT_EQ(plan.events[0].count, 2);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kControllerRestart);
+  EXPECT_EQ(plan.events[1].count, 2);
+  // No id = the whole controller (every replica), the pre-HA meaning.
+  EXPECT_EQ(plan.events[2].count, -1);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kReplPartition);
+  EXPECT_EQ(plan.events[3].count, 1);
+  EXPECT_EQ(plan.events[4].kind, FaultKind::kReplHeal);
+  EXPECT_EQ(plan.events[4].count, 1);
+
+  const auto expect_parse_error = [](const char* text, const char* needle) {
+    try {
+      FaultPlan::parse(text);
+      FAIL() << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  };
+  expect_parse_error("at 1 controller-crash x",
+                     "controller replica id 'x' must be a non-negative integer");
+  expect_parse_error("at 1 controller-crash -1",
+                     "must be a non-negative integer");
+  expect_parse_error("at 1 controller-crash 1 2",
+                     "'controller-crash' takes at most one replica id, got 2");
+  expect_parse_error("at 1 repl-partition", "repl-partition");
+  expect_parse_error("at 1 repl-heal 1 2", "repl-heal");
+}
+
+TEST(FaultInjector, ValidatesReplicaIdsAtArmTime) {
+  // Single-controller cluster: replica ids beyond 0 and replication faults
+  // have nothing to act on.
+  Experiment exp{topology::clique(4), {core::AsNumber{4}}, fast_config()};
+  const auto expect_arm_error = [&exp](const char* text, const char* needle) {
+    try {
+      exp.attach_monitor<FaultInjector>(FaultPlan::parse(text));
+      FAIL() << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  };
+  expect_arm_error("at 1 controller-crash 2",
+                   "controller replica id 2 out of range (controller_replicas=1)");
+  expect_arm_error("at 1 repl-partition 0",
+                   "replication faults require controller_replicas >= 2");
+
+  auto cfg = fast_config();
+  cfg.controller_replicas = 2;
+  Experiment ha{topology::clique(4), {core::AsNumber{4}}, cfg};
+  EXPECT_THROW(ha.attach_monitor<FaultInjector>(
+                   FaultPlan::parse("at 1 repl-partition 5")),
+               std::invalid_argument);
+  // In range: id 0 and 1 both arm fine.
+  ha.attach_monitor<FaultInjector>(
+      FaultPlan::parse("at 1 controller-crash 0\nat 3 controller-restart 0\n"
+                       "at 5 repl-partition 1\nat 6 repl-heal 1"));
+}
+
+TEST(FaultInjector, ReplicaFaultPlanDrivesFailover) {
+  auto cfg = fast_config(19);
+  cfg.controller_replicas = 2;
+  Experiment exp{topology::clique(5),
+                 {core::AsNumber{4}, core::AsNumber{5}}, cfg};
+  exp.announce_prefix(core::AsNumber{1}, kPfx);
+  ASSERT_TRUE(exp.start());
+  exp.attach_monitor<FaultInjector>(FaultPlan::parse(
+      "at 0.5 controller-crash 0\n"
+      "at 4 controller-restart 0\n"));
+  exp.run_for(core::Duration::seconds(8));
+  exp.wait_converged();
+  auto* rs = exp.replica_set();
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->counters().replica_crashes, 1u);
+  EXPECT_EQ(rs->counters().replica_restarts, 1u);
+  EXPECT_GE(rs->counters().takeovers, 1u);
+  EXPECT_FALSE(rs->degraded());
+  EXPECT_TRUE(exp.all_know_prefix(kPfx));
 }
 
 TEST(FaultPlanParse, RejectsMalformedInput) {
@@ -202,6 +310,52 @@ TEST(CrashRecovery, ControllerCrashDegradesToDistributedBgp) {
   EXPECT_TRUE(exp.all_know_prefix(kPfx));
   EXPECT_TRUE(exp.all_know_prefix(kPfx2));
   EXPECT_EQ(rib_snapshot(exp), control);
+}
+
+TEST(CrashRecovery, ThreeCrashRestartCyclesResyncByteForByte) {
+  // Regression: repeated crash/restart cycles must leave zero residue. The
+  // second cycle flaps a cluster link *while degraded*, so the restarted
+  // controller's view of switch port state depends on the switches re-
+  // announcing their ports on resync — exactly the path that used to rot.
+  const auto make = [](std::uint64_t seed) {
+    auto exp = std::make_unique<Experiment>(
+        topology::clique(6),
+        std::set<core::AsNumber>{core::AsNumber{4}, core::AsNumber{5},
+                                 core::AsNumber{6}},
+        fast_config(seed));
+    exp->announce_prefix(core::AsNumber{1}, kPfx);
+    exp->announce_prefix(core::AsNumber{2}, kPfx2);
+    return exp;
+  };
+
+  auto control = make(29);
+  ASSERT_TRUE(control->start());
+  control->wait_converged();
+  const std::string control_ribs = rib_snapshot(*control);
+  const std::string control_flows = flow_snapshot(*control);
+  ASSERT_FALSE(control_ribs.empty());
+  ASSERT_NE(control_flows.find("dst="), std::string::npos);
+
+  auto exp = make(29);
+  ASSERT_TRUE(exp->start());
+  exp->wait_converged();
+  for (int round = 0; round < 3; ++round) {
+    exp->crash_controller();
+    exp->wait_converged();
+    if (round == 1) {
+      // Topology churn the dead controller cannot see; restored before the
+      // restart so the final topology matches the never-crashed control.
+      exp->fail_link(core::AsNumber{4}, core::AsNumber{5});
+      exp->wait_converged();
+      exp->restore_link(core::AsNumber{4}, core::AsNumber{5});
+      exp->wait_converged();
+    }
+    exp->restart_controller();
+    exp->wait_converged();
+    EXPECT_FALSE(exp->fallback()->active()) << "round " << round;
+  }
+  EXPECT_EQ(rib_snapshot(*exp), control_ribs);
+  EXPECT_EQ(flow_snapshot(*exp), control_flows);
 }
 
 TEST(CrashRecovery, ControllerCrashRequiresIdrStyle) {

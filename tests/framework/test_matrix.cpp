@@ -82,7 +82,7 @@ TEST(Matrix, UnknownAxisListsTheVocabulary) {
   EXPECT_EQ(diagnostic_of([] { MatrixSpec::parse("axis colour red blue\n"); }),
             "line 1: unknown axis 'colour' (known: topology, sdn-frac, "
             "sdn-count, event, spt, damping, controller, mrai, "
-            "recompute-delay)");
+            "recompute-delay, replicas, election-timeout-ms)");
 }
 
 TEST(Matrix, MalformedAxisValueNamesAxisValueAndCause) {

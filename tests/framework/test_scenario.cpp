@@ -152,6 +152,73 @@ expect-route 3 10.0.0.0/16
   EXPECT_EQ(runner.experiment()->idr_controller(), nullptr);
 }
 
+TEST(Scenario, ReplicaCommandsDriveFailover) {
+  ScenarioRunner runner;
+  const auto result = runner.run(R"(
+seed 5
+mrai 0.3
+recompute-delay 0.1
+replicas 2
+election-timeout-ms 150
+topology clique 5
+sdn 4 5
+host 1
+announce 1 10.0.0.0/16
+start
+expect-reachable 5 1
+crash controller 0
+run 1
+expect-reachable 5 1
+crash controller 1
+run 10
+restart controller 1
+wait-converged
+expect-reachable 5 1
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_NE(runner.experiment(), nullptr);
+  auto* rs = runner.experiment()->replica_set();
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->size(), 2u);
+  EXPECT_GE(rs->counters().takeovers, 1u);
+  EXPECT_FALSE(rs->degraded());
+  ASSERT_TRUE(rs->leader().has_value());
+  EXPECT_EQ(*rs->leader(), 1u);
+}
+
+TEST(Scenario, ReplicaSyntaxErrorsAreExact) {
+  const auto expect_error = [](const std::string& script,
+                               const std::string& needle) {
+    ScenarioRunner runner;
+    const auto result = runner.run(script);
+    EXPECT_FALSE(result.ok) << script;
+    EXPECT_NE(result.error.find(needle), std::string::npos)
+        << script << " -> " << result.error;
+  };
+  expect_error("replicas 0\n", "replicas '0' must be an integer in [1, 16]");
+  expect_error("replicas 17\n", "replicas '17' must be an integer in [1, 16]");
+  expect_error("replicas 2.5\n",
+               "replicas '2.5' must be an integer in [1, 16]");
+  expect_error("election-timeout-ms 0\n",
+               "election-timeout-ms '0' must be > 0");
+  expect_error("topology clique 3\nstart\nreplicas 2\n", "before 'start'");
+  expect_error(
+      "topology clique 4\nsdn 4\nstart\ncrash controller x\n",
+      "controller replica id 'x' must be a non-negative integer");
+  expect_error("topology clique 4\nsdn 4\nstart\ncrash controller 1\n",
+               "replica id 1 out of range (controller_replicas=1)");
+  expect_error("topology clique 4\nsdn 4\nstart\ncrash controller 0 0\n",
+               "usage: crash controller [replica]|speaker");
+  expect_error("topology clique 4\nsdn 4\nstart\ncrash speaker 1\n",
+               "usage: crash speaker");
+  // The error carries the offending line number.
+  ScenarioRunner runner;
+  const auto result =
+      runner.run("topology clique 4\nsdn 4\nstart\ncrash controller 3\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 4"), std::string::npos);
+}
+
 TEST(Scenario, SynthCaidaTopology) {
   ScenarioRunner runner;
   const auto result = runner.run(

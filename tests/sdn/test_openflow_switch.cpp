@@ -48,12 +48,14 @@ TEST(OfCodec, FlowModRoundTrip) {
   m.match.proto = net::Protocol::kBgp;
   m.priority = 200;
   m.action = FlowAction::output(core::PortId{5});
+  m.epoch = 7;
   const auto back = decode(encode(m));
   ASSERT_TRUE(back.has_value());
   const auto& got = std::get<OfFlowMod>(*back);
   EXPECT_EQ(got.match, m.match);
   EXPECT_EQ(got.priority, m.priority);
   EXPECT_EQ(got.action, m.action);
+  EXPECT_EQ(got.epoch, 7u);
 }
 
 TEST(OfCodec, FlowModWildcardsRoundTrip) {
@@ -215,6 +217,38 @@ TEST_F(SwitchControllerTest, PortStatusReachesController) {
   loop.run(loop.now() + core::Duration::seconds(1));
   ASSERT_EQ(ctrl->port_events.size(), 2u);
   EXPECT_TRUE(ctrl->port_events[1].second.up);
+}
+
+TEST_F(SwitchControllerTest, StaleEpochFlowModsAreRejected) {
+  // Epoch fencing: once the switch has seen programming from cluster epoch
+  // 5, a deposed leader's epoch-3 FlowMod must be dropped on the floor.
+  OfFlowMod current;
+  current.match.dst = *net::Prefix::parse("10.1.0.0/16");
+  current.priority = 100;
+  current.action = FlowAction::output(core::PortId{1});
+  current.epoch = 5;
+  ctrl->send_flow_mod(sw->dpid(), current);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  ASSERT_EQ(sw->table().size(), 1u);
+  EXPECT_EQ(sw->max_epoch_seen(), 5u);
+
+  OfFlowMod stale;
+  stale.match.dst = *net::Prefix::parse("10.2.0.0/16");
+  stale.priority = 100;
+  stale.action = FlowAction::output(core::PortId{1});
+  stale.epoch = 3;
+  ctrl->send_flow_mod(sw->dpid(), stale);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  EXPECT_EQ(sw->table().size(), 1u);
+  EXPECT_EQ(sw->counters().stale_flowmods_rejected, 1u);
+  EXPECT_EQ(sw->max_epoch_seen(), 5u);
+
+  // Same-epoch programming (the serving leader) still lands.
+  stale.epoch = 5;
+  ctrl->send_flow_mod(sw->dpid(), stale);
+  loop.run(loop.now() + core::Duration::seconds(1));
+  EXPECT_EQ(sw->table().size(), 2u);
+  EXPECT_EQ(sw->counters().stale_flowmods_rejected, 1u);
 }
 
 TEST_F(SwitchControllerTest, DropActionDrops) {

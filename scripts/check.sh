@@ -227,6 +227,40 @@ else
   echo "WARNING: python3 not found; skipping determinism diff" >&2
 fi
 
+# Scale job: the RIB-compaction sweep (capped at 1k ASes under BGPSDN_QUICK)
+# must emit byte-identical JSON across job counts, match the bench_scale
+# schema — including the mem.* block and the compact-vs-reference RIB
+# memory-ratio gate baked into the validator — and hold its convergence
+# medians against the committed full-sweep baseline. Medians are virtual
+# time (deterministic per seed), so the tolerance is near-zero; the quick
+# sweep skips the 10k cells, hence --allow-missing. Refresh after an
+# intentional change with:
+#   ./build/bench/bench_scale --json BENCH_baseline_scale.json
+echo "===== bench_scale (jobs=1 vs 4, schema, perf gate)"
+if command -v python3 > /dev/null 2>&1; then
+  BGPSDN_QUICK=1 BGPSDN_JOBS=1 \
+    ./build/bench/bench_scale --json build/json/scale_j1.json > /dev/null
+  BGPSDN_QUICK=1 BGPSDN_JOBS=4 \
+    ./build/bench/bench_scale --json build/json/scale_j4.json > /dev/null
+  python3 - <<'EOF'
+import json, sys
+docs = []
+for jobs in (1, 4):
+    with open(f"build/json/scale_j{jobs}.json") as f:
+        doc = json.load(f)
+    doc.pop("footer", None)  # wall-clock + jobs count legitimately differ
+    docs.append(json.dumps(doc, sort_keys=True))
+if docs[0] != docs[1]:
+    sys.exit("bench_scale: JSON differs between BGPSDN_JOBS=1 and 4")
+print("bench_scale: byte-identical across jobs counts (footer excluded)")
+EOF
+  python3 scripts/validate_bench_json.py build/json/scale_j1.json
+  python3 scripts/compare_bench.py build/json/scale_j1.json \
+    --baseline BENCH_baseline_scale.json --tolerance 0.01 --allow-missing
+else
+  echo "WARNING: python3 not found; skipping bench_scale checks" >&2
+fi
+
 # Perf job: micro-bench medians gated against the committed baseline.
 # Tolerance is generous (25%) because this runs on whatever machine the
 # developer has; it exists to catch order-of-magnitude regressions in the

@@ -20,7 +20,9 @@ Exit status is non-zero if any shared label regresses. Labels present only
 in the current document are reported as new (not a failure, so adding a
 bench does not require regenerating the baseline in the same change);
 labels present only in the baseline fail, since silently dropping a bench
-would un-gate it.
+would un-gate it — unless --allow-missing is given, for gating a reduced
+sweep (e.g. a BGPSDN_QUICK run, which skips the largest cells) against a
+full committed baseline.
 
 Stdlib only, by design: the gate must run anywhere the benches build.
 """
@@ -57,6 +59,12 @@ def main():
         help="absolute slowdown (seconds) below which a point never "
         "regresses, regardless of ratio (default 25ns)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="baseline-only labels warn instead of failing (for gating a "
+        "reduced/quick sweep against a full baseline)",
+    )
     args = parser.parse_args()
 
     current = load_medians(args.current)
@@ -67,7 +75,12 @@ def main():
     for label in sorted(baseline):
         base = baseline[label]
         if label not in current:
-            failures.append(f"{label}: present in baseline but missing from run")
+            if args.allow_missing:
+                print(f"{label:<{width}}  (not in this run, baseline-only)")
+            else:
+                failures.append(
+                    f"{label}: present in baseline but missing from run"
+                )
             continue
         cur = current[label]
         ratio = cur / base if base > 0 else float("inf")

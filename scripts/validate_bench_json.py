@@ -62,6 +62,25 @@ ABLATION_CHURN_EXTRAS = (
 )
 
 
+# bench_scale documents sweep the AS count: internet-like and synthetic-
+# CAIDA convergence cells derived from the declared size lists, plus a
+# memory-comparison pair (same seeded trial under both RIB layouts) whose
+# extras carry the deterministic mem model bytes. The compact layout must
+# undercut the reference layout's RIB bytes fivefold, and the pair's
+# convergence values must be byte-identical (the layouts may differ only in
+# memory accounting, never in behaviour).
+SCALE_PARAMS = {
+    "il_sizes", "caida_sizes", "mem_size", "origins", "prefixes_per_origin",
+    "runs",
+}
+SCALE_POINT_EXTRAS = ("ases", "updates_rx_median", "decision_runs_median")
+MEM_KEYS = {
+    "rib_in", "loc_rib", "rib_out", "rib_total", "attr_pool",
+    "attr_registry", "flow_tables", "speaker_ribs", "total",
+}
+SCALE_MEM_RATIO = 5
+
+
 # bgpsdn_matrix documents describe the expanded cross product: the declared
 # axes (object of value-string arrays), and on every point the cell's
 # coordinates, which must name exactly the declared axes with declared
@@ -137,6 +156,8 @@ def validate(path):
         validate_ablation_recompute(path, doc)
     if doc["bench"] == "bgpsdn_matrix":
         validate_matrix(path, doc)
+    if doc["bench"] == "bench_scale":
+        validate_scale(path, doc)
 
     print(f"{path}: ok ({doc['bench']}, {len(doc['points'])} points)")
 
@@ -228,6 +249,103 @@ def validate_ablation_recompute(path, doc):
             f"churn{top}: incremental settles {inc_settles} not 5x below "
             f"reference {ref_settles}",
         )
+
+
+def validate_scale(path, doc):
+    params = doc["params"]
+    missing = SCALE_PARAMS - set(params)
+    if missing:
+        fail(path, f"bench_scale params missing {sorted(missing)}")
+    for key in ("il_sizes", "caida_sizes"):
+        sizes = params[key]
+        if (
+            not isinstance(sizes, list)
+            or not sizes
+            or any(not isinstance(s, int) or s < 1 for s in sizes)
+        ):
+            fail(path, f"bench_scale params.{key} must list positive integers")
+    mem_size = params["mem_size"]
+    if mem_size != params["il_sizes"][-1]:
+        fail(
+            path,
+            f"mem_size {mem_size} is not the largest internet-like size "
+            f"{params['il_sizes'][-1]}",
+        )
+
+    # The label set is fully determined by the size lists.
+    want = {f"mem_compact_{mem_size}", f"mem_reference_{mem_size}"}
+    for size in params["il_sizes"]:
+        want.add(f"il{size}_withdrawal")
+        want.add(f"il{size}_announcement")
+    for size in params["caida_sizes"]:
+        want.add(f"caida{size}_withdrawal")
+    points = {point["label"]: point for point in doc["points"]}
+    if set(points) != want:
+        fail(path, f"bench_scale labels {sorted(points)} != {sorted(want)}")
+
+    for label, point in sorted(points.items()):
+        for key in SCALE_POINT_EXTRAS:
+            if not isinstance(point["extra"].get(key), NUMBER):
+                fail(path, f"{label}.extra.{key} must be a number")
+        if not isinstance(point["extra"].get("rib_layout"), str):
+            fail(path, f"{label}.extra.rib_layout must be a string")
+        for v in point["values"]:
+            # A negative convergence value is the bench's trial-failed
+            # sentinel; it must never reach a committed document.
+            if not isinstance(v, NUMBER) or v < 0:
+                fail(path, f"{label}: trial value {v} marks a failed trial")
+
+    mems = {}
+    for layout in ("compact", "reference"):
+        point = points[f"mem_{layout}_{mem_size}"]
+        mem = point["extra"].get("mem")
+        if not isinstance(mem, dict) or set(mem) != MEM_KEYS:
+            fail(
+                path,
+                f"mem_{layout}_{mem_size}.extra.mem keys != {sorted(MEM_KEYS)}",
+            )
+        if any(not isinstance(v, int) or v < 0 for v in mem.values()):
+            fail(path, f"mem_{layout}_{mem_size}.extra.mem values must be ints")
+        if point["extra"]["rib_layout"] != layout:
+            fail(path, f"mem_{layout}_{mem_size} ran layout "
+                       f"{point['extra']['rib_layout']!r}")
+        mems[layout] = mem
+
+    # The memory pair runs the identical seeded trial: convergence must be
+    # byte-identical across layouts (determinism), while the compact RIB
+    # bytes undercut the reference fivefold (the point of the layout).
+    compact = points[f"mem_compact_{mem_size}"]
+    reference = points[f"mem_reference_{mem_size}"]
+    if compact["values"] != reference["values"]:
+        fail(
+            path,
+            f"mem pair convergence diverged between layouts "
+            f"({compact['values']} vs {reference['values']})",
+        )
+    if mems["reference"]["rib_total"] <= 0:
+        fail(path, "mem_reference rib_total is zero; the sweep is vacuous")
+    if mems["compact"]["rib_total"] * SCALE_MEM_RATIO > mems["reference"]["rib_total"]:
+        fail(
+            path,
+            f"compact rib_total {mems['compact']['rib_total']} not "
+            f"{SCALE_MEM_RATIO}x below reference "
+            f"{mems['reference']['rib_total']}",
+        )
+    if mems["reference"]["attr_registry"] != 0:
+        fail(path, "reference layout reported attr_registry bytes")
+
+    # The compact cell's model bytes are mirrored as flat counters.
+    counters = doc["counters"]
+    for key in MEM_KEYS - {"rib_total"}:
+        name = f"mem.{key}"
+        if name not in counters:
+            fail(path, f"counters missing {name}")
+        if counters[name] != mems["compact"][key]:
+            fail(
+                path,
+                f"counters[{name}] {counters[name]} != mem_compact extra "
+                f"{mems['compact'][key]}",
+            )
 
 
 def validate_matrix(path, doc):

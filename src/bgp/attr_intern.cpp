@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/mem_stats.hpp"
+
 namespace bgpsdn::bgp {
 
 namespace {
@@ -85,6 +87,27 @@ AttrPoolStats attr_pool_stats() {
   stats.hits = p.hits;
   stats.purges = p.purges;
   return stats;
+}
+
+std::uint64_t attr_pool_live_bytes() {
+  const Pool& p = pool();
+  std::uint64_t bytes = 0;
+  for (const auto& [h, wp] : p.entries) {
+    if (const auto sp = wp.lock(); sp != nullptr) {
+      // Bundle plus its shared_ptr control block, then the heap arrays
+      // behind the AS-path and community vectors.
+      bytes += core::alloc_block_bytes(sizeof(PathAttributes) + 32);
+      if (!sp->as_path.hops().empty()) {
+        bytes += core::alloc_block_bytes(sp->as_path.hops().size() *
+                                         sizeof(core::AsNumber));
+      }
+      if (!sp->communities.empty()) {
+        bytes += core::alloc_block_bytes(sp->communities.size() *
+                                         sizeof(std::uint32_t));
+      }
+    }
+  }
+  return bytes;
 }
 
 void attr_pool_purge() { pool().sweep(); }

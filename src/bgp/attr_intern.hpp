@@ -77,6 +77,11 @@ struct AttrPoolStats {
 };
 AttrPoolStats attr_pool_stats();
 
+/// Deterministic bytes held by this thread's live canonical bundles
+/// (core/mem_stats.hpp allocation model; element counts, not capacities, so
+/// the figure depends only on the simulated workload).
+std::uint64_t attr_pool_live_bytes();
+
 /// Sweep expired entries now (tests; normal operation relies on the
 /// amortized lazy sweep).
 void attr_pool_purge();

@@ -1,112 +1,739 @@
 #include "bgp/rib.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace bgpsdn::bgp {
 
-void AdjRibIn::put(const Route& route) {
-  by_prefix_[route.prefix][route.learned_from] = route;
+const char* to_string(RibLayout layout) {
+  switch (layout) {
+    case RibLayout::kCompact:
+      return "compact";
+    case RibLayout::kReference:
+      return "reference";
+  }
+  return "?";
+}
+
+namespace detail {
+
+const SessionInfo* SessionTable::find(std::uint32_t session) const {
+  const auto it = std::lower_bound(
+      infos_.begin(), infos_.end(), session,
+      [](const SessionInfo& s, std::uint32_t v) { return s.session < v; });
+  if (it == infos_.end() || it->session != session) return nullptr;
+  return &*it;
+}
+
+void SessionTable::add(std::uint32_t session, std::uint32_t bgp_id,
+                       std::uint32_t address) {
+  const auto it = std::lower_bound(
+      infos_.begin(), infos_.end(), session,
+      [](const SessionInfo& s, std::uint32_t v) { return s.session < v; });
+  if (it != infos_.end() && it->session == session) {
+    it->bgp_id = bgp_id;
+    it->address = address;
+    ++it->routes;
+    return;
+  }
+  infos_.insert(it, SessionInfo{session, bgp_id, address, 1});
+}
+
+void SessionTable::drop(std::uint32_t session) {
+  const auto it = std::lower_bound(
+      infos_.begin(), infos_.end(), session,
+      [](const SessionInfo& s, std::uint32_t v) { return s.session < v; });
+  assert(it != infos_.end() && it->session == session);
+  if (--it->routes == 0) infos_.erase(it);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// AttrRegistry
+
+namespace {
+
+std::size_t attr_slot_hash(const PathAttributes* key) {
+  // splitmix64 finalizer over the canonical bundle address. Heap addresses
+  // differ across runs, which only steers the probe order — slot counts and
+  // lookup results depend on the acquire/release sequence alone.
+  auto x = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(key));
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+}  // namespace
+
+std::uint32_t AttrRegistry::acquire(const AttrSetRef& ref) {
+  // Interning makes the canonical bundle address a value key within one
+  // trial thread, so dedup is a pointer probe.
+  const PathAttributes* key = &ref.get();
+  if (slots_.empty() || (live_ + 1) * 10 > slots_.size() * 7) grow();
+  std::size_t i = attr_slot_hash(key) & slot_mask_;
+  while (slots_[i] != kNone) {
+    Entry& e = entries_[slots_[i]];
+    if (&e.ref.get() == key) {
+      ++e.refs;
+      return slots_[i];
+    }
+    i = (i + 1) & slot_mask_;
+  }
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  entries_[index].ref = ref;
+  entries_[index].refs = 1;
+  slots_[i] = index;
+  ++live_;
+  return index;
+}
+
+void AttrRegistry::release(std::uint32_t index) {
+  Entry& e = entries_[index];
+  if (--e.refs > 0) return;
+  const PathAttributes* key = &e.ref.get();
+  std::size_t i = attr_slot_hash(key) & slot_mask_;
+  while (slots_[i] != index) i = (i + 1) & slot_mask_;
+  // Backshift: pull later entries of the probe chain over the hole so
+  // lookups never need tombstones.
+  std::size_t hole = i;
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & slot_mask_;
+    if (slots_[j] == kNone) break;
+    const std::size_t ideal =
+        attr_slot_hash(&entries_[slots_[j]].ref.get()) & slot_mask_;
+    if (((j - ideal) & slot_mask_) >= ((j - hole) & slot_mask_)) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  slots_[hole] = kNone;
+  e.ref = AttrSetRef{};
+  free_.push_back(index);
+  --live_;
+}
+
+void AttrRegistry::grow() {
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(old.empty() ? 16 : old.size() * 2, kNone);
+  slot_mask_ = slots_.size() - 1;
+  for (const std::uint32_t id : old) {
+    if (id == kNone) continue;
+    std::size_t i = attr_slot_hash(&entries_[id].ref.get()) & slot_mask_;
+    while (slots_[i] != kNone) i = (i + 1) & slot_mask_;
+    slots_[i] = id;
+  }
+}
+
+std::uint64_t AttrRegistry::bytes() const {
+  return static_cast<std::uint64_t>(entries_.size()) * sizeof(Entry) +
+         static_cast<std::uint64_t>(free_.size()) * sizeof(std::uint32_t) +
+         static_cast<std::uint64_t>(slots_.size()) * sizeof(std::uint32_t);
+}
+
+// ---------------------------------------------------------------------------
+// AdjRibIn
+
+AdjRibIn::AdjRibIn(RibLayout layout, AttrRegistryRef attrs)
+    : layout_{layout},
+      attrs_{attrs != nullptr ? std::move(attrs)
+                              : std::make_shared<AttrRegistry>()} {}
+
+bool AdjRibIn::put(const Route& route) {
+  return layout_ == RibLayout::kReference ? put_reference(route)
+                                          : put_compact(route);
+}
+
+bool AdjRibIn::put_reference(const Route& route) {
+  auto& slot = by_prefix_[route.prefix];
+  const auto it = slot.find(route.learned_from);
+  bool changed = true;
+  if (it != slot.end()) {
+    const Route& old = it->second;
+    changed = !(old.attributes == route.attributes &&
+                old.installed_at == route.installed_at &&
+                old.peer_bgp_id == route.peer_bgp_id &&
+                old.peer_address == route.peer_address);
+    it->second = route;
+  } else {
+    slot.emplace(route.learned_from, route);
+    ++count_;
+  }
+  note_usage();
+  return changed;
+}
+
+bool AdjRibIn::put_compact(const Route& route) {
+  const std::uint32_t sid = route.learned_from.value();
+  const std::uint32_t bgp_id = route.peer_bgp_id.bits();
+  const std::uint32_t address = route.peer_address.bits();
+  const std::int64_t installed = route.installed_at.nanos_since_origin();
+
+  InSpan* span = spans_.find(route.prefix);
+  if (span == nullptr) {
+    InSpan fresh;
+    fresh.capacity = 1;
+    fresh.size = 0;
+    fresh.offset = alloc_span(1);
+    spans_.put(route.prefix, fresh);
+    span = spans_.find(route.prefix);
+  }
+
+  // Candidates are kept session-ascending so iteration order matches the
+  // reference std::map<SessionId, Route>.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = span->size;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (slab_[span->offset + mid].session < sid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+
+  if (lo < span->size && slab_[span->offset + lo].session == sid) {
+    Candidate& c = slab_[span->offset + lo];
+    detail::SessionInfo* info = sessions_.find(sid);
+    const bool same = attrs_->at(c.attr) == route.attributes &&
+                      c.installed_ns == installed && info->bgp_id == bgp_id &&
+                      info->address == address;
+    if (same) return false;
+    const std::uint32_t index = attrs_->acquire(route.attributes);
+    attrs_->release(c.attr);
+    c.attr = index;
+    c.installed_ns = installed;
+    info->bgp_id = bgp_id;
+    info->address = address;
+    note_usage();
+    return true;
+  }
+
+  if (span->size == span->capacity) {
+    const auto capacity = static_cast<std::uint16_t>(span->capacity * 2);
+    const std::uint32_t offset = alloc_span(capacity);
+    std::memcpy(&slab_[offset], &slab_[span->offset],
+                span->size * sizeof(Candidate));
+    free_span(span->offset, span->capacity);
+    span->offset = offset;
+    span->capacity = capacity;
+  }
+  Candidate* base = slab_.data() + span->offset;
+  std::memmove(base + lo + 1, base + lo,
+               (span->size - lo) * sizeof(Candidate));
+  base[lo] = Candidate{sid, attrs_->acquire(route.attributes), installed};
+  ++span->size;
+  ++count_;
+  sessions_.add(sid, bgp_id, address);
+  maybe_defrag();
+  note_usage();
+  return true;
 }
 
 bool AdjRibIn::erase(const net::Prefix& prefix, core::SessionId session) {
-  const auto it = by_prefix_.find(prefix);
-  if (it == by_prefix_.end()) return false;
-  const bool erased = it->second.erase(session) > 0;
-  if (it->second.empty()) by_prefix_.erase(it);
+  if (layout_ == RibLayout::kReference) {
+    const auto it = by_prefix_.find(prefix);
+    if (it == by_prefix_.end()) return false;
+    const bool erased = it->second.erase(session) > 0;
+    if (erased) --count_;
+    if (it->second.empty()) by_prefix_.erase(it);
+    return erased;
+  }
+  const bool erased = erase_compact(prefix, session.value());
+  if (erased) maybe_defrag();
   return erased;
+}
+
+bool AdjRibIn::erase_compact(const net::Prefix& prefix,
+                             std::uint32_t session) {
+  InSpan* span = spans_.find(prefix);
+  if (span == nullptr) return false;
+  Candidate* base = slab_.data() + span->offset;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = span->size;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (base[mid].session < session) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == span->size || base[lo].session != session) return false;
+  attrs_->release(base[lo].attr);
+  std::memmove(base + lo, base + lo + 1,
+               (span->size - lo - 1) * sizeof(Candidate));
+  --span->size;
+  --count_;
+  sessions_.drop(session);
+  if (span->size == 0) {
+    free_span(span->offset, span->capacity);
+    spans_.erase(prefix);
+  }
+  return true;
 }
 
 std::vector<net::Prefix> AdjRibIn::erase_session(core::SessionId session) {
   std::vector<net::Prefix> affected;
-  for (auto it = by_prefix_.begin(); it != by_prefix_.end();) {
-    if (it->second.erase(session) > 0) affected.push_back(it->first);
-    if (it->second.empty()) {
-      it = by_prefix_.erase(it);
-    } else {
-      ++it;
+  if (layout_ == RibLayout::kReference) {
+    for (auto it = by_prefix_.begin(); it != by_prefix_.end();) {
+      if (it->second.erase(session) > 0) {
+        --count_;
+        affected.push_back(it->first);
+      }
+      if (it->second.empty()) {
+        it = by_prefix_.erase(it);
+      } else {
+        ++it;
+      }
     }
+    std::sort(affected.begin(), affected.end());
+    return affected;
   }
+  const std::uint32_t sid = session.value();
+  if (sessions_.find(sid) == nullptr) return affected;
+  spans_.scan([&](const net::Prefix& prefix, const InSpan& span) {
+    for (std::uint32_t i = 0; i < span.size; ++i) {
+      if (slab_[span.offset + i].session == sid) {
+        affected.push_back(prefix);
+        return;
+      }
+    }
+  });
+  std::sort(affected.begin(), affected.end());
+  for (const auto& prefix : affected) erase_compact(prefix, sid);
+  maybe_defrag();
   return affected;
 }
 
 const Route* AdjRibIn::find(const net::Prefix& prefix,
                             core::SessionId session) const {
-  const auto it = by_prefix_.find(prefix);
-  if (it == by_prefix_.end()) return nullptr;
-  const auto rit = it->second.find(session);
-  return rit == it->second.end() ? nullptr : &rit->second;
+  if (layout_ == RibLayout::kReference) {
+    const auto it = by_prefix_.find(prefix);
+    if (it == by_prefix_.end()) return nullptr;
+    const auto rit = it->second.find(session);
+    return rit == it->second.end() ? nullptr : &rit->second;
+  }
+  const InSpan* span = spans_.find(prefix);
+  if (span == nullptr) return nullptr;
+  const std::uint32_t sid = session.value();
+  for (std::uint32_t i = 0; i < span->size; ++i) {
+    const Candidate& c = slab_[span->offset + i];
+    if (c.session == sid) {
+      scratch_.prefix = prefix;
+      materialize(c, scratch_);
+      return &scratch_;
+    }
+  }
+  return nullptr;
 }
 
-std::vector<const Route*> AdjRibIn::candidates(const net::Prefix& prefix) const {
+std::vector<const Route*> AdjRibIn::candidates(
+    const net::Prefix& prefix) const {
   std::vector<const Route*> out;
-  const auto it = by_prefix_.find(prefix);
-  if (it == by_prefix_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [sid, route] : it->second) out.push_back(&route);
+  if (layout_ == RibLayout::kReference) {
+    const auto it = by_prefix_.find(prefix);
+    if (it == by_prefix_.end()) return out;
+    out.reserve(it->second.size());
+    for (const auto& [sid, route] : it->second) out.push_back(&route);
+    return out;
+  }
+  const InSpan* span = spans_.find(prefix);
+  if (span == nullptr) return out;
+  scratch_candidates_.assign(span->size, Route{});
+  for (std::uint32_t i = 0; i < span->size; ++i) {
+    scratch_candidates_[i].prefix = prefix;
+    materialize(slab_[span->offset + i], scratch_candidates_[i]);
+  }
+  out.reserve(span->size);
+  for (const auto& route : scratch_candidates_) out.push_back(&route);
   return out;
 }
 
-std::size_t AdjRibIn::route_count() const {
-  std::size_t n = 0;
-  for (const auto& [p, m] : by_prefix_) n += m.size();
-  return n;
-}
+std::size_t AdjRibIn::route_count() const { return count_; }
 
 std::vector<net::Prefix> AdjRibIn::prefixes() const {
-  std::vector<net::Prefix> out;
-  out.reserve(by_prefix_.size());
-  for (const auto& [p, m] : by_prefix_) out.push_back(p);
-  return out;
+  if (layout_ == RibLayout::kReference) {
+    std::vector<net::Prefix> out;
+    out.reserve(by_prefix_.size());
+    for (const auto& [prefix, slot] : by_prefix_) out.push_back(prefix);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  return spans_.sorted_keys();
 }
 
+std::uint32_t AdjRibIn::alloc_span(std::uint16_t capacity) {
+  std::uint32_t log2 = 0;
+  while ((std::uint32_t{1} << log2) < capacity) ++log2;
+  if (log2 < free_spans_.size() && !free_spans_[log2].empty()) {
+    const std::uint32_t offset = free_spans_[log2].back();
+    free_spans_[log2].pop_back();
+    free_slots_ -= std::size_t{1} << log2;
+    return offset;
+  }
+  const auto offset = static_cast<std::uint32_t>(slab_.size());
+  slab_.resize(slab_.size() + capacity);
+  return offset;
+}
+
+void AdjRibIn::free_span(std::uint32_t offset, std::uint16_t capacity) {
+  std::uint32_t log2 = 0;
+  while ((std::uint32_t{1} << log2) < capacity) ++log2;
+  if (free_spans_.size() <= log2) free_spans_.resize(log2 + 1);
+  free_spans_[log2].push_back(offset);
+  free_slots_ += std::size_t{1} << log2;
+}
+
+void AdjRibIn::maybe_defrag() {
+  // The grow-by-doubling churn strands small spans on the free lists (every
+  // span that outgrew capacity 1 or 2 leaves its old slots behind, and no
+  // later allocation wants them once all prefixes have spans). Rebuilding
+  // packs live spans tightly — span capacities stay power-of-two, only the
+  // dead slots go — and is amortized by the one-third trigger.
+  if (slab_.size() < 256 || free_slots_ * 3 < slab_.size()) return;
+  std::vector<Candidate> packed;
+  packed.reserve(slab_.size() - free_slots_);
+  spans_.scan_mut([&](const net::Prefix&, InSpan& span) {
+    const auto offset = static_cast<std::uint32_t>(packed.size());
+    packed.insert(packed.end(), slab_.begin() + span.offset,
+                  slab_.begin() + span.offset + span.size);
+    packed.resize(packed.size() + (span.capacity - span.size));
+    span.offset = offset;
+  });
+  slab_ = std::move(packed);
+  for (auto& bucket : free_spans_) bucket.clear();
+  free_slots_ = 0;
+}
+
+void AdjRibIn::materialize(const Candidate& c, Route& out) const {
+  const detail::SessionInfo* info = sessions_.find(c.session);
+  out.attributes = attrs_->at(c.attr);
+  out.learned_from = core::SessionId{c.session};
+  out.peer_bgp_id = net::Ipv4Addr{info->bgp_id};
+  out.peer_address = net::Ipv4Addr{info->address};
+  out.installed_at = core::TimePoint::from_nanos(c.installed_ns);
+}
+
+std::uint64_t AdjRibIn::current_bytes() const {
+  if (layout_ == RibLayout::kReference) {
+    return count_ * core::rb_node_bytes(
+                        sizeof(std::pair<const core::SessionId, Route>)) +
+           by_prefix_.size() *
+               core::hash_node_bytes(
+                   sizeof(std::pair<const net::Prefix,
+                                    std::map<core::SessionId, Route>>)) +
+           core::hash_buckets_bytes(by_prefix_.size());
+  }
+  // Slab extent (live spans + not-yet-defragged free spans), never vector
+  // capacity: growth-doubling slack is an artifact of std::vector, a real
+  // slab allocator would chunk. The shared attr registry is accounted by
+  // its owner (mem.attr_registry).
+  return spans_.slot_bytes() +
+         static_cast<std::uint64_t>(slab_.size()) * sizeof(Candidate) +
+         sessions_.bytes();
+}
+
+void AdjRibIn::note_usage() {
+  peak_bytes_ = std::max(peak_bytes_, current_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// LocRib
+
+LocRib::LocRib(RibLayout layout, AttrRegistryRef attrs)
+    : layout_{layout},
+      attrs_{attrs != nullptr ? std::move(attrs)
+                              : std::make_shared<AttrRegistry>()} {}
+
 bool LocRib::install(const Route& route) {
-  auto it = routes_.find(route.prefix);
-  if (it != routes_.end() && it->second.attributes == route.attributes &&
-      it->second.learned_from == route.learned_from) {
+  if (layout_ == RibLayout::kReference) {
+    const auto it = routes_.find(route.prefix);
+    if (it != routes_.end() && it->second.attributes == route.attributes &&
+        it->second.learned_from == route.learned_from) {
+      return false;
+    }
+    routes_[route.prefix] = route;
+    ++generation_;
+    note_usage();
+    return true;
+  }
+  LocEntry* entry = table_.find(route.prefix);
+  const std::uint32_t sid = route.learned_from.value();
+  if (entry != nullptr && attrs_->at(entry->attr) == route.attributes &&
+      entry->session == sid) {
     return false;
   }
-  routes_[route.prefix] = route;
+  const std::uint32_t index = attrs_->acquire(route.attributes);
+  const std::uint32_t bgp_id = route.peer_bgp_id.bits();
+  const std::uint32_t address = route.peer_address.bits();
+  if (entry != nullptr) {
+    attrs_->release(entry->attr);
+    if (entry->session != sid) {
+      sessions_.drop(entry->session);
+      sessions_.add(sid, bgp_id, address);
+    } else {
+      detail::SessionInfo* info = sessions_.find(sid);
+      info->bgp_id = bgp_id;
+      info->address = address;
+    }
+    entry->attr = index;
+    entry->session = sid;
+    entry->installed_ns = route.installed_at.nanos_since_origin();
+  } else {
+    sessions_.add(sid, bgp_id, address);
+    LocEntry fresh;
+    fresh.attr = index;
+    fresh.session = sid;
+    fresh.installed_ns = route.installed_at.nanos_since_origin();
+    table_.put(route.prefix, fresh);
+  }
   ++generation_;
+  note_usage();
   return true;
 }
 
 bool LocRib::remove(const net::Prefix& prefix) {
-  if (routes_.erase(prefix) == 0) return false;
+  if (layout_ == RibLayout::kReference) {
+    if (routes_.erase(prefix) == 0) return false;
+    ++generation_;
+    return true;
+  }
+  LocEntry* entry = table_.find(prefix);
+  if (entry == nullptr) return false;
+  attrs_->release(entry->attr);
+  sessions_.drop(entry->session);
+  table_.erase(prefix);
   ++generation_;
   return true;
 }
 
 const Route* LocRib::find(const net::Prefix& prefix) const {
-  const auto it = routes_.find(prefix);
-  return it == routes_.end() ? nullptr : &it->second;
+  if (layout_ == RibLayout::kReference) {
+    const auto it = routes_.find(prefix);
+    return it == routes_.end() ? nullptr : &it->second;
+  }
+  const LocEntry* entry = table_.find(prefix);
+  if (entry == nullptr) return nullptr;
+  const detail::SessionInfo* info = sessions_.find(entry->session);
+  scratch_.prefix = prefix;
+  scratch_.attributes = attrs_->at(entry->attr);
+  scratch_.learned_from = core::SessionId{entry->session};
+  scratch_.peer_bgp_id = net::Ipv4Addr{info->bgp_id};
+  scratch_.peer_address = net::Ipv4Addr{info->address};
+  scratch_.installed_at = core::TimePoint::from_nanos(entry->installed_ns);
+  return &scratch_;
+}
+
+std::size_t LocRib::size() const {
+  return layout_ == RibLayout::kReference ? routes_.size() : table_.size();
 }
 
 std::vector<net::Prefix> LocRib::prefixes() const {
-  std::vector<net::Prefix> out;
-  out.reserve(routes_.size());
-  for (const auto& [p, r] : routes_) out.push_back(p);
-  return out;
+  if (layout_ == RibLayout::kReference) {
+    std::vector<net::Prefix> out;
+    out.reserve(routes_.size());
+    for (const auto& [prefix, route] : routes_) out.push_back(prefix);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  return table_.sorted_keys();
 }
 
-bool AdjRibOut::advertise(const net::Prefix& prefix, const AttrSetRef& attrs) {
-  const auto it = advertised_.find(prefix);
-  if (it != advertised_.end() && it->second == attrs) return false;
-  advertised_[prefix] = attrs;
+std::uint64_t LocRib::current_bytes() const {
+  if (layout_ == RibLayout::kReference) {
+    return routes_.size() * core::hash_node_bytes(
+                                sizeof(std::pair<const net::Prefix, Route>)) +
+           core::hash_buckets_bytes(routes_.size());
+  }
+  return table_.slot_bytes() + sessions_.bytes();
+}
+
+void LocRib::note_usage() {
+  peak_bytes_ = std::max(peak_bytes_, current_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// RibOutStore
+
+RibOutStore::RibOutStore(RibLayout layout, AttrRegistryRef attrs)
+    : layout_{layout},
+      attrs_{attrs != nullptr ? std::move(attrs)
+                              : std::make_shared<AttrRegistry>()} {}
+
+std::uint16_t RibOutStore::add_column() {
+  const std::uint16_t column = columns_++;
+  col_size_.push_back(0);
+  if (layout_ == RibLayout::kReference) ref_cols_.emplace_back();
+  return column;
+}
+
+bool RibOutStore::advertise(std::uint16_t col, const net::Prefix& prefix,
+                            const AttrSetRef& attrs) {
+  if (layout_ == RibLayout::kReference) {
+    auto& advertised = ref_cols_[col];
+    const auto it = advertised.find(prefix);
+    if (it != advertised.end() && it->second == attrs) return false;
+    if (it == advertised.end()) ++col_size_[col];
+    advertised[prefix] = attrs;
+    note_usage();
+    return true;
+  }
+  OutSpan* span = spans_.find(prefix);
+  if (span == nullptr) {
+    OutSpan fresh;
+    fresh.width = columns_;
+    fresh.offset = alloc_row(columns_);
+    spans_.put(prefix, fresh);
+    span = spans_.find(prefix);
+  } else if (col >= span->width) {
+    span = widen_row(span);
+  }
+  std::uint32_t& slot = slab_[span->offset + col];
+  // Index equality is value equality: within one trial thread interning
+  // canonicalizes bundles and the registry dedups by canonical address.
+  const std::uint32_t index = attrs_->acquire(attrs);
+  if (slot == index) {
+    attrs_->release(index);
+    return false;
+  }
+  if (slot != kNone) {
+    attrs_->release(slot);
+  } else {
+    ++col_size_[col];
+  }
+  slot = index;
+  note_usage();
   return true;
 }
 
-bool AdjRibOut::withdraw(const net::Prefix& prefix) {
-  return advertised_.erase(prefix) > 0;
+bool RibOutStore::withdraw(std::uint16_t col, const net::Prefix& prefix) {
+  if (layout_ == RibLayout::kReference) {
+    if (ref_cols_[col].erase(prefix) == 0) return false;
+    --col_size_[col];
+    return true;
+  }
+  OutSpan* span = spans_.find(prefix);
+  if (span == nullptr || col >= span->width) return false;
+  std::uint32_t& slot = slab_[span->offset + col];
+  if (slot == kNone) return false;
+  attrs_->release(slot);
+  slot = kNone;
+  --col_size_[col];
+  maybe_drop_row(prefix);
+  return true;
 }
 
-const AttrSetRef* AdjRibOut::advertised(const net::Prefix& prefix) const {
-  const auto it = advertised_.find(prefix);
-  return it == advertised_.end() ? nullptr : &it->second;
+const AttrSetRef* RibOutStore::advertised(std::uint16_t col,
+                                          const net::Prefix& prefix) const {
+  if (layout_ == RibLayout::kReference) {
+    const auto& advertised = ref_cols_[col];
+    const auto it = advertised.find(prefix);
+    return it == advertised.end() ? nullptr : &it->second;
+  }
+  const OutSpan* span = spans_.find(prefix);
+  if (span == nullptr || col >= span->width) return nullptr;
+  const std::uint32_t slot = slab_[span->offset + col];
+  return slot == kNone ? nullptr : &attrs_->at(slot);
 }
 
-std::vector<net::Prefix> AdjRibOut::prefixes() const {
+std::size_t RibOutStore::size(std::uint16_t col) const {
+  return col_size_[col];
+}
+
+void RibOutStore::clear(std::uint16_t col) {
+  if (layout_ == RibLayout::kReference) {
+    ref_cols_[col].clear();
+    col_size_[col] = 0;
+    return;
+  }
+  if (col_size_[col] == 0) return;
+  std::vector<net::Prefix> occupied;
+  spans_.scan([&](const net::Prefix& prefix, const OutSpan& span) {
+    if (col < span.width && slab_[span.offset + col] != kNone) {
+      occupied.push_back(prefix);
+    }
+  });
+  for (const auto& prefix : occupied) withdraw(col, prefix);
+}
+
+std::vector<net::Prefix> RibOutStore::prefixes(std::uint16_t col) const {
   std::vector<net::Prefix> out;
-  out.reserve(advertised_.size());
-  for (const auto& [p, a] : advertised_) out.push_back(p);
+  out.reserve(col_size_[col]);
+  if (layout_ == RibLayout::kReference) {
+    for (const auto& [prefix, attrs] : ref_cols_[col]) out.push_back(prefix);
+  } else {
+    spans_.scan([&](const net::Prefix& prefix, const OutSpan& span) {
+      if (col < span.width && slab_[span.offset + col] != kNone) {
+        out.push_back(prefix);
+      }
+    });
+  }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+std::uint32_t RibOutStore::alloc_row(std::uint32_t width) {
+  const auto it = free_rows_.find(width);
+  if (it != free_rows_.end() && !it->second.empty()) {
+    const std::uint32_t offset = it->second.back();
+    it->second.pop_back();
+    std::fill_n(slab_.begin() + offset, width, kNone);
+    return offset;
+  }
+  const auto offset = static_cast<std::uint32_t>(slab_.size());
+  slab_.resize(slab_.size() + width, kNone);
+  return offset;
+}
+
+RibOutStore::OutSpan* RibOutStore::widen_row(OutSpan* span) {
+  const std::uint32_t width = columns_;
+  const std::uint32_t offset = alloc_row(width);
+  for (std::uint32_t i = 0; i < span->width; ++i) {
+    slab_[offset + i] = slab_[span->offset + i];
+  }
+  free_rows_[span->width].push_back(span->offset);
+  span->offset = offset;
+  span->width = width;
+  return span;
+}
+
+void RibOutStore::maybe_drop_row(const net::Prefix& prefix) {
+  OutSpan* span = spans_.find(prefix);
+  for (std::uint32_t i = 0; i < span->width; ++i) {
+    if (slab_[span->offset + i] != kNone) return;
+  }
+  free_rows_[span->width].push_back(span->offset);
+  spans_.erase(prefix);
+}
+
+std::uint64_t RibOutStore::current_bytes() const {
+  if (layout_ == RibLayout::kReference) {
+    std::uint64_t bytes = 0;
+    for (const std::size_t size : col_size_) {
+      bytes += size * core::hash_node_bytes(
+                          sizeof(std::pair<const net::Prefix, AttrSetRef>)) +
+               core::hash_buckets_bytes(size);
+    }
+    return bytes;
+  }
+  // Slab extent, not vector capacity; the shared attr registry is accounted
+  // by its owner (mem.attr_registry).
+  return spans_.slot_bytes() +
+         static_cast<std::uint64_t>(slab_.size()) * sizeof(std::uint32_t);
+}
+
+void RibOutStore::note_usage() {
+  peak_bytes_ = std::max(peak_bytes_, current_bytes());
 }
 
 }  // namespace bgpsdn::bgp

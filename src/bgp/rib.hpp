@@ -3,21 +3,53 @@
 // Mirrors the Quagga/RFC 4271 structure: per-peer inbound tables feed the
 // decision process, the Loc-RIB holds winners, and per-peer outbound tables
 // record what was advertised so update generation can be delta-based.
+//
+// Each RIB supports two storage layouts behind one API (RibLayout):
+//
+//  - kCompact (default): flat open-addressing tables keyed by prefix whose
+//    cells index into shared slabs. An Adj-RIB-In candidate costs 16 bytes
+//    (session, attr-registry index, installed-at) because the prefix lives
+//    in the table key, the peer tiebreak identity in a per-session side
+//    table and the attribute bundle in the simulation-wide refcounted
+//    AttrRegistry; Adj-RIB-Out keeps one row per prefix with a per-peer
+//    column of attr indices shared across all peers of the router
+//    (RibOutStore).
+//  - kReference: the original node-based containers
+//    (unordered_map<Prefix, map<SessionId, Route>> and friends), kept as the
+//    equivalence-tested reference implementation — the same pattern as
+//    FlowTable::lookup_linear() and the controller's shortest_paths().
+//
+// Both layouts expose identical iteration order and tie-break semantics:
+// candidates visit in session-ascending order, and whole-table walks
+// (for_each, prefixes, erase_session) are in sorted-prefix order. Every RIB
+// tracks a deterministic peak-byte figure (core/mem_stats.hpp model) so
+// layouts can be compared without touching OS RSS.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "core/ids.hpp"
-#include "core/time.hpp"
 #include "bgp/attr_intern.hpp"
 #include "bgp/path_attributes.hpp"
+#include "core/ids.hpp"
+#include "core/mem_stats.hpp"
+#include "core/time.hpp"
 #include "net/ip.hpp"
 
 namespace bgpsdn::bgp {
+
+/// Storage layout of the RIB classes. kReference preserves the original
+/// node-based containers for equivalence testing.
+enum class RibLayout : std::uint8_t { kCompact, kReference };
+
+const char* to_string(RibLayout layout);
 
 /// One candidate route for one prefix. Attributes are an interned handle:
 /// every route carrying the same bundle shares one canonical instance.
@@ -34,86 +66,514 @@ struct Route {
   bool is_local() const { return !learned_from.is_valid(); }
 };
 
+namespace detail {
+
+/// Open-addressing hash table keyed by prefix, the compact layouts' index
+/// structure. Linear probing with backshift deletion (no tombstones), power-
+/// of-two capacity, 70% max load. V supplies the free-slot sentinel via
+/// V::empty()/is_empty(); a stored value must never equal the sentinel.
+/// Iteration via scan() is in table order — callers that emit must go
+/// through sorted_keys() instead.
+template <typename V>
+class PrefixTable {
+ public:
+  const V* find(const net::Prefix& key) const {
+    if (size_ == 0) return nullptr;
+    std::size_t i = slot_hash(key) & mask_;
+    while (!cells_[i].value.is_empty()) {
+      if (cells_[i].key == key) return &cells_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  V* find(const net::Prefix& key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Insert or overwrite. `value` must not be the empty sentinel.
+  void put(const net::Prefix& key, V value) {
+    if (cells_.empty() || (size_ + 1) * 10 > cells_.size() * 7) grow();
+    std::size_t i = slot_hash(key) & mask_;
+    while (!cells_[i].value.is_empty()) {
+      if (cells_[i].key == key) {
+        cells_[i].value = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    cells_[i].key = key;
+    cells_[i].value = value;
+    ++size_;
+  }
+
+  bool erase(const net::Prefix& key) {
+    if (size_ == 0) return false;
+    std::size_t i = slot_hash(key) & mask_;
+    while (!cells_[i].value.is_empty() && !(cells_[i].key == key)) {
+      i = (i + 1) & mask_;
+    }
+    if (cells_[i].value.is_empty()) return false;
+    // Backshift: pull later entries of the probe chain over the hole so
+    // lookups never need tombstones.
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (cells_[j].value.is_empty()) break;
+      const std::size_t ideal = slot_hash(cells_[j].key) & mask_;
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        cells_[hole] = cells_[j];
+        hole = j;
+      }
+    }
+    cells_[hole] = Cell{};
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Visit every occupied cell in table order (NOT deterministic across
+  /// layouts; internal bookkeeping only, never for emission).
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    for (const auto& cell : cells_) {
+      if (!cell.value.is_empty()) fn(cell.key, cell.value);
+    }
+  }
+
+  /// Mutable scan: values by reference, same table order. Values may be
+  /// rewritten but must stay non-empty; keys must not change.
+  template <typename Fn>
+  void scan_mut(Fn&& fn) {
+    for (auto& cell : cells_) {
+      if (!cell.value.is_empty()) fn(cell.key, cell.value);
+    }
+  }
+
+  std::vector<net::Prefix> sorted_keys() const {
+    std::vector<net::Prefix> keys;
+    keys.reserve(size_);
+    scan([&](const net::Prefix& key, const V&) { keys.push_back(key); });
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  std::uint64_t slot_bytes() const {
+    return static_cast<std::uint64_t>(cells_.size()) * sizeof(Cell);
+  }
+
+ private:
+  struct Cell {
+    net::Prefix key{};
+    V value{V::empty()};
+  };
+
+  static std::size_t slot_hash(const net::Prefix& p) {
+    // splitmix64 finalizer: std::hash<Prefix> is identity-like and the
+    // allocator hands out prefixes with zero low network bits, which would
+    // cluster catastrophically under power-of-two masking.
+    std::uint64_t x = (std::uint64_t{p.network().bits()} << 8) | p.length();
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+
+  void grow() {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(old.empty() ? 16 : old.size() * 2, Cell{});
+    mask_ = cells_.size() - 1;
+    size_ = 0;
+    for (const auto& cell : old) {
+      if (cell.value.is_empty()) continue;
+      std::size_t i = slot_hash(cell.key) & mask_;
+      while (!cells_[i].value.is_empty()) i = (i + 1) & mask_;
+      cells_[i] = cell;
+      ++size_;
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t mask_{0};
+  std::size_t size_{0};
+};
+
+/// Peer identity shared by every stored entry learned from one session,
+/// refcounted by the number of entries referencing it.
+struct SessionInfo {
+  std::uint32_t session;
+  std::uint32_t bgp_id;
+  std::uint32_t address;
+  std::uint32_t routes;
+};
+
+/// Session-ascending side table of SessionInfo; linear-scanned via
+/// lower_bound (routers have few peers).
+class SessionTable {
+ public:
+  SessionInfo* find(std::uint32_t session) {
+    return const_cast<SessionInfo*>(std::as_const(*this).find(session));
+  }
+  const SessionInfo* find(std::uint32_t session) const;
+
+  /// Count one more entry for `session`, inserting it and refreshing the
+  /// identity fields (peer identity is constant per session in practice;
+  /// last-writer-wins keeps the table in step with the newest route).
+  void add(std::uint32_t session, std::uint32_t bgp_id, std::uint32_t address);
+  /// Count one entry less; the session is removed at zero.
+  void drop(std::uint32_t session);
+
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(infos_.size()) * sizeof(SessionInfo);
+  }
+
+ private:
+  std::vector<SessionInfo> infos_;
+};
+
+}  // namespace detail
+
+/// Refcounted attribute-handle registry: compact-layout RIBs store 4-byte
+/// indices into here instead of 16-byte AttrSetRef handles per entry.
+/// Deduplicated by canonical-bundle address (interning makes pointer
+/// identity equal value identity within a trial thread).
+///
+/// One registry is shared by every RIB of a simulation — the Experiment
+/// wires a single instance through all routers and the speaker — so a
+/// bundle referenced from thousands of RIB entries pays one handle entry
+/// network-wide. Its footprint therefore scales with distinct bundles (like
+/// the intern pool), not with (prefix x peer) entries, and is accounted by
+/// its owner as mem.attr_registry, never inside RIB peak bytes. Standalone
+/// RIBs fall back to a private instance.
+///
+/// The dedup index is open addressing over entry ids: a pointer-keyed
+/// unordered_map node costs ~7x the 4-byte slot. Pointer values hash the
+/// probe order, which is invisible to callers; slot counts depend only on
+/// the acquire/release sequence, so bytes() stays deterministic.
+class AttrRegistry {
+ public:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  /// Index for `ref`, refcount +1.
+  std::uint32_t acquire(const AttrSetRef& ref);
+  /// Refcount +1 on an index already held.
+  void retain(std::uint32_t index) { ++entries_[index].refs; }
+  /// Refcount -1; frees the slot (and the bundle reference) at zero.
+  void release(std::uint32_t index);
+
+  const AttrSetRef& at(std::uint32_t index) const {
+    return entries_[index].ref;
+  }
+
+  /// Live (referenced) entries.
+  std::size_t size() const { return live_; }
+  /// Deterministic footprint (core/mem_stats.hpp model): the entry slab
+  /// plus the open-addressing id index.
+  std::uint64_t bytes() const;
+
+ private:
+  struct Entry {
+    AttrSetRef ref{};
+    std::uint32_t refs{0};
+  };
+
+  void grow();
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  /// Open-addressing dedup index: slots hold entry ids (kNone = empty),
+  /// keyed by the canonical bundle address of the entry's ref. Linear
+  /// probing with backshift deletion, 70% max load.
+  std::vector<std::uint32_t> slots_;
+  std::size_t slot_mask_{0};
+  std::size_t live_{0};
+};
+
+using AttrRegistryRef = std::shared_ptr<AttrRegistry>;
+
 /// Inbound routes, indexed prefix-first so the decision process can see all
-/// candidates for a prefix at once. Keyed by session within a prefix with an
-/// ordered map so iteration order (and thus any residual tie behaviour) is
-/// deterministic.
+/// candidates for a prefix at once. Candidates for a prefix are kept in
+/// session-ascending order in both layouts, so iteration (and thus any
+/// residual tie behaviour) is deterministic and layout-independent.
 class AdjRibIn {
  public:
+  explicit AdjRibIn(RibLayout layout = RibLayout::kCompact,
+                    AttrRegistryRef attrs = nullptr);
+
   /// Insert/replace the route from one peer (implicit withdraw semantics).
-  void put(const Route& route);
+  /// Returns true when the stored entry actually changed — new candidate,
+  /// different attributes, different installed-at, or different peer
+  /// identity — so callers can skip the decision process otherwise.
+  bool put(const Route& route);
 
   /// Remove the route for (prefix, session). Returns true if present.
   bool erase(const net::Prefix& prefix, core::SessionId session);
 
   /// Drop everything learned from a session (session reset). Returns the
-  /// affected prefixes.
+  /// affected prefixes in sorted order.
   std::vector<net::Prefix> erase_session(core::SessionId session);
 
+  /// The stored route, or nullptr. In the compact layout the pointer refers
+  /// to a scratch slot valid until the next AdjRibIn call.
   const Route* find(const net::Prefix& prefix, core::SessionId session) const;
 
-  /// All candidates for one prefix, deterministic order.
+  /// All candidates for one prefix, session-ascending. Compact-layout
+  /// pointers refer to scratch storage valid until the next call.
   std::vector<const Route*> candidates(const net::Prefix& prefix) const;
 
-  /// Allocation-free visitation of the candidates for one prefix, in the
+  /// Allocation-light visitation of the candidates for one prefix, in the
   /// same deterministic (session-ascending) order as candidates(). The
-  /// decision process runs per prefix on every received update; this avoids
-  /// the per-invocation vector the old interface forced.
+  /// decision process runs per prefix on every received update; the Route&
+  /// handed to `fn` is only valid for the duration of the call.
   template <typename Fn>
   void for_each_candidate(const net::Prefix& prefix, Fn&& fn) const {
-    const auto it = by_prefix_.find(prefix);
-    if (it == by_prefix_.end()) return;
-    for (const auto& [sid, route] : it->second) fn(route);
+    if (layout_ == RibLayout::kReference) {
+      const auto it = by_prefix_.find(prefix);
+      if (it == by_prefix_.end()) return;
+      for (const auto& [sid, route] : it->second) fn(route);
+      return;
+    }
+    const InSpan* span = spans_.find(prefix);
+    if (span == nullptr) return;
+    Route r;
+    r.prefix = prefix;
+    for (std::uint16_t i = 0; i < span->size; ++i) {
+      materialize(slab_[span->offset + i], r);
+      fn(static_cast<const Route&>(r));
+    }
   }
 
+  /// The registry this RIB stores attribute handles in (shared or private).
+  const AttrRegistryRef& attr_registry() const { return attrs_; }
+
   std::size_t route_count() const;
+  /// All prefixes with at least one candidate, sorted.
   std::vector<net::Prefix> prefixes() const;
 
+  RibLayout layout() const { return layout_; }
+  /// Deterministic high-water footprint (core/mem_stats.hpp model).
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
  private:
+  /// Compact candidate: 16 bytes. The prefix is the table key, the peer
+  /// tiebreak identity lives in the per-session side table, the attribute
+  /// bundle in the refcounted side table.
+  struct Candidate {
+    std::uint32_t session;
+    std::uint32_t attr;
+    std::int64_t installed_ns;
+  };
+  /// Per-prefix slice of the candidate slab; capacity is a power of two.
+  struct InSpan {
+    std::uint32_t offset{0};
+    std::uint16_t size{0};
+    std::uint16_t capacity{0};
+    static InSpan empty() { return {}; }
+    bool is_empty() const { return capacity == 0; }
+  };
+
+  bool put_compact(const Route& route);
+  bool put_reference(const Route& route);
+  bool erase_compact(const net::Prefix& prefix, std::uint32_t session);
+  std::uint32_t alloc_span(std::uint16_t capacity);
+  void free_span(std::uint32_t offset, std::uint16_t capacity);
+  /// Rebuild the slab tightly (spans packed, free lists emptied) once dead
+  /// span slots from the grow-by-doubling churn exceed a third of it.
+  void maybe_defrag();
+  void materialize(const Candidate& c, Route& out) const;
+  std::uint64_t current_bytes() const;
+  void note_usage();
+
+  RibLayout layout_;
+
+  // --- compact layout ----------------------------------------------------
+  detail::PrefixTable<InSpan> spans_;
+  std::vector<Candidate> slab_;
+  /// Free spans by log2(capacity).
+  std::vector<std::vector<std::uint32_t>> free_spans_;
+  /// Total slots sitting on free_spans_ (the defrag trigger).
+  std::size_t free_slots_{0};
+  AttrRegistryRef attrs_;
+  detail::SessionTable sessions_;
+  std::size_t count_{0};
+  mutable Route scratch_;
+  mutable std::vector<Route> scratch_candidates_;
+
+  // --- reference layout --------------------------------------------------
   std::unordered_map<net::Prefix, std::map<core::SessionId, Route>> by_prefix_;
+
+  std::uint64_t peak_bytes_{0};
 };
 
 /// The selected best route per prefix.
 class LocRib {
  public:
+  explicit LocRib(RibLayout layout = RibLayout::kCompact,
+                  AttrRegistryRef attrs = nullptr);
+
   /// Install/replace the best route. Returns true if this changed the entry.
   bool install(const Route& route);
 
   /// Remove the entry. Returns true if present.
   bool remove(const net::Prefix& prefix);
 
+  /// The winner, or nullptr. In the compact layout the pointer refers to a
+  /// scratch slot valid until the next LocRib call.
   const Route* find(const net::Prefix& prefix) const;
-  std::size_t size() const { return routes_.size(); }
+  std::size_t size() const;
+  /// Installed prefixes, sorted.
   std::vector<net::Prefix> prefixes() const;
-  const std::unordered_map<net::Prefix, Route>& all() const { return routes_; }
+
+  /// Visit every installed route in sorted-prefix order (both layouts). The
+  /// Route& is only valid for the duration of the call.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& prefix : prefixes()) fn(*find(prefix));
+  }
 
   /// Bumped on every change; convergence checks compare generations.
   std::uint64_t generation() const { return generation_; }
 
+  RibLayout layout() const { return layout_; }
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
  private:
+  /// Compact winner: 16 bytes + the 8-byte prefix key in the table cell.
+  /// The peer tiebreak identity lives in the per-session side table, the
+  /// attribute bundle in the shared registry.
+  struct LocEntry {
+    std::uint32_t attr{AttrRegistry::kNone};
+    std::uint32_t session{0};
+    std::int64_t installed_ns{0};
+    static LocEntry empty() { return {}; }
+    bool is_empty() const { return attr == AttrRegistry::kNone; }
+  };
+
+  std::uint64_t current_bytes() const;
+  void note_usage();
+
+  RibLayout layout_;
+  detail::PrefixTable<LocEntry> table_;
+  AttrRegistryRef attrs_;
+  detail::SessionTable sessions_;
+  mutable Route scratch_;
   std::unordered_map<net::Prefix, Route> routes_;
   std::uint64_t generation_{0};
+  std::uint64_t peak_bytes_{0};
+};
+
+/// Shared advertised-state store for all Adj-RIBs-Out of one router. The
+/// compact layout keeps one row per prefix holding a per-peer column of
+/// 4-byte attr-table indices: N peers cost 4N bytes per advertised prefix
+/// plus one shared table cell, instead of N hash nodes. Each AdjRibOut
+/// facade owns one column.
+class RibOutStore {
+ public:
+  explicit RibOutStore(RibLayout layout = RibLayout::kCompact,
+                       AttrRegistryRef attrs = nullptr);
+
+  RibLayout layout() const { return layout_; }
+  /// Register one more peer; returns its column ordinal.
+  std::uint16_t add_column();
+  std::uint16_t columns() const { return columns_; }
+
+  bool advertise(std::uint16_t col, const net::Prefix& prefix,
+                 const AttrSetRef& attrs);
+  bool withdraw(std::uint16_t col, const net::Prefix& prefix);
+  const AttrSetRef* advertised(std::uint16_t col,
+                               const net::Prefix& prefix) const;
+  std::size_t size(std::uint16_t col) const;
+  void clear(std::uint16_t col);
+  /// Advertised prefixes of one column, sorted.
+  std::vector<net::Prefix> prefixes(std::uint16_t col) const;
+
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  static constexpr std::uint32_t kNone = AttrRegistry::kNone;
+
+  /// Row of per-column attr indices in the slab; width is the column count
+  /// at allocation (rows are widened lazily when peers are added late).
+  struct OutSpan {
+    std::uint32_t offset{0};
+    std::uint32_t width{0};
+    static OutSpan empty() { return {}; }
+    bool is_empty() const { return width == 0; }
+  };
+
+  std::uint32_t alloc_row(std::uint32_t width);
+  OutSpan* widen_row(OutSpan* span);
+  void maybe_drop_row(const net::Prefix& prefix);
+  std::uint64_t current_bytes() const;
+  void note_usage();
+
+  RibLayout layout_;
+  std::uint16_t columns_{0};
+
+  detail::PrefixTable<OutSpan> spans_;
+  std::vector<std::uint32_t> slab_;
+  /// Free rows by width (widths vary only when peers are added mid-run).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> free_rows_;
+  AttrRegistryRef attrs_;
+  std::vector<std::size_t> col_size_;
+
+  std::vector<std::unordered_map<net::Prefix, AttrSetRef>> ref_cols_;
+
+  std::uint64_t peak_bytes_{0};
 };
 
 /// What has been advertised to one peer, for delta-based update generation.
-/// Stores interned attribute handles: a full-table advertisement holds one
-/// canonical bundle per distinct attribute set, not one copy per prefix.
+/// A thin facade over one RibOutStore column: routers hand every peer a
+/// column of their shared store; standalone uses (speaker slots, tests) own
+/// a private single-column store.
 class AdjRibOut {
  public:
+  AdjRibOut() : AdjRibOut(RibLayout::kCompact) {}
+  explicit AdjRibOut(RibLayout layout, AttrRegistryRef attrs = nullptr)
+      : owned_{std::make_unique<RibOutStore>(layout, std::move(attrs))},
+        store_{owned_.get()},
+        column_{store_->add_column()} {}
+  explicit AdjRibOut(RibOutStore& store)
+      : store_{&store}, column_{store.add_column()} {}
+
+  AdjRibOut(AdjRibOut&&) = default;
+  AdjRibOut& operator=(AdjRibOut&&) = default;
+
   /// Record an advertisement; returns false if identical attributes were
   /// already advertised (update suppressed).
-  bool advertise(const net::Prefix& prefix, const AttrSetRef& attrs);
+  bool advertise(const net::Prefix& prefix, const AttrSetRef& attrs) {
+    return store_->advertise(column_, prefix, attrs);
+  }
 
   /// Record a withdrawal; returns false if nothing was advertised.
-  bool withdraw(const net::Prefix& prefix);
+  bool withdraw(const net::Prefix& prefix) {
+    return store_->withdraw(column_, prefix);
+  }
 
-  const AttrSetRef* advertised(const net::Prefix& prefix) const;
-  std::size_t size() const { return advertised_.size(); }
-  void clear() { advertised_.clear(); }
-  std::vector<net::Prefix> prefixes() const;
+  /// The advertised bundle, or nullptr. The pointer is valid until the next
+  /// mutation of any column of the owning store.
+  const AttrSetRef* advertised(const net::Prefix& prefix) const {
+    return store_->advertised(column_, prefix);
+  }
+
+  std::size_t size() const { return store_->size(column_); }
+  void clear() { store_->clear(column_); }
+  /// Advertised prefixes, sorted.
+  std::vector<net::Prefix> prefixes() const {
+    return store_->prefixes(column_);
+  }
+
+  /// Peak bytes of the private store; zero for store-backed facades (the
+  /// shared store is accounted once by its owner).
+  std::uint64_t peak_bytes() const {
+    return owned_ != nullptr ? owned_->peak_bytes() : 0;
+  }
 
  private:
-  std::unordered_map<net::Prefix, AttrSetRef> advertised_;
+  std::unique_ptr<RibOutStore> owned_;
+  RibOutStore* store_;
+  std::uint16_t column_;
 };
 
 }  // namespace bgpsdn::bgp

@@ -39,6 +39,9 @@ void BgpRouter::add_peer(core::PortId port, PeerConfig peer_config) {
 
   auto [it, fresh] = peers_.try_emplace(port);
   Peer& peer = it->second;
+  // Every peer's Adj-RIB-Out is one column of the router-wide store so
+  // per-prefix advertised state is shared across peers.
+  if (fresh) peer.rib_out = AdjRibOut(rib_out_store_);
   peer.port = port;
   peer.config = std::move(peer_config);
   peer.session = std::make_unique<Session>(*this, sc);
@@ -56,6 +59,7 @@ void BgpRouter::originate(const net::Prefix& prefix) {
   local_prefixes_.emplace(prefix, loop().now());
   logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
                "origin_announce", prefix.to_string());
+  TxBatch batch{*this};
   recompute(prefix);
 }
 
@@ -63,6 +67,7 @@ void BgpRouter::withdraw_origin(const net::Prefix& prefix) {
   if (local_prefixes_.erase(prefix) == 0) return;
   logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
                "origin_withdraw", prefix.to_string());
+  TxBatch batch{*this};
   recompute(prefix);
 }
 
@@ -125,6 +130,7 @@ void BgpRouter::session_established(Session& session) {
     flush_peer(*peer);
     arm_mrai(*peer);
   } else {
+    TxBatch batch{*this};
     for (const auto& prefix : loc_rib_.prefixes()) {
       schedule_peer_update(*peer, prefix);
     }
@@ -139,9 +145,11 @@ void BgpRouter::session_down(Session& session, const std::string& reason) {
   ++peer->epoch;
   peer->rib_out.clear();
   peer->pending.clear();
+  peer->batch_dirty.clear();
   if (peer->mrai_timer.is_valid()) loop().cancel(peer->mrai_timer);
   peer->mrai_running = false;
   dampener_.clear_session(session.id());
+  TxBatch batch{*this};
   for (const auto& prefix : adj_rib_in_.erase_session(session.id())) {
     recompute(prefix);
   }
@@ -195,6 +203,7 @@ std::string BgpRouter::session_log_name() const {
 
 void BgpRouter::process_update(Peer& peer, const UpdateMessage& update) {
   const auto sid = peer.session->id();
+  TxBatch batch{*this};
   for (const auto& prefix : update.withdrawn) {
     if (adj_rib_in_.erase(prefix, sid)) {
       note_flap(sid, prefix, /*withdrawal=*/true);
@@ -230,8 +239,10 @@ void BgpRouter::process_update(Peer& peer, const UpdateMessage& update) {
       // Attribute change or re-advertisement after a withdrawal: a flap.
       note_flap(sid, prefix, /*withdrawal=*/false);
     }
-    adj_rib_in_.put(route);
-    recompute(prefix);
+    // Dirty-prefix decision: an unchanged candidate set (a duplicate
+    // re-announcement) cannot move the best path, so skip the decision
+    // process entirely.
+    if (adj_rib_in_.put(route)) recompute(prefix);
   }
 }
 
@@ -247,7 +258,10 @@ void BgpRouter::note_flap(core::SessionId session, const net::Prefix& prefix,
                    std::to_string(static_cast<int>(verdict.penalty)));
   // Re-evaluate once the penalty decays to the reuse threshold.
   loop().schedule(verdict.reuse_after + core::Duration::millis(1),
-                  [this, prefix] { recompute(prefix); });
+                  [this, prefix] {
+                    TxBatch batch{*this};
+                    recompute(prefix);
+                  });
 }
 
 void BgpRouter::recompute(const net::Prefix& prefix) {
@@ -256,8 +270,11 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
   const std::uint64_t best_changes_before = counters_.best_changes;
   // Incremental best-path selection over an allocation-free visitation of
   // the Adj-RIB-In candidates (visited in session-ascending order, so ties
-  // resolve exactly as the old select_best-over-vector did).
-  const Route* best = nullptr;
+  // resolve exactly as the old select_best-over-vector did). The running
+  // winner is copied out: the compact layout materializes each candidate
+  // into scratch storage that the next visit reuses.
+  Route best;
+  bool have_best = false;
   std::size_t candidate_count = 0;
   adj_rib_in_.for_each_candidate(prefix, [&](const Route& r) {
     if (config_.damping.enabled &&
@@ -265,15 +282,21 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
       return;
     }
     ++candidate_count;
-    if (best == nullptr || compare_routes(r, *best) < 0) best = &r;
+    if (!have_best || compare_routes(r, best) < 0) {
+      best = r;
+      have_best = true;
+    }
   });
-  Route local;  // storage for the locally-originated candidate
   if (const auto it = local_prefixes_.find(prefix); it != local_prefixes_.end()) {
+    Route local;
     local.prefix = prefix;
     local.attributes = local_route_attrs();
     local.installed_at = it->second;
     ++candidate_count;
-    if (best == nullptr || compare_routes(local, *best) < 0) best = &local;
+    if (!have_best || compare_routes(local, best) < 0) {
+      best = local;
+      have_best = true;
+    }
   }
 
   if (decision_candidates_metric_ != nullptr) {
@@ -283,7 +306,7 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
 
   const Route* current = loc_rib_.find(prefix);
 
-  if (best == nullptr) {
+  if (!have_best) {
     if (current == nullptr) return;
     loc_rib_.remove(prefix);
     if (host_ports_.count(prefix) == 0) fib_.erase(prefix);
@@ -292,11 +315,11 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
                  "best_lost", prefix.to_string());
   } else {
     const bool changed = current == nullptr ||
-                         current->attributes != best->attributes ||
-                         current->learned_from != best->learned_from;
+                         current->attributes != best.attributes ||
+                         current->learned_from != best.learned_from;
     if (!changed) return;
-    loc_rib_.install(*best);
-    if (best->is_local()) {
+    loc_rib_.install(best);
+    if (best.is_local()) {
       // Delivered locally (to the attached host if any).
       if (const auto it = host_ports_.find(prefix); it != host_ports_.end()) {
         fib_.insert(prefix, it->second);
@@ -304,13 +327,13 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
         fib_.erase(prefix);
       }
     } else {
-      fib_.insert(prefix, peers_by_session_.at(best->learned_from.value())->port);
+      fib_.insert(prefix, peers_by_session_.at(best.learned_from.value())->port);
     }
     ++counters_.best_changes;
     logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
                  "best_changed",
                  prefix.to_string() + " via [" +
-                     best->attributes->as_path.to_string() + "]");
+                     best.attributes->as_path.to_string() + "]");
   }
 
   if (auto* tel = telemetry()) {
@@ -372,8 +395,14 @@ void BgpRouter::schedule_peer_update(Peer& peer, const net::Prefix& prefix) {
                      peer_mrai(peer) > core::Duration::zero();
   if (!gated) {
     // Ungated (withdrawal, or MRAI disabled): send right away, leaving any
-    // MRAI-gated announcements queued.
+    // MRAI-gated announcements queued. Inside a TxBatch the send is
+    // deferred to the batch flush so same-bundle prefixes pack into one
+    // multi-NLRI UPDATE.
     peer.pending.erase(prefix);
+    if (tx_batch_depth_ > 0) {
+      peer.batch_dirty.insert(prefix);
+      return;
+    }
     UpdateMessage msg;
     if (announce) {
       if (!peer.rib_out.advertise(prefix, attrs)) return;  // duplicate
@@ -456,7 +485,11 @@ void BgpRouter::flush_peer(Peer& peer) {
     }
   }
   peer.pending.clear();
+  emit_updates(peer, groups, withdrawals);
+}
 
+void BgpRouter::emit_updates(Peer& peer, UpdateGroups& groups,
+                             std::vector<net::Prefix>& withdrawals) {
   std::vector<UpdateMessage> messages;
   for (auto& [attrs, nlri] : groups) {
     UpdateMessage m;
@@ -484,6 +517,54 @@ void BgpRouter::flush_peer(Peer& peer) {
       tel->emit(span);
     }
     peer.session->send_update(m);
+  }
+}
+
+void BgpRouter::flush_tx_batches() {
+  for (auto& [port, peer] : peers_) {
+    if (peer.batch_dirty.empty()) continue;
+    std::set<net::Prefix> dirty;
+    dirty.swap(peer.batch_dirty);
+    if (!peer.session->established()) continue;
+    // Export state is re-evaluated now, against the final Loc-RIB of the
+    // burst — intermediate states within one batch never hit the wire
+    // (exactly the coalescing the MRAI flush path always did).
+    std::vector<net::Prefix> withdrawals;
+    UpdateGroups groups;
+    bool spilled = false;
+    for (const auto& prefix : dirty) {
+      AttrSetRef attrs;
+      const ExportAction action = evaluate_export(peer, prefix, attrs);
+      const bool announce = action == ExportAction::kAnnounce;
+      const bool gated =
+          (announce || config_.timers.mrai_applies_to_withdrawals) &&
+          peer_mrai(peer) > core::Duration::zero();
+      if (gated) {
+        // The export flipped announce/withdraw since it was queued and is
+        // now subject to MRAI: hand it to the gated machinery.
+        peer.pending.insert(prefix);
+        spilled = true;
+        continue;
+      }
+      if (announce) {
+        if (!peer.rib_out.advertise(prefix, attrs)) continue;  // duplicate
+        auto it = std::find_if(groups.begin(), groups.end(),
+                               [&](const auto& g) { return g.first == attrs; });
+        if (it == groups.end()) {
+          groups.push_back({attrs, {prefix}});
+        } else {
+          it->second.push_back(prefix);
+        }
+      } else {
+        if (peer.rib_out.withdraw(prefix)) withdrawals.push_back(prefix);
+      }
+    }
+    emit_updates(peer, groups, withdrawals);
+    if (spilled && config_.timers.mrai_style == MraiStyle::kImmediateThenGate &&
+        !peer.mrai_running) {
+      flush_peer(peer);
+      arm_mrai(peer);
+    }
   }
 }
 

@@ -41,6 +41,13 @@ struct RouterConfig {
   bool split_horizon{false};
   /// Route-flap damping (RFC 2439); disabled by default like Quagga.
   DampingConfig damping{};
+  /// RIB storage layout (kReference keeps the node-based containers for
+  /// equivalence testing; behaviour is byte-identical either way).
+  RibLayout rib_layout{RibLayout::kCompact};
+  /// Attribute-handle registry shared across the simulation (the Experiment
+  /// wires one instance through every router and the speaker). Null makes
+  /// each RIB create a private registry, which standalone-router tests use.
+  AttrRegistryRef attr_registry{};
 };
 
 /// Configuration of one peering, bound to a local port.
@@ -68,7 +75,11 @@ struct RouterCounters {
 class BgpRouter : public net::Node, public SessionHost {
  public:
   explicit BgpRouter(RouterConfig config)
-      : config_{std::move(config)}, dampener_{config_.damping} {}
+      : config_{std::move(config)},
+        adj_rib_in_{config_.rib_layout, config_.attr_registry},
+        loc_rib_{config_.rib_layout, config_.attr_registry},
+        rib_out_store_{config_.rib_layout, config_.attr_registry},
+        dampener_{config_.damping} {}
 
   // --- configuration (before or after start) ---------------------------
 
@@ -117,6 +128,14 @@ class BgpRouter : public net::Node, public SessionHost {
   }
   const FlapDampener& dampener() const { return dampener_; }
 
+  /// Report deterministic RIB footprints (high-water marks computed with the
+  /// core/mem_stats.hpp allocation model) into `stats`.
+  void account_memory(core::MemStats& stats) const {
+    stats.rib_in += adj_rib_in_.peak_bytes();
+    stats.loc_rib += loc_rib_.peak_bytes();
+    stats.rib_out += rib_out_store_.peak_bytes();
+  }
+
  private:
   struct Peer {
     core::PortId port;
@@ -125,6 +144,10 @@ class BgpRouter : public net::Node, public SessionHost {
     AdjRibOut rib_out;
     /// Prefixes whose export state must be re-evaluated at next flush.
     std::set<net::Prefix> pending;
+    /// Prefixes touched inside the current TxBatch whose ungated UPDATE is
+    /// deferred to the batch flush (where same-bundle prefixes coalesce
+    /// into one multi-NLRI message).
+    std::set<net::Prefix> batch_dirty;
     bool mrai_running{false};
     core::TimerId mrai_timer{core::TimerId::invalid()};
     std::uint64_t epoch{0};
@@ -160,6 +183,29 @@ class BgpRouter : public net::Node, public SessionHost {
   void arm_mrai(Peer& peer);
   core::Duration peer_mrai(const Peer& peer) const;
 
+  /// One announcement group: every prefix advertised with the same bundle
+  /// rides in a single multi-NLRI UPDATE.
+  using UpdateGroups = std::vector<std::pair<AttrSetRef, std::vector<net::Prefix>>>;
+  /// Emit one UPDATE per group (withdrawals ride in the first message),
+  /// with per-message counters, logging and tracing.
+  void emit_updates(Peer& peer, UpdateGroups& groups,
+                    std::vector<net::Prefix>& withdrawals);
+
+  /// RAII scope coalescing ungated UPDATE emission across one burst of RIB
+  /// mutations (one received UPDATE, session event or origin change):
+  /// schedule_peer_update defers ungated sends to `batch_dirty`, and the
+  /// outermost scope flushes them peer by peer, packed by attribute bundle.
+  struct TxBatch {
+    explicit TxBatch(BgpRouter& r) : router{r} { ++router.tx_batch_depth_; }
+    ~TxBatch() {
+      if (--router.tx_batch_depth_ == 0) router.flush_tx_batches();
+    }
+    TxBatch(const TxBatch&) = delete;
+    TxBatch& operator=(const TxBatch&) = delete;
+    BgpRouter& router;
+  };
+  void flush_tx_batches();
+
   void forward_data(const net::Packet& packet);
   std::optional<Relationship> relationship_of_best(const Route& best);
 
@@ -169,6 +215,9 @@ class BgpRouter : public net::Node, public SessionHost {
   std::unordered_map<std::uint32_t, Peer*> peers_by_session_;
   AdjRibIn adj_rib_in_;
   LocRib loc_rib_;
+  /// Shared advertised-state store; every Peer's rib_out is one column.
+  RibOutStore rib_out_store_;
+  int tx_batch_depth_{0};
   /// Locally-originated prefixes and when they were originated.
   std::map<net::Prefix, core::TimePoint> local_prefixes_;
   /// Host delivery: local prefix -> port of the attached host.

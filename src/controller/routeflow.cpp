@@ -303,7 +303,8 @@ void RouteFlowController::sync_flows() {
 
     // Desired flows for this switch from the virtual Loc-RIB.
     std::map<net::Prefix, sdn::FlowAction> desired;
-    for (const auto& [prefix, route] : vr->loc_rib().all()) {
+    vr->loc_rib().for_each([&](const bgp::Route& route) {
+      const net::Prefix prefix = route.prefix;
       if (route.is_local()) {
         const auto it = origins_.find(prefix);
         if (it != origins_.end() && it->second.second) {
@@ -315,7 +316,7 @@ void RouteFlowController::sync_flows() {
         const auto it = action_by_vsession_.find(route.learned_from.value());
         if (it != action_by_vsession_.end()) desired[prefix] = it->second;
       }
-    }
+    });
 
     // Delta compilation against the installed mirror: unchanged prefixes
     // emit zero FlowMods.

@@ -44,6 +44,11 @@ net::LinkParams Experiment::link_params(const topology::LinkSpec& link) const {
 }
 
 void Experiment::build() {
+  // One attr-handle registry for the whole simulation: every compact RIB of
+  // every router (and the speaker) stores 4-byte indices into it, so a
+  // distinct bundle pays one handle entry network-wide.
+  attr_registry_ = std::make_shared<bgp::AttrRegistry>();
+
   // Nodes first: routers for legacy ASes, switches for members.
   for (const auto as : spec_.ases) {
     if (members_.count(as) > 0) {
@@ -56,6 +61,8 @@ void Experiment::build() {
       rc.timers = config_.timers;
       rc.processing = config_.processing;
       rc.damping = config_.damping;
+      rc.rib_layout = config_.rib_layout;
+      rc.attr_registry = attr_registry_;
       auto& r = net_.add<bgp::BgpRouter>(as.to_string(), rc);
       routers_[as] = &r;
     }
@@ -76,7 +83,8 @@ void Experiment::build() {
       routeflow_ = &net_.add<controller::RouteFlowController>("rfctrl", rf);
       controller_ = routeflow_;
     }
-    speaker_ = &net_.add<speaker::ClusterBgpSpeaker>("speaker", config_.timers);
+    speaker_ = &net_.add<speaker::ClusterBgpSpeaker>(
+        "speaker", config_.timers, config_.rib_layout, attr_registry_);
     controller_->bind_speaker(*speaker_);
 
     // Control links and switch-graph registration.
@@ -507,6 +515,18 @@ ConvergenceResult Experiment::wait_converged(const WaitOpts& opts) {
     net_.telemetry().metrics().counter("framework.wait_converged.timeouts").inc();
   }
   return result;
+}
+
+core::MemStats Experiment::memory_stats() const {
+  core::MemStats stats;
+  for (const auto& [as, r] : routers_) r->account_memory(stats);
+  if (speaker_ != nullptr) speaker_->account_memory(stats);
+  for (const auto& [as, sw] : switches_) {
+    stats.flow_tables += sw->table().approx_bytes();
+  }
+  stats.attr_pool += bgp::attr_pool_live_bytes();
+  stats.attr_registry += attr_registry_->bytes();
+  return stats;
 }
 
 telemetry::Json Experiment::monitors_snapshot() const {

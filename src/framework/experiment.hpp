@@ -75,6 +75,10 @@ struct ExperimentConfig {
   /// HA channel/election timers (replicas and seed fields are overridden
   /// from controller_replicas and the experiment seed).
   controller::ReplicaSetConfig ha{};
+  /// RIB storage layout for every BGP router and the cluster speaker
+  /// (kReference keeps the node-based containers for the equivalence suite
+  /// and the bench_scale memory comparison; behaviour is byte-identical).
+  bgp::RibLayout rib_layout{bgp::RibLayout::kCompact};
   /// Whether to attach the monitoring route collector to legacy routers.
   bool with_collector{true};
   /// Log level kept by the in-memory logger (kDebug needed for detectors).
@@ -259,6 +263,12 @@ class Experiment {
   net::Prefix as_prefix(core::AsNumber as) { return alloc_.as_prefix(as); }
   const std::set<core::AsNumber>& members() const { return members_; }
 
+  /// Deterministic memory snapshot (core/mem_stats.hpp): RIB peaks from
+  /// every router and the speaker, at-collection footprints of the attr
+  /// intern pool and the member flow tables. Byte-identical at any
+  /// BGPSDN_JOBS — no OS RSS involved.
+  core::MemStats memory_stats() const;
+
  private:
   void build();
   void degrade_to_fallback(std::uint32_t epoch);
@@ -279,6 +289,9 @@ class Experiment {
   net::Network net_;
   net::AddressAllocator alloc_;
 
+  /// Simulation-wide attr-handle registry shared by every compact RIB
+  /// (created in build(), wired into each RouterConfig and the speaker).
+  bgp::AttrRegistryRef attr_registry_;
   std::map<core::AsNumber, bgp::BgpRouter*> routers_;
   std::map<core::AsNumber, sdn::SdnSwitch*> switches_;
   std::map<core::AsNumber, net::Host*> hosts_;

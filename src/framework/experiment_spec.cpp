@@ -1,5 +1,6 @@
 #include "framework/experiment_spec.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -23,6 +24,7 @@ const char* to_string(TopologyModel model) {
     case TopologyModel::kRing: return "ring";
     case TopologyModel::kStar: return "star";
     case TopologyModel::kSynthCaida: return "synth-caida";
+    case TopologyModel::kInternetLike: return "internet-like";
   }
   return "?";
 }
@@ -33,6 +35,7 @@ std::optional<TopologyModel> parse_topology_model(std::string_view name) {
   if (name == "ring") return TopologyModel::kRing;
   if (name == "star") return TopologyModel::kStar;
   if (name == "synth-caida") return TopologyModel::kSynthCaida;
+  if (name == "internet-like") return TopologyModel::kInternetLike;
   return std::nullopt;
 }
 
@@ -88,6 +91,10 @@ void ExperimentSpec::validate() const {
   }
   if (sdn_count > topology_size) {
     bad("sdn count " + std::to_string(sdn_count) + " exceeds topology size " +
+        std::to_string(topology_size));
+  }
+  if (topology == TopologyModel::kInternetLike && topology_size < 8) {
+    bad("internet-like topologies need >= 8 ASes, got " +
         std::to_string(topology_size));
   }
   if (event == EventKind::kFailover &&
@@ -152,6 +159,27 @@ topology::TopologySpec ExperimentSpec::make_topology(std::uint64_t seed) const {
       core::Rng rng{seed};
       spec = topology::parse_caida_text(
           topology::synthesize_caida_text(topology_size, rng));
+      break;
+    }
+    case TopologyModel::kInternetLike: {
+      // Scale the three-tier shape from the total AS target: a small tier-1
+      // core, ~an eighth of the ASes as transit, the rest stubs. Three
+      // uplinks per non-core AS keep per-prefix candidate sets well above
+      // one, which is what the compact-RIB memory comparison has to absorb.
+      topology::InternetLikeParams params;
+      params.tier1 =
+          std::min<std::size_t>(std::max<std::size_t>(3, topology_size / 25),
+                                8);
+      params.transit =
+          std::min(std::max<std::size_t>(4, topology_size / 8),
+                   topology_size - params.tier1 - 1);
+      params.stubs = topology_size - params.tier1 - params.transit;
+      params.transit_uplinks = 4;
+      params.stub_uplinks = 4;
+      params.transit_peer_prob =
+          std::min(0.2, 8.0 / static_cast<double>(params.transit));
+      core::Rng rng{seed};
+      spec = topology::internet_like(params, rng);
       break;
     }
   }
@@ -272,7 +300,7 @@ std::string ExperimentSpec::signature() const {
   std::snprintf(
       buf, sizeof buf,
       "topo=%s:%zu sdn=%zu event=%s flaps=%zu mrai=%lld recompute=%lld "
-      "damping=%d spt=%s controller=%s quiet=%lld link_delay=%lld "
+      "damping=%d spt=%s rib=%s controller=%s quiet=%lld link_delay=%lld "
       "replicas=%zu election=%lld",
       to_string(topology), topology_size, sdn_count, to_string(event),
       event == EventKind::kFlapTrain ? flap_cycles : std::size_t{0},
@@ -280,6 +308,7 @@ std::string ExperimentSpec::signature() const {
       static_cast<long long>(config.recompute_delay.count_nanos()),
       config.damping.enabled ? 1 : 0,
       config.incremental_spt ? "incremental" : "reference",
+      bgp::to_string(config.rib_layout),
       config.controller_style == ControllerStyle::kIdrCentralized
           ? "idr"
           : "routeflow",
@@ -380,6 +409,12 @@ ExperimentSpecBuilder& ExperimentSpecBuilder::damping(bool enabled) {
 ExperimentSpecBuilder& ExperimentSpecBuilder::incremental_spt(
     bool incremental) {
   spec_.config.incremental_spt = incremental;
+  return *this;
+}
+
+ExperimentSpecBuilder& ExperimentSpecBuilder::rib_layout(
+    bgp::RibLayout layout) {
+  spec_.config.rib_layout = layout;
   return *this;
 }
 

@@ -33,7 +33,17 @@ namespace bgpsdn::framework {
 
 /// Topology generator selection ("theoretical models" plus the synthetic
 /// CAIDA-like graph). All models are parameterized by one size.
-enum class TopologyModel { kClique, kLine, kRing, kStar, kSynthCaida };
+enum class TopologyModel {
+  kClique,
+  kLine,
+  kRing,
+  kStar,
+  kSynthCaida,
+  /// Three-tier CAIDA-like Internet (topology::internet_like) with
+  /// parameters scaled from `topology_size` (total AS count); the scale
+  /// model for bench_scale sweeps.
+  kInternetLike,
+};
 
 /// Stable name used in labels, diagnostics and the matrix file format.
 const char* to_string(TopologyModel model);
@@ -187,6 +197,7 @@ class ExperimentSpecBuilder {
   ExperimentSpecBuilder& recompute_delay(core::Duration delay);
   ExperimentSpecBuilder& damping(bool enabled);
   ExperimentSpecBuilder& incremental_spt(bool incremental);
+  ExperimentSpecBuilder& rib_layout(bgp::RibLayout layout);
   ExperimentSpecBuilder& controller_style(ControllerStyle style);
   /// Controller replication factor (1 = the single-controller baseline,
   /// 2..16 = hot-standby HA; requires the IDR controller style).

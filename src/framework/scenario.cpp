@@ -160,6 +160,16 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     } else {
       fail(line, "unknown spt engine '" + t[1] + "' (incremental|reference)");
     }
+  } else if (cmd == "rib") {
+    need(1);
+    forbid_after_start();
+    if (t[1] == "compact") {
+      config_.rib_layout = bgp::RibLayout::kCompact;
+    } else if (t[1] == "reference") {
+      config_.rib_layout = bgp::RibLayout::kReference;
+    } else {
+      fail(line, "unknown rib layout '" + t[1] + "' (compact|reference)");
+    }
   } else if (cmd == "damping") {
     need(1);
     forbid_after_start();
@@ -401,10 +411,11 @@ void ScenarioRunner::execute(const Line& line, ScenarioResult& result) {
     auto& exp = running(line);
     const auto as = parse_as(line, t[1]);
     if (exp.is_member(as)) fail(line, "print-rib targets a legacy router");
-    for (const auto& [pfx, route] : exp.router(as).loc_rib().all()) {
-      result.output.push_back(as.to_string() + " " + pfx.to_string() + " via [" +
+    exp.router(as).loc_rib().for_each([&](const bgp::Route& route) {
+      result.output.push_back(as.to_string() + " " + route.prefix.to_string() +
+                              " via [" +
                               route.attributes->as_path.to_string() + "]");
-    }
+    });
   } else if (cmd == "print-trace") {
     need(2);
     auto& exp = running(line);

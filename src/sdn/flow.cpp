@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/mem_stats.hpp"
+
 namespace bgpsdn::sdn {
 
 std::string FlowMatch::to_string() const {
@@ -125,6 +127,25 @@ const FlowEntry* FlowTable::lookup(core::PortId ingress, const net::Packet& p,
     best->bytes += p.size_bytes();
   }
   return best;
+}
+
+std::uint64_t FlowTable::approx_bytes() const {
+  // Entry counts, not vector capacities: capacities depend on the exact
+  // grow/erase history, counts only on the programmed state.
+  std::uint64_t bytes = 0;
+  if (!entries_.empty()) {
+    bytes += core::alloc_block_bytes(entries_.size() * sizeof(FlowEntry));
+  }
+  for (std::uint64_t m = len_mask_; m != 0; m &= m - 1) {
+    const auto& bucket = by_len_[static_cast<std::size_t>(std::countr_zero(m))];
+    bytes += core::hash_buckets_bytes(bucket.bucket_count());
+    for (const auto& [key, indices] : bucket) {
+      bytes += core::hash_node_bytes(
+          sizeof(std::pair<const std::uint32_t, std::vector<std::uint32_t>>));
+      bytes += core::alloc_block_bytes(indices.size() * sizeof(std::uint32_t));
+    }
+  }
+  return bytes;
 }
 
 const FlowEntry* FlowTable::lookup_linear(core::PortId ingress,

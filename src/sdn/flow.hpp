@@ -113,6 +113,12 @@ class FlowTable {
   const std::vector<FlowEntry>& entries() const { return entries_; }
   void clear();
 
+  /// Deterministic bytes held by the table under the core/mem_stats.hpp
+  /// allocation model: the entry slab plus the lookup index (hash nodes,
+  /// bucket arrays, and per-bucket candidate vectors). Depends only on the
+  /// programmed flow state, never on host allocator behavior.
+  std::uint64_t approx_bytes() const;
+
  private:
   /// Masked network bits for `addr` at prefix length `len`.
   static std::uint32_t key_at(std::uint32_t addr_bits, int len) {

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/rib.hpp"
@@ -68,7 +69,12 @@ struct SpeakerCounters {
 
 class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
  public:
-  explicit ClusterBgpSpeaker(bgp::Timers timers = {}) : timers_{timers} {}
+  explicit ClusterBgpSpeaker(bgp::Timers timers = {},
+                             bgp::RibLayout rib_layout = bgp::RibLayout::kCompact,
+                             bgp::AttrRegistryRef attr_registry = nullptr)
+      : timers_{timers},
+        rib_layout_{rib_layout},
+        attr_registry_{std::move(attr_registry)} {}
 
   void set_listener(SpeakerListener* listener) { listener_ = listener; }
 
@@ -113,6 +119,18 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
   bool peering_established(PeeringId id) const;
   const SpeakerCounters& counters() const { return counters_; }
 
+  /// Report deterministic footprints (core/mem_stats.hpp model): Adj-RIB-Out
+  /// peaks into rib_out, the per-peering relay Adj-RIBs-In into speaker_ribs.
+  void account_memory(core::MemStats& stats) const {
+    for (const auto& slot : slots_) {
+      stats.rib_out += slot->rib_out.peak_bytes();
+      stats.speaker_ribs +=
+          slot->rib_in.size() *
+          core::rb_node_bytes(
+              sizeof(std::pair<const net::Prefix, bgp::AttrSetRef>));
+    }
+  }
+
   // Node
   void start() override;
   void handle_packet(core::PortId ingress, const net::Packet& packet) override;
@@ -145,6 +163,10 @@ class ClusterBgpSpeaker : public net::Node, public bgp::SessionHost {
   Slot* slot_of(const bgp::Session& session);
 
   bgp::Timers timers_;
+  bgp::RibLayout rib_layout_{bgp::RibLayout::kCompact};
+  /// Shared attr-handle registry for the per-peering Adj-RIBs-Out (null =
+  /// each slot's store creates a private one).
+  bgp::AttrRegistryRef attr_registry_{};
   SpeakerListener* listener_{nullptr};
   bool started_{false};
   bool crashed_{false};

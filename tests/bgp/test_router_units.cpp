@@ -129,12 +129,15 @@ TEST(RouterUnits, ProcessingDelaySerializesUpdates) {
   a.originate(*net::Prefix::parse("10.50.0.0/16"));
   a.originate(*net::Prefix::parse("10.51.0.0/16"));
   topo.run_for(core::Duration::seconds(3));
+  // Copy out: compact-layout find() returns a scratch slot that the next
+  // find() reuses.
   const auto* r1 = b.loc_rib().find(*net::Prefix::parse("10.50.0.0/16"));
-  const auto* r2 = b.loc_rib().find(*net::Prefix::parse("10.51.0.0/16"));
   ASSERT_NE(r1, nullptr);
+  const bgp::Route first = *r1;
+  const auto* r2 = b.loc_rib().find(*net::Prefix::parse("10.51.0.0/16"));
   ASSERT_NE(r2, nullptr);
   // Both took at least one 100 ms processing slot after t0.
-  EXPECT_GE(std::max(r1->installed_at, r2->installed_at) - t0,
+  EXPECT_GE(std::max(first.installed_at, r2->installed_at) - t0,
             core::Duration::millis(100));
 }
 

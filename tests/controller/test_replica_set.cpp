@@ -245,10 +245,10 @@ ChurnCapture run_election_churn(std::uint64_t seed) {
   std::vector<std::string> ribs;
   for (const auto as : exp.spec().ases) {
     if (exp.is_member(as)) continue;
-    for (const auto& [pfx, route] : exp.router(as).loc_rib().all()) {
-      ribs.push_back(as.to_string() + " " + pfx.to_string() + " [" +
+    exp.router(as).loc_rib().for_each([&](const bgp::Route& route) {
+      ribs.push_back(as.to_string() + " " + route.prefix.to_string() + " [" +
                      route.attributes->as_path.to_string() + "]");
-    }
+    });
   }
   std::sort(ribs.begin(), ribs.end());
   for (const auto& line : ribs) cap.ribs += line + "\n";

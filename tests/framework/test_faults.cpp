@@ -33,17 +33,16 @@ const net::Prefix kPfx = *net::Prefix::parse("10.0.0.0/16");
 const net::Prefix kPfx2 = *net::Prefix::parse("10.50.0.0/16");
 
 /// Every legacy Loc-RIB rendered to one comparable string. Lines are
-/// sorted: loc_rib().all() is an unordered_map whose iteration order
-/// depends on insertion history, which a crash/restart run legitimately
-/// changes even when the routes themselves match.
+/// sorted so the comparison survives histories that legitimately diverge
+/// between runs even when the routes themselves match.
 std::string rib_snapshot(Experiment& exp) {
   std::vector<std::string> lines;
   for (const auto as : exp.spec().ases) {
     if (exp.is_member(as)) continue;
-    for (const auto& [pfx, route] : exp.router(as).loc_rib().all()) {
-      lines.push_back(as.to_string() + " " + pfx.to_string() + " [" +
+    exp.router(as).loc_rib().for_each([&](const bgp::Route& route) {
+      lines.push_back(as.to_string() + " " + route.prefix.to_string() + " [" +
                       route.attributes->as_path.to_string() + "]");
-    }
+    });
   }
   std::sort(lines.begin(), lines.end());
   std::string out;

@@ -188,6 +188,8 @@ GridTiming run_trial_grid(std::size_t points, std::size_t runs,
             std::chrono::duration<double>(Clock::now() - s0).count();
       });
   timing.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  // lint: float-order-ok(index-ordered vector, and wall timing is footer
+  // diagnostics excluded from the determinism diff)
   for (const double s : seconds) timing.trial_seconds += s;
   return timing;
 }

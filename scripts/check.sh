@@ -15,13 +15,28 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
 # Lint job: the project-invariant analyzer (tools/lint) must report zero
-# fresh findings against the committed baseline. Rules and the suppression
-# pragma syntax are documented in DESIGN.md §10; regenerate the baseline
-# with --write-baseline only when a finding is intentional and annotated.
+# fresh findings against the committed baseline over the whole repo —
+# src, tools, bench, examples AND tests. Rules and the suppression pragma
+# syntax are documented in DESIGN.md §10; regenerate the baseline with
+# --write-baseline only when a finding is intentional, and fill in the
+# reason every bgpsdn.lint/2 entry requires. --fail-stale keeps the waiver
+# list honest: an entry that matches no current finding fails the gate.
+# This run also re-exports the include graph; the committed copy in
+# docs/include-graph.dot must match it (refresh step below).
 echo "===== bgpsdn_lint"
-./build/tools/lint/bgpsdn_lint --baseline lint_baseline.json
-# Self-test: a deliberately planted violation must make the gate fail, so a
-# silently broken analyzer can't pass the suite.
+mkdir -p build/json
+./build/tools/lint/bgpsdn_lint --baseline lint_baseline.json --fail-stale \
+  --dump-include-graph build/json/include-graph.dot
+if ! cmp -s docs/include-graph.dot build/json/include-graph.dot; then
+  cp build/json/include-graph.dot docs/include-graph.dot
+  echo "docs/include-graph.dot was out of date; refreshed — commit it" >&2
+  exit 1
+fi
+# Self-tests: one deliberately planted violation per analyzer pass must
+# make the gate fail, so a silently broken pass can't hide behind a green
+# suite. D1 covers the token scanner, A1 the include-graph pass, A2 the
+# hot-path allocation pass, D4/D5 the emitter-ordering rules, and the
+# stale check covers baseline bookkeeping.
 LINT_TMP="$(mktemp -d)"
 trap 'rm -rf "$LINT_TMP"' EXIT
 cat > "$LINT_TMP/injected.cpp" <<'EOF'
@@ -32,10 +47,63 @@ long bad() {
 }
 EOF
 if ./build/tools/lint/bgpsdn_lint --quiet "$LINT_TMP/injected.cpp"; then
-  echo "bgpsdn_lint self-test FAILED: injected violation not reported" >&2
+  echo "bgpsdn_lint self-test FAILED: injected D1 violation not reported" >&2
   exit 1
 fi
-echo "bgpsdn_lint: self-test ok (injected D1 violation detected)"
+mkdir -p "$LINT_TMP/src/core"
+printf '#pragma once\n#include "framework/report.hpp"\n' \
+  > "$LINT_TMP/src/core/injected_upward.hpp"
+if ./build/tools/lint/bgpsdn_lint --quiet --layers tools/lint/layers.txt \
+    "$LINT_TMP/src"; then
+  echo "bgpsdn_lint self-test FAILED: upward include not reported" >&2
+  exit 1
+fi
+cat > "$LINT_TMP/injected_hotpath.cpp" <<'EOF'
+#include <memory>
+// lint: hotpath(self-test: allocation below must be flagged)
+int f() { auto p = std::make_unique<int>(1); return *p; }
+EOF
+if ./build/tools/lint/bgpsdn_lint --quiet "$LINT_TMP/injected_hotpath.cpp"; then
+  echo "bgpsdn_lint self-test FAILED: hot-path allocation not reported" >&2
+  exit 1
+fi
+cat > "$LINT_TMP/injected_ptrorder.cpp" <<'EOF'
+#include "telemetry/json.hpp"
+#include <set>
+struct Node { int id; };
+std::set<Node*> order_nodes() { return {}; }
+EOF
+if ./build/tools/lint/bgpsdn_lint --quiet "$LINT_TMP/injected_ptrorder.cpp"; then
+  echo "bgpsdn_lint self-test FAILED: pointer-keyed set not reported" >&2
+  exit 1
+fi
+cat > "$LINT_TMP/injected_floatorder.cpp" <<'EOF'
+#include "telemetry/json.hpp"
+#include <vector>
+double total(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum;
+}
+EOF
+if ./build/tools/lint/bgpsdn_lint --quiet \
+    "$LINT_TMP/injected_floatorder.cpp"; then
+  echo "bgpsdn_lint self-test FAILED: float accumulation not reported" >&2
+  exit 1
+fi
+mkdir -p "$LINT_TMP/clean"
+printf 'int stale_probe = 0;\n' > "$LINT_TMP/clean/ok.cpp"
+cat > "$LINT_TMP/stale_baseline.json" <<'EOF'
+{"schema":"bgpsdn.lint/2","findings":[{"file":"deleted_long_ago.cpp",
+"line":1,"rule":"D1","token":"time()","message":"planted",
+"reason":"self-test: waived code no longer exists"}]}
+EOF
+if ./build/tools/lint/bgpsdn_lint --quiet --fail-stale \
+    --baseline "$LINT_TMP/stale_baseline.json" "$LINT_TMP/clean"; then
+  echo "bgpsdn_lint self-test FAILED: stale waiver not rejected" >&2
+  exit 1
+fi
+echo "bgpsdn_lint: self-tests ok (D1, A1, A2, D4, D5, stale waiver)"
 
 # clang-tidy job: the curated check set in .clang-tidy runs over the
 # compilation database exported by CMake. clang-tidy is an optional tool;

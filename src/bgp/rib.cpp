@@ -172,6 +172,8 @@ bool AdjRibIn::put_reference(const Route& route) {
   return changed;
 }
 
+// lint: hotpath(compact-RIB insert runs once per received route; the slab
+// layout exists precisely so this path never touches the heap per call)
 bool AdjRibIn::put_compact(const Route& route) {
   const std::uint32_t sid = route.learned_from.value();
   const std::uint32_t bgp_id = route.peer_bgp_id.bits();
@@ -253,6 +255,8 @@ bool AdjRibIn::erase(const net::Prefix& prefix, core::SessionId session) {
   return erased;
 }
 
+// lint: hotpath(compact-RIB erase runs once per withdrawal/session drop;
+// pure span bookkeeping, no per-call heap traffic)
 bool AdjRibIn::erase_compact(const net::Prefix& prefix,
                              std::uint32_t session) {
   InSpan* span = spans_.find(prefix);

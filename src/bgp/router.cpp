@@ -264,6 +264,8 @@ void BgpRouter::note_flap(core::SessionId session, const net::Prefix& prefix,
                   });
 }
 
+// lint: hotpath(decision process runs once per affected prefix per UPDATE;
+// at internet scale it dominates the event loop)
 void BgpRouter::recompute(const net::Prefix& prefix) {
   init_metrics();
   if (decision_runs_metric_ != nullptr) decision_runs_metric_->inc();
@@ -330,6 +332,8 @@ void BgpRouter::recompute(const net::Prefix& prefix) {
       fib_.insert(prefix, peers_by_session_.at(best.learned_from.value())->port);
     }
     ++counters_.best_changes;
+    // lint: alloc-ok(the log line is built only on best-path change
+    // events, not per decision run)
     logger().log(loop().now(), core::LogLevel::kInfo, session_log_name(),
                  "best_changed",
                  prefix.to_string() + " via [" +
@@ -442,6 +446,8 @@ void BgpRouter::schedule_peer_update(Peer& peer, const net::Prefix& prefix) {
   }
 }
 
+// lint: hotpath(flush-buffer coalescing runs once per MRAI tick per peer;
+// a convergence burst funnels every dirty prefix through here)
 void BgpRouter::flush_peer(Peer& peer) {
   if (!peer.session->established()) {
     peer.pending.clear();
@@ -466,9 +472,11 @@ void BgpRouter::flush_peer(Peer& peer) {
     }
   }
   std::vector<net::Prefix> withdrawals;
+  withdrawals.reserve(peer.pending.size());
   // Announcement groups keyed by attribute bundle (one bundle per UPDATE).
   // Interned handles make the group lookup a pointer compare.
   std::vector<std::pair<AttrSetRef, std::vector<net::Prefix>>> groups;
+  groups.reserve(peer.pending.size());
   for (const auto& prefix : peer.pending) {
     AttrSetRef attrs;
     if (evaluate_export(peer, prefix, attrs) == ExportAction::kAnnounce) {
@@ -478,6 +486,8 @@ void BgpRouter::flush_peer(Peer& peer) {
       if (it == groups.end()) {
         groups.push_back({attrs, {prefix}});
       } else {
+        // lint: alloc-ok(grows the per-bundle NLRI list; amortized across
+        // the burst and bounded by the pending set just reserved for)
         it->second.push_back(prefix);
       }
     } else {
@@ -488,9 +498,12 @@ void BgpRouter::flush_peer(Peer& peer) {
   emit_updates(peer, groups, withdrawals);
 }
 
+// lint: hotpath(every UPDATE leaving the router is packed here; TX volume
+// scales with topology size times churn)
 void BgpRouter::emit_updates(Peer& peer, UpdateGroups& groups,
                              std::vector<net::Prefix>& withdrawals) {
   std::vector<UpdateMessage> messages;
+  messages.reserve(groups.size() + 1);
   for (auto& [attrs, nlri] : groups) {
     UpdateMessage m;
     m.attributes = *attrs;
@@ -505,6 +518,8 @@ void BgpRouter::emit_updates(Peer& peer, UpdateGroups& groups,
     ++counters_.updates_tx;
     init_metrics();
     if (updates_tx_metric_ != nullptr) updates_tx_metric_->inc();
+    // lint: alloc-ok(one debug line per UPDATE actually sent; TX is paced
+    // by MRAI/batch ticks, and the text is part of the replayable trace)
     logger().log(loop().now(), core::LogLevel::kDebug, session_log_name(),
                  "update_tx",
                  "to " + peer.session->peer_as().to_string() + " " + m.to_string());
@@ -520,6 +535,8 @@ void BgpRouter::emit_updates(Peer& peer, UpdateGroups& groups,
   }
 }
 
+// lint: hotpath(batch-mode coalescing: one pass over every dirty prefix of
+// every peer at each batch boundary)
 void BgpRouter::flush_tx_batches() {
   for (auto& [port, peer] : peers_) {
     if (peer.batch_dirty.empty()) continue;
@@ -530,7 +547,9 @@ void BgpRouter::flush_tx_batches() {
     // burst — intermediate states within one batch never hit the wire
     // (exactly the coalescing the MRAI flush path always did).
     std::vector<net::Prefix> withdrawals;
+    withdrawals.reserve(dirty.size());
     UpdateGroups groups;
+    groups.reserve(dirty.size());
     bool spilled = false;
     for (const auto& prefix : dirty) {
       AttrSetRef attrs;
@@ -553,6 +572,8 @@ void BgpRouter::flush_tx_batches() {
         if (it == groups.end()) {
           groups.push_back({attrs, {prefix}});
         } else {
+          // lint: alloc-ok(grows the per-bundle NLRI list; amortized
+          // across the burst and bounded by the dirty set reserved for)
           it->second.push_back(prefix);
         }
       } else {

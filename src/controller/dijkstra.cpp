@@ -154,13 +154,14 @@ void IncrementalSpt::recompute_prev(std::uint32_t v) {
   }
 }
 
+// lint: hotpath(delta-SPT replay runs once per topology delta; the member
+// scratch heap keeps steady-state replays heap-traffic-free)
 void IncrementalSpt::relax_improvement(std::uint32_t v, std::uint32_t d) {
-  using Item = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  heap.push({d, graph_.node_id(v), v});
-  while (!heap.empty()) {
-    const auto [du, uid, u] = heap.top();
-    heap.pop();
+  // replay_heap_ is empty here: every exit path below drains it fully.
+  replay_heap_.push({d, graph_.node_id(v), v});
+  while (!replay_heap_.empty()) {
+    const auto [du, uid, u] = replay_heap_.top();
+    replay_heap_.pop();
     if (dist_[u] <= du) {
       // Not an improvement; at equality the vertex may have gained a new
       // tight predecessor, so only the tie-break can change.
@@ -177,7 +178,8 @@ void IncrementalSpt::relax_improvement(std::uint32_t v, std::uint32_t d) {
     for (const auto& a : graph_.out(u)) {
       const std::uint64_t cand = static_cast<std::uint64_t>(du) + a.weight;
       if (cand < dist_[a.to]) {
-        heap.push({static_cast<std::uint32_t>(cand), graph_.node_id(a.to), a.to});
+        replay_heap_.push(
+            {static_cast<std::uint32_t>(cand), graph_.node_id(a.to), a.to});
       } else if (cand == dist_[a.to]) {
         recompute_prev(a.to);
       }
@@ -194,6 +196,9 @@ std::uint32_t IncrementalSpt::support_of(std::uint32_t v) const {
   return static_cast<std::uint32_t>(std::min<std::uint64_t>(best, kInfDist));
 }
 
+// lint: hotpath(link-loss replay runs once per removed/worsened tight
+// edge; region_/in_region_/replay_heap_ are member scratch so repeated
+// failures reuse their capacity)
 void IncrementalSpt::on_support_lost(std::uint32_t v) {
   if (support_of(v) == dist_[v]) {
     // Another in-edge still explains the distance; only the tie-break on
@@ -204,54 +209,55 @@ void IncrementalSpt::on_support_lost(std::uint32_t v) {
 
   // Phase 1: collect the tree region hanging off v — every vertex whose
   // shortest path ran through the lost support (parent-pointer closure).
-  std::vector<std::uint32_t> region{v};
-  std::vector<char> in_region(dist_.size(), 0);
-  in_region[v] = 1;
-  for (std::size_t i = 0; i < region.size(); ++i) {
-    const std::uint32_t x = region[i];
+  region_.clear();
+  region_.push_back(v);
+  in_region_.assign(dist_.size(), 0);
+  in_region_[v] = 1;
+  for (std::size_t i = 0; i < region_.size(); ++i) {
+    const std::uint32_t x = region_[i];
     for (const auto& a : graph_.out(x)) {
-      if (in_region[a.to] == 0 && prev_[a.to] == x) {
-        in_region[a.to] = 1;
-        region.push_back(a.to);
+      if (in_region_[a.to] == 0 && prev_[a.to] == x) {
+        in_region_[a.to] = 1;
+        region_.push_back(a.to);
       }
     }
   }
 
   // Phase 2: invalidate the region and seed a frontier heap from in-edges
-  // whose tails kept their (final) distances.
-  for (const auto x : region) {
+  // whose tails kept their (final) distances. replay_heap_ is empty here:
+  // every loop over it below drains it fully.
+  for (const auto x : region_) {
     dist_[x] = kInfDist;
     prev_[x] = kNoPrev;
   }
   ++revision_;  // v's distance provably changes (or it went unreachable)
-  using Item = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  for (const auto x : region) {
+  for (const auto x : region_) {
     std::uint64_t best = kInfDist;
     for (const auto& a : in_[x]) {
-      if (in_region[a.from] != 0 || dist_[a.from] == kInfDist) continue;
+      if (in_region_[a.from] != 0 || dist_[a.from] == kInfDist) continue;
       best = std::min(best, static_cast<std::uint64_t>(dist_[a.from]) + a.weight);
     }
     if (best < kInfDist) {
-      heap.push({static_cast<std::uint32_t>(best), graph_.node_id(x), x});
+      replay_heap_.push({static_cast<std::uint32_t>(best), graph_.node_id(x), x});
     }
   }
 
   // Phase 3: constrained Dijkstra — only region vertices re-settle; the
   // rest of the tree is untouched. Unreached region vertices stay
   // unreachable.
-  while (!heap.empty()) {
-    const auto [dx, xid, x] = heap.top();
-    heap.pop();
+  while (!replay_heap_.empty()) {
+    const auto [dx, xid, x] = replay_heap_.top();
+    replay_heap_.pop();
     if (dist_[x] != kInfDist) continue;  // settled earlier in this replay
     dist_[x] = dx;
     ++vertices_replayed_;
     recompute_prev(x);
     for (const auto& a : graph_.out(x)) {
-      if (in_region[a.to] == 0 || dist_[a.to] != kInfDist) continue;
+      if (in_region_[a.to] == 0 || dist_[a.to] != kInfDist) continue;
       const std::uint64_t cand = static_cast<std::uint64_t>(dx) + a.weight;
       if (cand < kInfDist) {
-        heap.push({static_cast<std::uint32_t>(cand), graph_.node_id(a.to), a.to});
+        replay_heap_.push(
+            {static_cast<std::uint32_t>(cand), graph_.node_id(a.to), a.to});
       }
     }
   }

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <queue>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -151,6 +153,17 @@ class IncrementalSpt {
   std::uint32_t source_index_{0};
   std::uint64_t vertices_replayed_{0};
   std::uint64_t revision_{0};
+
+  // Replay scratch, hoisted out of the per-delta calls so steady-state
+  // delta processing costs no heap traffic: both replay loops fully drain
+  // replay_heap_ before returning and never nest, so one queue serves
+  // relax_improvement and on_support_lost; the backing storage keeps its
+  // capacity across calls.
+  using ReplayItem = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
+  std::priority_queue<ReplayItem, std::vector<ReplayItem>, std::greater<>>
+      replay_heap_;
+  std::vector<std::uint32_t> region_;  // parent-pointer closure of the loss
+  std::vector<char> in_region_;        // dense membership flags for region_
 };
 
 }  // namespace bgpsdn::controller

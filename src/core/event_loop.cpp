@@ -51,6 +51,8 @@ TimerId EventLoop::schedule(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
+// lint: hotpath(every timer in the simulation is armed here; BGP timer
+// churn makes this the single most-called mutation in the core)
 TimerId EventLoop::schedule_at(TimePoint when, Callback cb) {
   if (when < now_) when = now_;
   if (heap_.empty()) next_seq_ = 0;
@@ -58,6 +60,8 @@ TimerId EventLoop::schedule_at(TimePoint when, Callback cb) {
   if (free_slots_.empty()) {
     index = static_cast<std::uint32_t>(slot_count_++);
     if ((index >> kSlabShift) == slabs_.size()) {
+      // lint: alloc-ok(amortized slab growth: one allocation per kSlabSize
+      // new slots, and slabs are never shrunk or reallocated)
       slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
     }
   } else {
@@ -120,6 +124,8 @@ void EventLoop::compact() {
   tombstones_ = 0;
 }
 
+// lint: hotpath(timer dispatch: one call per executed event; slot reuse
+// and SmallFunc moves keep firing allocation-free)
 bool EventLoop::step(TimePoint until) {
   while (!heap_.empty()) {
     const std::uint32_t index = heap_.front().slot;

@@ -1,0 +1,18 @@
+// Fixture: A2 — hot path that pre-reserves its locals and pushes into
+// member scratch (never compiled).
+#include <vector>
+
+struct Engine {
+  std::vector<int> scratch_;
+
+  // lint: hotpath(steady-state event application)
+  int apply(const std::vector<int>& events) {
+    std::vector<int> out;
+    out.reserve(events.size());
+    for (const int e : events) {
+      out.push_back(e);
+      scratch_.push_back(e);
+    }
+    return static_cast<int>(out.size() + scratch_.size());
+  }
+};

@@ -1,0 +1,9 @@
+// Fixture: A2 waived with a reasoned alloc-ok pragma (never compiled).
+#include <memory>
+
+// lint: hotpath(fixture warm-up path)
+int build() {
+  // lint: alloc-ok(one-time warmup allocation, amortized over the run)
+  auto p = std::make_unique<int>(3);
+  return *p;
+}

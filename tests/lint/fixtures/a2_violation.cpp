@@ -1,0 +1,15 @@
+// Fixture: A2 — allocations inside an annotated hot path (never
+// compiled).
+#include <memory>
+#include <string>
+#include <vector>
+
+// lint: hotpath(per-event decision loop of the fixture router)
+int process(const std::vector<int>& events) {
+  std::vector<int> out;
+  for (const int e : events) out.push_back(e);
+  auto p = std::make_unique<int>(7);
+  std::string label = "ev";
+  label += " tail";
+  return static_cast<int>(out.size()) + *p + static_cast<int>(label.size());
+}

@@ -1,0 +1,7 @@
+// Fixture: D4 constructs outside any emitter path are tolerated (never
+// compiled).
+#include <set>
+
+struct Node { int id; };
+
+std::set<Node*> order_nodes() { return {}; }

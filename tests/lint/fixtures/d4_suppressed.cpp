@@ -1,0 +1,10 @@
+// Fixture: D4 waived — the pointees are interned in one stable arena, so
+// pointer order equals arena order (never compiled).
+#include "telemetry/json.hpp"
+
+#include <set>
+
+struct Node { int id; };
+
+// lint: ptr-order-ok(nodes live in one arena; order equals arena order)
+std::set<Node*> order_nodes() { return {}; }

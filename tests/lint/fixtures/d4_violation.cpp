@@ -1,0 +1,16 @@
+// Fixture: D4 — ordering and hashing by pointer value in an emitter
+// code path (never compiled).
+#include "telemetry/json.hpp"
+
+#include <map>
+#include <set>
+
+struct Node { int id; };
+
+std::set<Node*> order_nodes() { return {}; }
+std::map<Node*, int> rank_nodes() { return {}; }
+
+int compare(const Node* x, const Node* y) {
+  auto cmp = [](const Node* a, const Node* b) { return a < b; };
+  return cmp(x, y) ? 1 : 0;
+}

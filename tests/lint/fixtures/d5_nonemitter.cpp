@@ -1,0 +1,9 @@
+// Fixture: D5 constructs outside any emitter path are tolerated (never
+// compiled).
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture: D5 waived — the source vector is sorted upstream, so the
+// accumulation order is pinned (never compiled).
+#include "telemetry/json.hpp"
+
+#include <vector>
+
+double total(const std::vector<double>& sorted_xs) {
+  double sum = 0.0;
+  // lint: float-order-ok(sorted_xs is sorted by the caller; order pinned)
+  for (const double x : sorted_xs) sum += x;
+  return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture: D5 — order-sensitive float accumulation in an emitter code
+// path (never compiled).
+#include "telemetry/json.hpp"
+
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum + std::accumulate(xs.begin(), xs.end(), 0.0);
+}

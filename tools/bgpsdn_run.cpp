@@ -252,6 +252,8 @@ int main(int argc, char** argv) {
                     .c_str());
   }
   double serial = 0.0;
+  // lint: float-order-ok(index-ordered vector, and the speedup footer is
+  // wall-clock diagnostics excluded from the determinism diff)
   for (const double s : trial_seconds) serial += s;
   std::printf(
       "# wall %.2f s, serial-equivalent %.2f s, speedup %.2fx, %.2f trials/s\n",

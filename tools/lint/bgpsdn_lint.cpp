@@ -2,9 +2,11 @@
 //
 // Usage:
 //   bgpsdn_lint [--baseline lint_baseline.json] [--json out.json]
-//               [--write-baseline out.json] [--quiet] [paths...]
+//               [--write-baseline out.json] [--layers tools/lint/layers.txt]
+//               [--dump-include-graph out.dot] [--fail-stale] [--quiet]
+//               [paths...]
 //
-// Default paths: src tools bench examples (run from the repo root).
+// Default paths: src tools bench examples tests (run from the repo root).
 // Exit codes: 0 clean (all findings baselined), 1 findings, 2 usage/IO.
 #include <cstdio>
 #include <fstream>
@@ -20,13 +22,28 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--baseline <file>] [--json <out>] [--write-baseline <out>]\n"
-      "          [--quiet] [paths...]\n"
+      "          [--layers <file>] [--dump-include-graph <out.dot>]\n"
+      "          [--fail-stale] [--quiet] [paths...]\n"
       "Scans .cpp/.hpp files for determinism-contract violations\n"
       "(D1 wall clock, D2 ambient randomness, D3 unordered iteration in\n"
-      "emitters, T1 raw threading, H1 header hygiene, P1 bad pragma).\n"
-      "Default paths: src tools bench examples\n",
+      "emitters, D4 pointer-value ordering in emitters, D5 float\n"
+      "accumulation order in emitters, A1 include layering, A2 hot-path\n"
+      "allocations, T1 raw threading, H1 header hygiene, P1 bad pragma).\n"
+      "Default layer table: tools/lint/layers.txt (A1 and the dot dump are\n"
+      "skipped when it is absent). --fail-stale turns baseline entries that\n"
+      "match no current finding into an error.\n"
+      "Default paths: src tools bench examples tests\n",
       argv0);
   return 2;
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
 }
 
 bool write_text_file(const std::string& path, const std::string& body) {
@@ -42,6 +59,10 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string json_path;
   std::string write_baseline_path;
+  std::string layers_path = "tools/lint/layers.txt";
+  bool layers_explicit = false;
+  std::string dot_path;
+  bool fail_stale = false;
   bool quiet = false;
   std::vector<std::string> roots;
 
@@ -53,6 +74,13 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--write-baseline" && i + 1 < argc) {
       write_baseline_path = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
+      layers_explicit = true;
+    } else if (arg == "--dump-include-graph" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--fail-stale") {
+      fail_stale = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -65,24 +93,63 @@ int main(int argc, char** argv) {
       roots.push_back(arg);
     }
   }
-  if (roots.empty()) roots = {"src", "tools", "bench", "examples"};
+  if (roots.empty()) roots = {"src", "tools", "bench", "examples", "tests"};
 
-  const std::vector<bgpsdn::lint::Finding> all =
-      bgpsdn::lint::lint_paths(roots);
+  // Layer table: the default path is best-effort (A1 skipped when absent,
+  // so the tool still works from odd working directories); an explicit
+  // --layers that cannot be read or parsed is a hard error.
+  bgpsdn::lint::LayerTable layers;
+  bool have_layers = false;
+  {
+    std::string layers_text;
+    if (read_text_file(layers_path, layers_text)) {
+      std::string err;
+      if (!bgpsdn::lint::parse_layers(layers_text, layers, &err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
+      }
+      have_layers = true;
+    } else if (layers_explicit) {
+      std::fprintf(stderr, "%s: cannot read layer table %s\n", argv[0],
+                   layers_path.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<bgpsdn::lint::Finding> all = bgpsdn::lint::lint_paths(roots);
+
+  if (have_layers) {
+    const std::vector<bgpsdn::lint::CorpusFile> corpus =
+        bgpsdn::lint::load_corpus(roots);
+    std::vector<bgpsdn::lint::Finding> graph =
+        bgpsdn::lint::analyze_include_graph(corpus, layers);
+    all.insert(all.end(), graph.begin(), graph.end());
+    if (!dot_path.empty()) {
+      if (!write_text_file(
+              dot_path, bgpsdn::lint::include_graph_dot(corpus, layers))) {
+        std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                     dot_path.c_str());
+        return 2;
+      }
+    }
+  } else if (!dot_path.empty()) {
+    std::fprintf(stderr, "%s: --dump-include-graph needs a layer table (%s)\n",
+                 argv[0], layers_path.c_str());
+    return 2;
+  }
 
   bgpsdn::lint::Baseline baseline;
   if (!baseline_path.empty()) {
-    std::ifstream in{baseline_path, std::ios::binary};
-    if (!in) {
+    std::string text;
+    if (!read_text_file(baseline_path, text)) {
       std::fprintf(stderr, "%s: cannot read baseline %s\n", argv[0],
                    baseline_path.c_str());
       return 2;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    if (!bgpsdn::lint::parse_baseline(ss.str(), baseline)) {
-      std::fprintf(stderr, "%s: malformed baseline %s\n", argv[0],
-                   baseline_path.c_str());
+    std::string err;
+    if (!bgpsdn::lint::parse_baseline(text, baseline, &err)) {
+      std::fprintf(stderr, "%s: %s: %s\n", argv[0], baseline_path.c_str(),
+                   err.c_str());
       return 2;
     }
   }
@@ -91,8 +158,15 @@ int main(int argc, char** argv) {
       bgpsdn::lint::apply_baseline(all, baseline);
 
   if (!write_baseline_path.empty()) {
+    // A freshly written baseline carries placeholder reasons: the schema
+    // requires one per entry, and a human has to fill in the real
+    // justification before the file parses as an honest waiver list.
+    std::vector<bgpsdn::lint::Finding> entries = all;
+    for (bgpsdn::lint::Finding& f : entries) {
+      if (f.reason.empty()) f.reason = "TODO: justify this waiver";
+    }
     if (!write_text_file(write_baseline_path,
-                         bgpsdn::lint::findings_to_json(all))) {
+                         bgpsdn::lint::findings_to_json(entries))) {
       std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
                    write_baseline_path.c_str());
       return 2;
@@ -116,8 +190,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s:%d: %s [%s] %s\n", f.file.c_str(), f.line,
                    f.rule.c_str(), f.token.c_str(), f.message.c_str());
     }
-    std::fprintf(stderr, "bgpsdn_lint: %zu finding(s), %zu baselined\n",
-                 filtered.fresh.size(), filtered.baselined);
+    for (const bgpsdn::lint::Finding& f : filtered.stale) {
+      std::fprintf(stderr,
+                   "%s:%d: stale baseline waiver [%s %s] matches no current "
+                   "finding%s\n",
+                   f.file.c_str(), f.line, f.rule.c_str(), f.token.c_str(),
+                   fail_stale ? "" : " (delete it; --fail-stale enforces)");
+    }
+    std::fprintf(stderr,
+                 "bgpsdn_lint: %zu finding(s), %zu baselined, %zu stale\n",
+                 filtered.fresh.size(), filtered.baselined,
+                 filtered.stale.size());
   }
-  return bgpsdn::lint::exit_code_for(filtered.fresh);
+  if (!filtered.fresh.empty()) return 1;
+  if (fail_stale && !filtered.stale.empty()) return 1;
+  return 0;
 }
